@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared support for the table/figure reproduction harnesses: one
+ * registry + categorization per process, and paper-vs-measured
+ * formatting helpers. Every bench binary prints the rows/series of
+ * one table or figure from the paper next to the values measured on
+ * this substrate.
+ */
+
+#ifndef FREEPART_BENCH_BENCH_COMMON_HH
+#define FREEPART_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/hybrid_categorizer.hh"
+#include "fw/api_registry.hh"
+#include "util/table.hh"
+
+namespace freepart::bench {
+
+/** Process-wide registry (built once). */
+inline const fw::ApiRegistry &
+registry()
+{
+    static fw::ApiRegistry instance = fw::buildFullRegistry();
+    return instance;
+}
+
+/** Process-wide offline categorization (run once). */
+inline const analysis::Categorization &
+categorization()
+{
+    static analysis::Categorization instance = [] {
+        analysis::HybridCategorizer categorizer(registry());
+        return categorizer.categorizeAll();
+    }();
+    return instance;
+}
+
+/** Print a bench banner. */
+inline void
+banner(const std::string &experiment, const std::string &what)
+{
+    std::printf("\n================================================="
+                "=============\n");
+    std::printf("%s — %s\n", experiment.c_str(), what.c_str());
+    std::printf("==================================================="
+                "===========\n");
+}
+
+/** Print a trailing note (substitutions, calibration caveats). */
+inline void
+note(const std::string &text)
+{
+    std::printf("note: %s\n", text.c_str());
+}
+
+} // namespace freepart::bench
+
+#endif // FREEPART_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fig. 13 reproduction: normalized runtime overhead of FreePart on
+ * the 23 evaluation applications (paper: per-app 2.6%-5.7%, mean
+ * 3.68%). Each app model's workload is replayed natively and under
+ * FreePart; the chart is printed as an ASCII bar series.
+ */
+
+#include "apps/workload.hh"
+#include "bench/bench_common.hh"
+#include "util/stats.hh"
+
+using namespace freepart;
+
+namespace {
+
+/** Paper's per-app normalized overhead readings (Fig. 13). */
+const double kPaperOverheads[23] = {
+    3.3, 3.9, 2.6, 4.1, 3.9, 4.3, 5.4, 3.2, 3.3, 5.7, 4.0, 3.2,
+    3.3, 3.0, 3.9, 3.1, 3.2, 2.6, 5.4, 3.9, 3.7, 2.9, 3.7};
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 13",
+                  "Normalized runtime overhead of FreePart per app");
+
+    apps::WorkloadGenerator::Config config;
+    config.imageRows = 768;
+    config.imageCols = 768;
+    config.maxRounds = 3;
+    config.maxCallsPerRound = 24;
+    apps::WorkloadGenerator generator(bench::registry(), config);
+
+    auto elapsed = [&](const apps::AppModel &model,
+                       core::PartitionPlan plan) {
+        osim::Kernel kernel;
+        generator.seedInputs(kernel);
+        core::FreePartRuntime runtime(kernel, bench::registry(),
+                                      bench::categorization(),
+                                      std::move(plan));
+        apps::WorkloadResult result = generator.run(runtime, model);
+        if (result.callsFailed)
+            std::printf("  warning: %llu failed calls in %s\n",
+                        static_cast<unsigned long long>(
+                            result.callsFailed),
+                        model.name.c_str());
+        return static_cast<double>(result.stats.elapsed());
+    };
+
+    util::TextTable table({"ID", "Name", "paper", "measured",
+                           "bar (measured)"});
+    util::RunningStat overheads;
+    for (const apps::AppModel &model : apps::appModels()) {
+        double base =
+            elapsed(model, core::PartitionPlan::inHost());
+        double freepart =
+            elapsed(model, core::PartitionPlan::freePartDefault());
+        double overhead = (freepart - base) / base * 100.0;
+        overheads.add(overhead);
+        std::string bar(
+            static_cast<size_t>(std::max(0.0, overhead * 4.0)), '#');
+        table.addRow({std::to_string(model.id), model.name,
+                      util::fmtDouble(
+                          kPaperOverheads[model.id - 1], 1) +
+                          "%",
+                      util::fmtDouble(overhead, 2) + "%", bar});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nmean overhead: paper 3.68%%, measured %.2f%% "
+                "(min %.2f%%, max %.2f%%)\n",
+                overheads.mean(), overheads.min(), overheads.max());
+    bench::note("workloads replay ImageNet-scale frames (768x768x3) "
+                "through each model's Table 6 API mix");
+    return 0;
+}

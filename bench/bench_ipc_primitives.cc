@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Real-time (wall-clock) google-benchmark of the IPC building blocks
+ * behind §4.3's shared-memory ring-buffer RPC: SPSC ring push/pop at
+ * several message sizes, message encode/decode, a full simulated
+ * host->agent->host round trip, and the temporal-protection mprotect
+ * flip.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hh"
+#include "core/runtime.hh"
+#include "ipc/channel.hh"
+#include "ipc/spsc_ring.hh"
+
+using namespace freepart;
+
+namespace {
+
+void
+BM_RingPushPop(benchmark::State &state)
+{
+    std::vector<uint8_t> region(1 << 20);
+    ipc::SpscRing ring =
+        ipc::SpscRing::create(region.data(), region.size());
+    std::vector<uint8_t> msg(static_cast<size_t>(state.range(0)),
+                             0xab);
+    std::vector<uint8_t> out;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ring.tryPush(msg.data(), msg.size()));
+        benchmark::DoNotOptimize(ring.tryPop(out));
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_RingPushPop)->Arg(64)->Arg(1024)->Arg(16384)->Arg(65536);
+
+void
+BM_MessageCodec(benchmark::State &state)
+{
+    ipc::Message msg;
+    msg.seq = 42;
+    msg.apiId = 7;
+    msg.values.emplace_back(std::string("cv2.imread"));
+    msg.values.emplace_back(
+        std::vector<uint8_t>(static_cast<size_t>(state.range(0))));
+    msg.values.emplace_back(ipc::ObjectRef{1, 99});
+    for (auto _ : state) {
+        std::vector<uint8_t> wire = ipc::encodeMessage(msg);
+        ipc::Message back = ipc::decodeMessage(wire);
+        benchmark::DoNotOptimize(back);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_MessageCodec)->Arg(64)->Arg(4096)->Arg(65536);
+
+void
+BM_ChannelRoundTrip(benchmark::State &state)
+{
+    osim::Kernel kernel;
+    osim::Process &host = kernel.spawn("host");
+    osim::Process &agent = kernel.spawn("agent");
+    ipc::Channel channel(kernel, "bench", host.pid(), agent.pid());
+    ipc::Message request;
+    request.values.emplace_back(uint64_t{1});
+    for (auto _ : state) {
+        channel.sendRequest(request);
+        ipc::Message incoming;
+        channel.receiveRequest(incoming);
+        ipc::Message response;
+        response.seq = incoming.seq;
+        channel.sendResponse(response);
+        ipc::Message done;
+        channel.receiveResponse(done);
+        benchmark::DoNotOptimize(done);
+    }
+}
+BENCHMARK(BM_ChannelRoundTrip);
+
+void
+BM_RuntimeInvokeProcessing(benchmark::State &state)
+{
+    osim::Kernel kernel;
+    fw::seedFixtureFiles(kernel);
+    core::FreePartRuntime runtime(
+        kernel, bench::registry(), bench::categorization(),
+        core::PartitionPlan::freePartDefault());
+    core::ApiResult img = runtime.invoke(
+        "cv2.imread", {ipc::Value(std::string("/data/test.fpim"))});
+    for (auto _ : state) {
+        core::ApiResult res =
+            runtime.invoke("cv2.bitwise_not", {img.values[0]});
+        benchmark::DoNotOptimize(res);
+        img.values[0] = res.values[0];
+    }
+}
+BENCHMARK(BM_RuntimeInvokeProcessing);
+
+void
+BM_TemporalProtectFlip(benchmark::State &state)
+{
+    osim::Kernel kernel;
+    osim::Process &proc = kernel.spawn("p");
+    osim::Addr addr = proc.space().alloc(
+        static_cast<size_t>(state.range(0)));
+    bool readonly = false;
+    for (auto _ : state) {
+        kernel.trustedProtect(proc.pid(), addr,
+                              static_cast<size_t>(state.range(0)),
+                              readonly ? osim::PermRW
+                                       : osim::PermRead);
+        readonly = !readonly;
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_TemporalProtectFlip)->Arg(4096)->Arg(1 << 20);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * LDC ablation (§5.2): mean overhead with Lazy Data Copy on (paper:
+ * 3.68%) vs off (paper: 9.7%) over the 23 application workloads, and
+ * the fraction of copy operations that were lazy (paper: 95.08%,
+ * Table 12's totals).
+ */
+
+#include "apps/workload.hh"
+#include "bench/bench_common.hh"
+#include "util/stats.hh"
+
+using namespace freepart;
+
+int
+main()
+{
+    bench::banner("§5.2 LDC ablation",
+                  "FreePart overhead with and without Lazy Data Copy");
+
+    apps::WorkloadGenerator::Config config;
+    config.imageRows = 768;
+    config.imageCols = 768;
+    config.maxRounds = 3;
+    config.maxCallsPerRound = 24;
+    apps::WorkloadGenerator generator(bench::registry(), config);
+
+    auto run = [&](const apps::AppModel &model,
+                   core::PartitionPlan plan,
+                   core::RuntimeConfig rt_config) {
+        osim::Kernel kernel;
+        generator.seedInputs(kernel);
+        core::FreePartRuntime runtime(kernel, bench::registry(),
+                                      bench::categorization(),
+                                      std::move(plan), rt_config);
+        return generator.run(runtime, model);
+    };
+
+    util::RunningStat with_ldc, without_ldc, lazy_fraction;
+    uint64_t total_lazy = 0, total_nonlazy = 0;
+    for (const apps::AppModel &model : apps::appModels()) {
+        double base =
+            static_cast<double>(run(model,
+                                    core::PartitionPlan::inHost(),
+                                    core::RuntimeConfig())
+                                    .stats.elapsed());
+        core::RuntimeConfig ldc_on;
+        apps::WorkloadResult on = run(
+            model, core::PartitionPlan::freePartDefault(), ldc_on);
+        core::RuntimeConfig ldc_off;
+        ldc_off.lazyDataCopy = false;
+        apps::WorkloadResult off = run(
+            model, core::PartitionPlan::freePartDefault(), ldc_off);
+        with_ldc.add(
+            (static_cast<double>(on.stats.elapsed()) - base) / base *
+            100.0);
+        without_ldc.add(
+            (static_cast<double>(off.stats.elapsed()) - base) /
+            base * 100.0);
+        lazy_fraction.add(on.stats.lazyFraction());
+        total_lazy += on.stats.lazyCopies + on.stats.directCopies;
+        total_nonlazy += on.stats.eagerCopies;
+    }
+
+    util::TextTable table({"Metric", "paper", "measured"});
+    table.addRow({"mean overhead, LDC on", "3.68%",
+                  util::fmtDouble(with_ldc.mean(), 2) + "%"});
+    table.addRow({"mean overhead, LDC off", "9.7%",
+                  util::fmtDouble(without_ldc.mean(), 2) + "%"});
+    table.addRow(
+        {"overhead ratio (off/on)", "2.6x",
+         util::fmtDouble(without_ldc.mean() / with_ldc.mean(), 1) +
+             "x"});
+    table.addRow({"lazy share of copy ops", "95.08%",
+                  util::fmtPercent(
+                      static_cast<double>(total_lazy) /
+                          static_cast<double>(total_lazy +
+                                              total_nonlazy),
+                      2)});
+    std::printf("%s", table.render().c_str());
+    bench::note("without LDC every object argument and result moves "
+                "through the host process (Fig. 11-(b))");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Table 2 reproduction: framework APIs categorized for the motivating
+ * example (paper: 3 loading / 75 processing / 6 visualizing / 2
+ * storing over 86 APIs). We categorize the full MiniCV/MiniDNN
+ * registry and, separately, the API set the OMR application uses.
+ */
+
+#include "apps/omr_checker.hh"
+#include "bench/bench_common.hh"
+
+using namespace freepart;
+
+int
+main()
+{
+    bench::banner("Table 2", "API categorization for the motivating "
+                             "example");
+
+    const analysis::Categorization &cats = bench::categorization();
+    auto all_counts =
+        analysis::HybridCategorizer::countByType(cats);
+
+    // The API set actually used by the OMR application.
+    osim::Kernel kernel;
+    apps::OmrChecker::Config omr;
+    omr.imageRows = 48;
+    omr.imageCols = 48;
+    omr.questions = 2;
+    auto inputs = apps::OmrChecker::seedInputs(kernel, 1, omr);
+    core::FreePartRuntime runtime(kernel, bench::registry(), cats,
+                                  core::PartitionPlan::inHost());
+    apps::OmrChecker app(runtime, omr);
+    app.setup();
+    app.gradeSubmission(inputs[0]);
+    app.finish();
+    std::map<fw::ApiType, size_t> app_counts;
+    for (const std::string &api : app.usedApis())
+        ++app_counts[cats.at(api).type];
+
+    util::TextTable table({"Type", "paper (OMR, 86 APIs)",
+                           "measured (OMR app)",
+                           "measured (full registry)"});
+    table.addRow({"Data Loading", "3",
+                  std::to_string(app_counts[fw::ApiType::Loading]),
+                  std::to_string(all_counts[fw::ApiType::Loading])});
+    table.addRow(
+        {"Data Processing", "75",
+         std::to_string(app_counts[fw::ApiType::Processing]),
+         std::to_string(all_counts[fw::ApiType::Processing])});
+    table.addRow(
+        {"Visualizing", "6",
+         std::to_string(app_counts[fw::ApiType::Visualizing]),
+         std::to_string(all_counts[fw::ApiType::Visualizing])});
+    table.addRow({"Storing", "2",
+                  std::to_string(app_counts[fw::ApiType::Storing]),
+                  std::to_string(all_counts[fw::ApiType::Storing])});
+    std::printf("%s", table.render().c_str());
+
+    // Categorization correctness (the §5 claim).
+    size_t correct = 0;
+    for (const fw::ApiDescriptor &api : bench::registry().all())
+        if (cats.at(api.name).type == api.declaredType)
+            ++correct;
+    std::printf("\ncategorization matches ground truth for %zu/%zu "
+                "APIs (paper: all correct)\n",
+                correct, bench::registry().size());
+    bench::note("processing dominates in both builds; the registry "
+                "is smaller than real OpenCV's 1,405 APIs");
+    return 0;
+}

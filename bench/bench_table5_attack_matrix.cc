@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Table 5 + §5.3 reproduction: every evaluation CVE is exploited
+ * against (a) an unprotected run and (b) FreePart. The paper's
+ * result — all attacks mitigated under FreePart, none without it —
+ * must hold, including the data-exfiltration and data-corruption
+ * scenarios of §5.3.
+ */
+
+#include "attacks/attack_driver.hh"
+#include "bench/bench_common.hh"
+
+using namespace freepart;
+
+namespace {
+
+attacks::AttackOutcome
+runAttack(const attacks::CveRecord &record, bool with_freepart,
+          bool &host_alive)
+{
+    osim::Kernel kernel;
+    fw::seedFixtureFiles(kernel);
+    core::RuntimeConfig config;
+    if (!with_freepart) {
+        config.enforceMemoryProtection = false;
+        config.restrictSyscalls = false;
+    }
+    core::FreePartRuntime runtime(
+        kernel, bench::registry(), bench::categorization(),
+        with_freepart ? core::PartitionPlan::freePartDefault()
+                      : core::PartitionPlan::inHost(),
+        config);
+    osim::Addr secret = runtime.allocHostData("critical", 64);
+    runtime.hostProcess().space().write(secret, "CRITICAL", 8);
+
+    attacks::AttackDriver driver(runtime, bench::registry());
+    attacks::AttackSpec spec;
+    spec.cve = record.id;
+    spec.goal = attacks::goalForPayload(record.defaultPayload);
+    spec.targetPid = runtime.hostPid();
+    spec.targetAddr = secret;
+    spec.targetLen = 8;
+    attacks::AttackOutcome outcome = driver.launch(spec);
+    host_alive = runtime.hostAlive();
+    return outcome;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 5 / §5.3",
+                  "Attack mitigation matrix over the 18 CVEs");
+
+    util::TextTable table({"CVE", "Class", "API type", "Samples",
+                           "unprotected", "FreePart"});
+    size_t mitigated = 0;
+    size_t succeeded_without = 0;
+    for (const attacks::CveRecord &record :
+         attacks::evaluationCves()) {
+        attacks::AttackGoal goal =
+            attacks::goalForPayload(record.defaultPayload);
+        bool alive_plain = true, alive_fp = true;
+        attacks::AttackOutcome plain =
+            runAttack(record, false, alive_plain);
+        attacks::AttackOutcome fp = runAttack(record, true, alive_fp);
+        bool plain_succeeded = !plain.mitigated(goal);
+        bool fp_mitigated = fp.mitigated(goal) && alive_fp;
+        mitigated += fp_mitigated ? 1 : 0;
+        succeeded_without += plain_succeeded ? 1 : 0;
+        std::string samples;
+        for (int id : record.samples)
+            samples += (samples.empty() ? "" : ",") +
+                       std::to_string(id);
+        table.addRow({record.id, record.vulnClass,
+                      fw::apiTypeShortName(record.apiType), samples,
+                      plain_succeeded ? "EXPLOITED" : "survived",
+                      fp_mitigated ? "mitigated" : "FAILED"});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nFreePart mitigated %zu/%zu attacks "
+                "(paper: 18/18); without isolation %zu/%zu "
+                "succeeded\n",
+                mitigated, attacks::evaluationCves().size(),
+                succeeded_without, attacks::evaluationCves().size());
+
+    // §5.3 scenario analysis: exfiltration + corruption.
+    bench::banner("§5.3", "Data exfiltration / corruption scenarios");
+    {
+        osim::Kernel kernel;
+        fw::seedFixtureFiles(kernel);
+        core::FreePartRuntime runtime(
+            kernel, bench::registry(), bench::categorization(),
+            core::PartitionPlan::freePartDefault());
+        osim::Addr profile = runtime.allocHostData("user-profile",
+                                                   128);
+        runtime.hostProcess().space().write(
+            profile, "name:alice;ssn:123-45-6789", 26);
+        attacks::AttackDriver driver(runtime, bench::registry());
+        attacks::AttackSpec exfil;
+        exfil.cve = "CVE-2020-10378";
+        exfil.goal = attacks::AttackGoal::Exfiltrate;
+        exfil.targetPid = runtime.hostPid();
+        exfil.targetAddr = profile;
+        exfil.targetLen = 26;
+        attacks::AttackOutcome leak = driver.launch(exfil);
+        std::printf("exfiltration of the user profile: %s "
+                    "(network bytes sent: %zu)\n",
+                    leak.dataLeaked ? "LEAKED" : "blocked",
+                    kernel.network().bytesSent());
+        std::printf("loading/processing agents cannot send(): the "
+                    "allowlists exclude write/send (Table 7)\n");
+    }
+    return 0;
+}

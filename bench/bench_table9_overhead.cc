@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Table 9 reproduction: IPC count, data transferred, and runtime of
+ * each technique on the motivating example, next to the paper's
+ * measurements (169..12,411 IPCs; 0.0..42.7 GB; 54.1..121.8 s).
+ */
+
+#include "baselines/evaluator.hh"
+#include "bench/bench_common.hh"
+
+using namespace freepart;
+
+int
+main()
+{
+    bench::banner("Table 9",
+                  "Overhead of existing techniques and FreePart");
+
+    baselines::TechniqueEvaluator::Config config;
+    config.submissions = 2;
+    config.imageRows = 512;
+    config.imageCols = 512;
+    config.questions = 8;
+    baselines::TechniqueEvaluator evaluator(config);
+    auto reports = evaluator.evaluateAll();
+
+    struct PaperRow {
+        baselines::Technique technique;
+        const char *ipc;
+        const char *data;
+        const char *time;
+    };
+    const PaperRow paper[] = {
+        {baselines::Technique::CodeApi, "169", "0.1 GB", "54.3 s"},
+        {baselines::Technique::CodeApiData, "6,854", "21.9 GB",
+         "88.8 s"},
+        {baselines::Technique::LibEntire, "12,411", "0.0 GB",
+         "54.9 s"},
+        {baselines::Technique::LibPerApi, "12,411", "42.7 GB",
+         "121.8 s"},
+        {baselines::Technique::MemoryBased, "0", "0.0 GB", "54.1 s"},
+        {baselines::Technique::FreePart, "12,411", "0.4 GB",
+         "55.6 s"},
+        {baselines::Technique::NoIsolation, "0", "0.0 GB",
+         "54.1 s (baseline)"},
+    };
+
+    util::TextTable table({"Technique", "paper IPC", "meas IPC",
+                           "paper data", "meas data (MB)",
+                           "paper time", "meas time (ms)",
+                           "overhead"});
+    for (const PaperRow &row : paper) {
+        for (const baselines::TechniqueReport &report : reports) {
+            if (report.technique != row.technique)
+                continue;
+            table.addRow(
+                {baselines::techniqueName(report.technique),
+                 row.ipc, util::fmtCount(report.ipcCount), row.data,
+                 util::fmtDouble(
+                     static_cast<double>(report.bytesTransferred) /
+                         (1024.0 * 1024.0),
+                     1),
+                 row.time,
+                 util::fmtDouble(
+                     static_cast<double>(report.simTime) / 1e6, 1),
+                 util::fmtDouble(report.overheadPct, 1) + "%"});
+        }
+    }
+    std::printf("%s", table.render().c_str());
+    bench::note("shape targets: memory-based ~= baseline < code-API "
+                "< entire-lib ~= FreePart (low single digits) << "
+                "code-API&Data << per-API; absolute seconds are "
+                "simulated, not an i7-9750H");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Case study §5.4.1 (Fig. 14): the autonomous object-tracking drone.
+ * Two attacks arrive through the camera-frame loading path:
+ *   1. a DoS exploit (CVE-2017-14136 class) that would crash the
+ *      whole flight controller, and
+ *   2. a corruption exploit (CVE-2017-12606 class) that flips
+ *      self.speed from 0.3 to -0.3 so the drone flies away from the
+ *      target.
+ * Under FreePart both are contained to the data-loading agent and
+ * the drone keeps flying.
+ */
+
+#include <cstdio>
+
+#include "apps/drone.hh"
+#include "attacks/attack_driver.hh"
+
+using namespace freepart;
+
+int
+main()
+{
+    fw::ApiRegistry registry = fw::buildFullRegistry();
+    analysis::HybridCategorizer categorizer(registry);
+    analysis::Categorization cats = categorizer.categorizeAll();
+
+    osim::Kernel kernel;
+    auto frames = apps::DroneTracker::seedFrames(kernel, 4);
+    core::FreePartRuntime runtime(
+        kernel, registry, cats, core::PartitionPlan::freePartDefault());
+    apps::DroneTracker drone(runtime);
+    drone.setup();
+    std::printf("drone airborne, speed=%.1f\n", drone.speed());
+
+    // Normal flight.
+    drone.processFrame(frames[0]);
+    drone.processFrame(frames[1]);
+    std::printf("tracking: %d frames processed, position (%.1f, "
+                "%.1f)\n",
+                drone.framesProcessed(), drone.positionX(),
+                drone.positionY());
+
+    // Attack 1: DoS frame.
+    fw::ExploitPayload dos;
+    dos.kind = fw::PayloadKind::Dos;
+    dos.cve = "CVE-2017-14136";
+    kernel.vfs().putFile(
+        "/spool/dos.fpim",
+        fw::encodeImageFile(8, 8, 1, fw::synthPixels(8, 8, 1, 0),
+                            dos));
+    bool handled = drone.processFrame("/spool/dos.fpim");
+    std::printf("DoS frame: %s; drone operable: %s\n",
+                handled ? "processed?!" : "dropped (loader crashed, "
+                                          "restarted)",
+                drone.operable() ? "YES" : "no");
+
+    // Attack 2: speed-corruption frame.
+    attacks::AttackDriver driver(runtime, registry);
+    attacks::AttackSpec spec;
+    spec.cve = "CVE-2017-12606";
+    spec.goal = attacks::AttackGoal::CorruptData;
+    spec.targetPid = runtime.hostPid();
+    spec.targetAddr = drone.speedAddr();
+    spec.targetLen = sizeof(double);
+    attacks::AttackOutcome outcome = driver.launch(spec);
+    std::printf("speed-corruption frame: %s; speed is now %.1f\n",
+                outcome.dataCorrupted ? "SUCCEEDED" : "blocked",
+                drone.speed());
+
+    // The drone continues the mission.
+    bool resumed = drone.processFrame(frames[2]);
+    std::printf("mission resumed: %s (total processed %d, dropped "
+                "%d)\n",
+                resumed ? "yes" : "no", drone.framesProcessed(),
+                drone.framesDropped());
+
+    bool ok = drone.operable() && !outcome.dataCorrupted &&
+              drone.speed() == 0.3 && resumed;
+    std::printf("%s\n", ok ? "case study reproduced: both attacks "
+                             "contained."
+                           : "UNEXPECTED OUTCOME");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Case study §5.4.2 (Fig. 15): the MComix3-style image viewer. The
+ * recently-opened file names are sensitive; an exploit in the image
+ * loader (CVE-2020-10378 class) tries to read them and ship them to
+ * a remote server. Under FreePart the names live in the target
+ * program process (unreachable from the loading agent) and the
+ * loading agent's seccomp policy has no send()/connect() anyway.
+ */
+
+#include <cstdio>
+
+#include "apps/image_viewer.hh"
+#include "attacks/attack_driver.hh"
+
+using namespace freepart;
+
+int
+main()
+{
+    fw::ApiRegistry registry = fw::buildFullRegistry();
+    analysis::HybridCategorizer categorizer(registry);
+    analysis::Categorization cats = categorizer.categorizeAll();
+
+    osim::Kernel kernel;
+    auto images = apps::ImageViewer::seedImages(kernel, 3);
+    core::FreePartRuntime runtime(
+        kernel, registry, cats, core::PartitionPlan::freePartDefault());
+    apps::ImageViewer viewer(runtime);
+    viewer.setup();
+
+    for (const std::string &image : images)
+        viewer.openImage(image);
+    std::printf("viewer showed %d images; recent list:\n%s",
+                viewer.imagesShown(), viewer.recentNames().c_str());
+
+    attacks::AttackDriver driver(runtime, registry);
+    attacks::AttackSpec spec;
+    spec.cve = "CVE-2020-10378";
+    spec.goal = attacks::AttackGoal::Exfiltrate;
+    spec.targetPid = runtime.hostPid();
+    spec.targetAddr = viewer.recentListAddr();
+    spec.targetLen = 48;
+    attacks::AttackOutcome outcome = driver.launch(spec);
+
+    std::printf("exfiltration attempt: %s\n",
+                outcome.dataLeaked ? "LEAKED" : "blocked");
+    std::printf("  bytes that reached the network: %zu\n",
+                kernel.network().bytesSent());
+    std::printf("  blocked by: %s%s\n",
+                outcome.blockedByMemFault ? "memory isolation " : "",
+                outcome.blockedBySyscall ? "syscall filter" : "");
+
+    // The viewer still works.
+    bool still_works = viewer.openImage(images[0]);
+    std::printf("viewer still functional: %s\n",
+                still_works ? "yes" : "no");
+
+    bool ok = !outcome.dataLeaked && still_works &&
+              kernel.network().bytesSent() == 0;
+    std::printf("%s\n", ok ? "case study reproduced: the recent-"
+                             "files list never left the machine."
+                           : "UNEXPECTED OUTCOME");
+    return ok ? 0 : 1;
+}

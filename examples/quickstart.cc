@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Quickstart: the smallest end-to-end FreePart program.
+ *
+ *  1. Build the framework registry and run the offline hybrid
+ *     analysis to categorize every API.
+ *  2. Create a runtime with the default 4-agent partition plan.
+ *  3. Run a load -> process -> show -> store pipeline through the
+ *     hooked APIs.
+ *  4. Launch a real exploit (CVE-2017-12597-style out-of-bounds
+ *     write in the image decoder) and watch it get contained.
+ */
+
+#include <cstdio>
+
+#include "attacks/attack_driver.hh"
+#include "core/runtime.hh"
+#include "fw/invoker.hh"
+
+using namespace freepart;
+
+int
+main()
+{
+    // ---- Offline analysis (once per framework version) -------------
+    fw::ApiRegistry registry = fw::buildFullRegistry();
+    analysis::HybridCategorizer categorizer(registry);
+    analysis::Categorization cats = categorizer.categorizeAll();
+    std::printf("categorized %zu framework APIs\n", cats.size());
+
+    // ---- Online runtime ---------------------------------------------
+    osim::Kernel kernel;
+    fw::seedFixtureFiles(kernel);
+    core::FreePartRuntime runtime(
+        kernel, registry, cats, core::PartitionPlan::freePartDefault());
+    std::printf("host pid=%u plus %u agent processes\n",
+                runtime.hostPid(), runtime.plan().partitionCount());
+
+    // Critical data: annotated, so FreePart protects it temporally.
+    osim::Addr secret = runtime.allocHostData("api-key", 64);
+    runtime.hostProcess().space().write(secret, "s3cr3t-api-key", 14);
+
+    // ---- The pipeline --------------------------------------------------
+    core::ApiResult img = runtime.invoke(
+        "cv2.imread", {ipc::Value(std::string("/data/test.fpim"))});
+    core::ApiResult gray = runtime.invoke("cv2.cvtColor",
+                                          {img.values[0]});
+    core::ApiResult edges = runtime.invoke(
+        "cv2.Canny", {gray.values[0], ipc::Value(uint64_t(40)),
+                      ipc::Value(uint64_t(120))});
+    runtime.invoke("cv2.imshow", {ipc::Value(std::string("edges")),
+                                  edges.values[0]});
+    runtime.invoke("cv2.imwrite",
+                   {ipc::Value(std::string("/out/edges.fpim")),
+                    edges.values[0]});
+    std::printf("pipeline ok: %llu API calls, %llu IPC messages, "
+                "%.1f%% copies lazy\n",
+                static_cast<unsigned long long>(
+                    runtime.stats().apiCalls),
+                static_cast<unsigned long long>(
+                    runtime.stats().ipcMessages),
+                runtime.stats().lazyFraction() * 100.0);
+
+    // ---- The attack ------------------------------------------------------
+    attacks::AttackDriver driver(runtime, registry);
+    attacks::AttackSpec spec;
+    spec.cve = "CVE-2017-12597";
+    spec.goal = attacks::AttackGoal::CorruptData;
+    spec.targetPid = runtime.hostPid();
+    spec.targetAddr = secret;
+    spec.targetLen = 14;
+    attacks::AttackOutcome outcome = driver.launch(spec);
+    std::printf("attack on the api-key via crafted image: %s\n",
+                outcome.mitigated(spec.goal) ? "MITIGATED"
+                                             : "SUCCEEDED");
+    std::printf("  data corrupted: %s, host alive: %s, loading "
+                "agent crashed: %s\n",
+                outcome.dataCorrupted ? "yes" : "no",
+                runtime.hostAlive() ? "yes" : "no",
+                outcome.executorCrashed ? "yes (contained)" : "no");
+
+    // The app keeps working after the contained crash.
+    core::ApiResult again = runtime.invoke(
+        "cv2.imread", {ipc::Value(std::string("/data/test.fpim"))});
+    std::printf("benign imread after the attack: %s\n",
+                again.ok ? "ok" : again.error.c_str());
+    return outcome.mitigated(spec.goal) && again.ok ? 0 : 1;
+}

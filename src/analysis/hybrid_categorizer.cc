@@ -1,0 +1,114 @@
+#include "analysis/hybrid_categorizer.hh"
+
+#include "util/logging.hh"
+
+namespace freepart::analysis {
+
+HybridCategorizer::HybridCategorizer(const fw::ApiRegistry &registry)
+    : registry(registry)
+{
+}
+
+Categorization
+HybridCategorizer::categorize(const std::vector<std::string> &api_names)
+{
+    Categorization out;
+    for (const std::string &name : api_names) {
+        if (out.count(name))
+            continue;
+        const fw::ApiDescriptor *api = registry.byName(name);
+        if (!api) {
+            util::warn("categorizer: unknown API '%s'", name.c_str());
+            continue;
+        }
+        CategoryEntry entry;
+        StaticResult sres = staticPass.analyze(*api);
+        entry.staticType = sres.type;
+
+        if (sres.complete && sres.type != fw::ApiType::Unknown) {
+            entry.type = sres.type;
+        } else {
+            // Static pass was blind (indirect flows) or inconclusive:
+            // fall back to the dynamic tracer.
+            entry.usedDynamic = true;
+            TraceResult tres = tracer_.trace(*api, /*runs=*/2);
+            if (tres.executed) {
+                std::vector<fw::FlowOp> ops =
+                    reduceFileCopies(tres.ops);
+                entry.type = fw::classifyFlowOps(ops);
+            } else {
+                entry.type = sres.type; // best effort
+            }
+        }
+
+        // Syscall profile: dynamic observation is ground truth; the
+        // declared profile fills in for modeled-only APIs.
+        TraceResult tres = tracer_.trace(*api);
+        if (tres.executed)
+            entry.syscalls = tres.syscalls;
+        else
+            entry.syscalls = api->syscalls;
+
+        out.emplace(name, std::move(entry));
+    }
+    return out;
+}
+
+Categorization
+HybridCategorizer::categorizeAll()
+{
+    std::vector<std::string> names;
+    names.reserve(registry.size());
+    for (const fw::ApiDescriptor &api : registry.all())
+        names.push_back(api.name);
+    return categorize(names);
+}
+
+void
+HybridCategorizer::detectNeutral(
+    Categorization &cats,
+    const std::vector<std::string> &call_sequence)
+{
+    for (auto &[name, entry] : cats) {
+        if (entry.type != fw::ApiType::Processing)
+            continue;
+        // An API is "frequently used together with different types
+        // of APIs" when the majority of its call sites are directly
+        // adjacent to a non-processing API (imread -> cvtColor,
+        // cvtColor -> imshow, ...). Plain compute kernels sit inside
+        // processing chains and only occasionally border another
+        // type, so they stay concrete.
+        size_t occurrences = 0;
+        size_t mixed_context = 0;
+        for (size_t i = 0; i < call_sequence.size(); ++i) {
+            if (call_sequence[i] != name)
+                continue;
+            ++occurrences;
+            bool non_processing_neighbour = false;
+            for (size_t j : {i - 1, i + 1}) {
+                if (j >= call_sequence.size() ||
+                    call_sequence[j] == name)
+                    continue;
+                auto it = cats.find(call_sequence[j]);
+                if (it != cats.end() &&
+                    it->second.type != fw::ApiType::Processing)
+                    non_processing_neighbour = true;
+            }
+            if (non_processing_neighbour)
+                ++mixed_context;
+        }
+        if (occurrences >= 2 && mixed_context * 2 > occurrences)
+            entry.typeNeutral = true;
+    }
+}
+
+std::map<fw::ApiType, size_t>
+HybridCategorizer::countByType(const Categorization &cats)
+{
+    std::map<fw::ApiType, size_t> out;
+    for (const auto &[name, entry] : cats)
+        ++out[entry.type];
+    return out;
+}
+
+} // namespace freepart::analysis

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The hybrid (static + dynamic) API-type categorizer of §4.2.2:
+ * static analysis first; when it cannot see all flows (indirect
+ * dispatch), the dynamic tracer fills the gap. Also detects
+ * type-neutral utilities from call-sequence context and extracts
+ * per-API syscall profiles for the seccomp policy builder.
+ */
+
+#ifndef FREEPART_ANALYSIS_HYBRID_CATEGORIZER_HH
+#define FREEPART_ANALYSIS_HYBRID_CATEGORIZER_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/dynamic_tracer.hh"
+#include "analysis/static_analyzer.hh"
+#include "fw/api_registry.hh"
+
+namespace freepart::analysis {
+
+/** Final categorization of one API. */
+struct CategoryEntry {
+    fw::ApiType type = fw::ApiType::Unknown;   //!< final decision
+    fw::ApiType staticType = fw::ApiType::Unknown;
+    bool usedDynamic = false; //!< dynamic pass was needed
+    bool typeNeutral = false; //!< detected context-typed utility
+    std::set<osim::Syscall> syscalls; //!< required syscalls observed
+};
+
+/** Complete categorization result for a set of APIs. */
+using Categorization = std::map<std::string, CategoryEntry>;
+
+/** The hybrid categorizer. */
+class HybridCategorizer
+{
+  public:
+    explicit HybridCategorizer(const fw::ApiRegistry &registry);
+
+    /** Categorize a specific API list (a program's API set). */
+    Categorization
+    categorize(const std::vector<std::string> &api_names);
+
+    /** Categorize every API in the registry. */
+    Categorization categorizeAll();
+
+    /**
+     * Mark type-neutral APIs given a program's dynamic call sequence:
+     * an API is neutral when it is memory-to-memory only and appears
+     * directly adjacent to two or more distinct API types (§4.2
+     * "Type-neutral Framework APIs"). Updates entries in place.
+     */
+    void detectNeutral(Categorization &cats,
+                       const std::vector<std::string> &call_sequence);
+
+    /** Count APIs of each concrete type in a categorization. */
+    static std::map<fw::ApiType, size_t>
+    countByType(const Categorization &cats);
+
+    /** Access the tracer (for coverage reports). */
+    DynamicTracer &tracer() { return tracer_; }
+
+  private:
+    const fw::ApiRegistry &registry;
+    StaticAnalyzer staticPass;
+    DynamicTracer tracer_;
+};
+
+} // namespace freepart::analysis
+
+#endif // FREEPART_ANALYSIS_HYBRID_CATEGORIZER_HH

@@ -1,0 +1,57 @@
+#include "analysis/static_analyzer.hh"
+
+namespace freepart::analysis {
+
+using fw::FlowOp;
+using fw::StorageKind;
+
+std::vector<FlowOp>
+reduceFileCopies(std::vector<FlowOp> ops)
+{
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t i = 0; i < ops.size() && !changed; ++i) {
+            if (ops[i].dst != StorageKind::File ||
+                ops[i].src != StorageKind::Mem)
+                continue;
+            for (size_t j = i + 1; j < ops.size(); ++j) {
+                if (ops[j].dst == StorageKind::Mem &&
+                    ops[j].src == StorageKind::File) {
+                    // Spill at i + reload at j collapse into one
+                    // memory-to-memory move at position i.
+                    FlowOp merged{StorageKind::Mem, StorageKind::Mem,
+                                  ops[i].indirect || ops[j].indirect};
+                    ops.erase(ops.begin() +
+                              static_cast<ptrdiff_t>(j));
+                    ops[i] = merged;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    return ops;
+}
+
+StaticResult
+StaticAnalyzer::analyze(const fw::ApiDescriptor &api) const
+{
+    StaticResult result;
+    for (const FlowOp &op : api.ir) {
+        if (op.indirect) {
+            // Hidden behind indirect dispatch: static pass can't see
+            // it (false negative by construction).
+            result.complete = false;
+            continue;
+        }
+        result.visibleOps.push_back(op);
+    }
+    result.visibleOps = reduceFileCopies(result.visibleOps);
+    result.type = fw::classifyFlowOps(result.visibleOps);
+    if (result.type == fw::ApiType::Unknown)
+        result.complete = false;
+    return result;
+}
+
+} // namespace freepart::analysis

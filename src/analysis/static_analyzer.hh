@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Static data-flow analysis over API IR (§4.2.2). Walks the declared
+ * operations of each framework API, applying the "memory copy via
+ * files" reduction of §4.2.1, and classifies per the Fig. 9 rules.
+ * Operations flagged `indirect` (dynamically allocated objects,
+ * indirect calls — the language constructs the paper says defeat
+ * static analysis) are invisible to this pass; APIs whose visible ops
+ * are incomplete are flagged so the hybrid driver falls back to the
+ * dynamic tracer.
+ */
+
+#ifndef FREEPART_ANALYSIS_STATIC_ANALYZER_HH
+#define FREEPART_ANALYSIS_STATIC_ANALYZER_HH
+
+#include <vector>
+
+#include "fw/api_registry.hh"
+
+namespace freepart::analysis {
+
+/** Outcome of statically analyzing one API. */
+struct StaticResult {
+    fw::ApiType type = fw::ApiType::Unknown; //!< classified type
+    bool complete = true;  //!< false if indirect ops were hidden
+    std::vector<fw::FlowOp> visibleOps; //!< ops after reduction
+};
+
+/**
+ * Collapse file-mediated memory copies: a spill W(FILE, R(MEM))
+ * followed by a reload W(MEM, R(FILE)) is rewritten to a single
+ * W(MEM, R(MEM)) — the tf.keras.utils.get_file pattern (§4.2.1).
+ */
+std::vector<fw::FlowOp>
+reduceFileCopies(std::vector<fw::FlowOp> ops);
+
+/** Static analyzer over a registry's declared IR. */
+class StaticAnalyzer
+{
+  public:
+    /** Analyze one API's IR. */
+    StaticResult analyze(const fw::ApiDescriptor &api) const;
+};
+
+} // namespace freepart::analysis
+
+#endif // FREEPART_ANALYSIS_STATIC_ANALYZER_HH

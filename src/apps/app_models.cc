@@ -1,0 +1,106 @@
+#include "apps/app_models.hh"
+
+#include "util/logging.hh"
+
+namespace freepart::apps {
+
+namespace {
+
+constexpr uint64_t kKiB = 1024;
+constexpr uint64_t kMiB = 1024 * 1024;
+
+using fw::Framework;
+
+/**
+ * Table 6 transcription. Rows whose visualizing column is blank in
+ * the paper (headless training pipelines) carry 0/0 there.
+ */
+const std::vector<AppModel> kModels = {
+    {1, "Face_classification", Framework::OpenCV, "Python", 7082,
+     280 * kKiB, {4, 4}, {5, 10}, {4, 4}, {1, 1},
+     "Face, emotion, gender detection"},
+    {2, "FaceTracker", Framework::OpenCV, "C/C++", 3012, 588 * kKiB,
+     {2, 5}, {19, 99}, {3, 3}, {3, 6},
+     "Real-time deformable face tracking"},
+    {3, "Face_Recognition", Framework::OpenCV, "Python", 3205,
+     14800 * kKiB, {1, 8}, {5, 26}, {3, 15}, {2, 3},
+     "Face recognition application"},
+    {4, "lbpcascade_anime", Framework::OpenCV, "Python", 6671,
+     224 * kKiB, {1, 1}, {4, 4}, {3, 3}, {1, 1},
+     "Image classification/object detection"},
+    {5, "EyeLike", Framework::OpenCV, "C/C++", 742, 44 * kKiB,
+     {5, 5}, {21, 100}, {4, 18}, {1, 2},
+     "Webcam based pupil tracking"},
+    {6, "Video-to-ascii", Framework::OpenCV, "Python", 483,
+     48 * kKiB, {4, 7}, {2, 2}, {1, 1}, {0, 0},
+     "Plays videos in terminal"},
+    {7, "Libfacedetection", Framework::OpenCV, "C/C++", 14016,
+     8800 * kKiB, {4, 6}, {14, 62}, {4, 4}, {1, 1},
+     "Library for face detection"},
+    {8, "OMRChecker", Framework::OpenCV, "Python", 1797,
+     6200 * kKiB, {2, 4}, {42, 88}, {4, 5}, {1, 1},
+     "Grading application"},
+    {9, "EmoRecon", Framework::Caffe, "Python", 1773, 53 * kKiB,
+     {6, 10}, {11, 32}, {5, 6}, {1, 1},
+     "Real-time emotion recognition"},
+    {10, "Openpose", Framework::Caffe, "C/C++", 459373, 6800 * kKiB,
+     {10, 12}, {44, 171}, {2, 2}, {0, 0},
+     "Real-time person keypoint detection"},
+    {11, "MTCNN", Framework::Caffe, "Python", 425, 129 * kKiB,
+     {1, 1}, {11, 18}, {2, 2}, {0, 0}, "MTCNN face detector"},
+    {12, "SiamMask", Framework::PyTorch, "Python", 39999,
+     1400 * kKiB, {2, 9}, {19, 103}, {4, 10}, {2, 11},
+     "Object tracking and segmentation"},
+    {13, "CycleGAN-pix2pix", Framework::PyTorch, "Python", 1963,
+     7640 * kKiB, {5, 7}, {50, 103}, {0, 0}, {1, 2},
+     "Image-to-image translation"},
+    {14, "FAIRSEQ", Framework::PyTorch, "Python", 39800,
+     5900 * kKiB, {8, 19}, {20, 65}, {0, 0}, {4, 4},
+     "Sequence modeling toolkit"},
+    {15, "PyTorch-GAN", Framework::PyTorch, "Python", 6199,
+     31 * kMiB + 100 * kKiB, {3, 105}, {41, 1747}, {0, 0}, {1, 37},
+     "PyTorch implementation of GANs"},
+    {16, "YOLO-V3", Framework::PyTorch, "Python", 2759,
+     1980 * kKiB, {3, 9}, {68, 254}, {3, 3}, {2, 6},
+     "PyTorch implementation of YOLOv3"},
+    {17, "StarGAN", Framework::PyTorch, "Python", 740, 2070 * kKiB,
+     {1, 2}, {32, 105}, {0, 0}, {1, 4},
+     "PyTorch implementation of StarGAN"},
+    {18, "EfficientNet", Framework::PyTorch, "Python", 2554,
+     2480 * kKiB, {4, 8}, {37, 86}, {0, 0}, {2, 2},
+     "PyTorch implementation of EfficientNet"},
+    {19, "Semantic-Seg.", Framework::PyTorch, "Python", 3699,
+     5530 * kKiB, {2, 2}, {136, 304}, {0, 0}, {1, 3},
+     "Semantic segmentation/scene parsing"},
+    {20, "DCGAN-TensorFlow", Framework::TensorFlow, "Python", 3142,
+     67 * kMiB + 400 * kKiB, {3, 6}, {54, 137}, {0, 0}, {1, 1},
+     "TensorFlow implementation of DCGAN"},
+    {21, "See in the Dark", Framework::TensorFlow, "Python", 610,
+     836 * kKiB, {1, 8}, {31, 244}, {0, 0}, {2, 10},
+     "Learning-to-See-in-the-Dark (CVPR'18)"},
+    {22, "CapsNet", Framework::TensorFlow, "Python", 679,
+     486 * kKiB, {1, 8}, {43, 108}, {0, 0}, {4, 6},
+     "TensorFlow implementation of CapsNet"},
+    {23, "Style-Transfer", Framework::TensorFlow, "Python", 731,
+     1 * kMiB, {3, 4}, {37, 61}, {0, 0}, {3, 5},
+     "Add styles from images to any photo"},
+};
+
+} // namespace
+
+const std::vector<AppModel> &
+appModels()
+{
+    return kModels;
+}
+
+const AppModel &
+appModel(int id)
+{
+    for (const AppModel &model : kModels)
+        if (model.id == id)
+            return model;
+    util::fatal("appModel: no application with id %d", id);
+}
+
+} // namespace freepart::apps

@@ -1,0 +1,97 @@
+#include "apps/drone.hh"
+
+#include <cstring>
+
+#include "fw/image_format.hh"
+
+namespace freepart::apps {
+
+namespace {
+
+using ipc::Value;
+
+constexpr double kDefaultSpeed = 0.3;
+
+} // namespace
+
+DroneTracker::DroneTracker(core::FreePartRuntime &runtime)
+    : runtime(runtime)
+{
+}
+
+std::vector<std::string>
+DroneTracker::seedFrames(osim::Kernel &kernel, int count)
+{
+    std::vector<std::string> paths;
+    for (int i = 0; i < count; ++i) {
+        std::string path =
+            "/spool/frame_" + std::to_string(i) + ".fpim";
+        kernel.vfs().putFile(
+            path,
+            fw::encodeImageFile(
+                48, 64, 1,
+                fw::synthPixels(48, 64, 1,
+                                static_cast<uint64_t>(i) * 3 + 1)));
+        paths.push_back(std::move(path));
+    }
+    return paths;
+}
+
+void
+DroneTracker::setup()
+{
+    // self.speed: the configuration variable the §5.4.1 corruption
+    // attack flips to -0.3 to reverse the drone.
+    speedAddr_ = runtime.allocHostData("self.speed", sizeof(double));
+    runtime.hostProcess().space().writeValue(speedAddr_,
+                                             kDefaultSpeed);
+}
+
+double
+DroneTracker::speed() const
+{
+    return const_cast<core::FreePartRuntime &>(runtime)
+        .hostProcess()
+        .space()
+        .readValue<double>(speedAddr_);
+}
+
+bool
+DroneTracker::processFrame(const std::string &frame_path)
+{
+    // Data loading: the vulnerable imread() handles the frame.
+    core::ApiResult img =
+        runtime.invoke("cv2.imread", {Value(frame_path)});
+    if (!img.ok) {
+        ++dropped;
+        // Crash contained to the loading agent: the drone is still
+        // operable, it just skipped a frame (Fig. 14).
+        return false;
+    }
+
+    // Data processing: recognize the tracked object.
+    core::ApiResult detect = runtime.invoke(
+        "cv2.CascadeClassifier.detectMultiScale", {img.values[0]});
+    if (!detect.ok) {
+        ++dropped;
+        return false;
+    }
+
+    // Host control logic: steer toward the first detected box with
+    // the configured speed.
+    uint64_t boxes = detect.values[0].asU64();
+    const std::vector<uint8_t> &blob = detect.values[1].asBlob();
+    double v = speed();
+    if (boxes > 0 && blob.size() >= 16) {
+        uint32_t box[4];
+        std::memcpy(box, blob.data(), sizeof(box));
+        double target_x = box[1] + box[3] / 2.0;
+        double target_y = box[0] + box[2] / 2.0;
+        posX += v * (target_x > 32 ? 1 : -1);
+        posY += v * (target_y > 24 ? 1 : -1);
+    }
+    ++frames;
+    return true;
+}
+
+} // namespace freepart::apps

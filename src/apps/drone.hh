@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Autonomous object-tracking drone (case study §5.4.1, Fig. 14):
+ * fetches frames, loads them through the vulnerable imread() path,
+ * recognizes the tracked object, and steers toward it. The speed
+ * configuration variable (self.speed) is annotated critical data in
+ * the target-program process.
+ */
+
+#ifndef FREEPART_APPS_DRONE_HH
+#define FREEPART_APPS_DRONE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/runtime.hh"
+
+namespace freepart::apps {
+
+/** The drone controller application. */
+class DroneTracker
+{
+  public:
+    explicit DroneTracker(core::FreePartRuntime &runtime);
+
+    /** Initialization: config variables + classifier. */
+    void setup();
+
+    /**
+     * Process one camera frame supplied as an image file (the drone
+     * writes camera frames to a spool the loader reads, so the
+     * vulnerable imread() handles untrusted data, per the paper).
+     * @return true if the frame was processed and the drone moved.
+     */
+    bool processFrame(const std::string &frame_path);
+
+    /** Seed `count` benign frame files; returns their paths. */
+    static std::vector<std::string>
+    seedFrames(osim::Kernel &kernel, int count);
+
+    /** Current drone state. */
+    double positionX() const { return posX; }
+    double positionY() const { return posY; }
+    int framesProcessed() const { return frames; }
+    int framesDropped() const { return dropped; }
+
+    /** The self.speed critical variable (attack target §5.4.1). */
+    osim::Addr speedAddr() const { return speedAddr_; }
+
+    /** Read the live speed value from (simulated) memory. */
+    double speed() const;
+
+    /** True while the drone can still be controlled. */
+    bool operable() const { return runtime.hostAlive(); }
+
+  private:
+    core::FreePartRuntime &runtime;
+    osim::Addr speedAddr_ = 0;
+    double posX = 0.0;
+    double posY = 0.0;
+    int frames = 0;
+    int dropped = 0;
+};
+
+} // namespace freepart::apps
+
+#endif // FREEPART_APPS_DRONE_HH

@@ -1,0 +1,99 @@
+#include "apps/image_viewer.hh"
+
+#include "fw/image_format.hh"
+
+namespace freepart::apps {
+
+namespace {
+
+using ipc::Value;
+
+constexpr size_t kRecentBufBytes = 512;
+
+} // namespace
+
+ImageViewer::ImageViewer(core::FreePartRuntime &runtime)
+    : runtime(runtime)
+{
+}
+
+std::vector<std::string>
+ImageViewer::seedImages(osim::Kernel &kernel, int count)
+{
+    std::vector<std::string> paths;
+    for (int i = 0; i < count; ++i) {
+        std::string path =
+            "/library/secret_album_" + std::to_string(i) + ".fpim";
+        kernel.vfs().putFile(
+            path, fw::encodeImageFile(
+                      32, 32, 3,
+                      fw::synthPixels(32, 32, 3,
+                                      static_cast<uint64_t>(i))));
+        paths.push_back(std::move(path));
+    }
+    return paths;
+}
+
+void
+ImageViewer::setup()
+{
+    // self._window.uimanager.recent: the sensitive recent-files
+    // list, kept in the target program process. It is written
+    // throughout execution, so it is NOT annotated for temporal
+    // protection — the §5.4.2 defence is process isolation (the
+    // exploit runs in the loading process, where this address is
+    // simply not mapped) plus the syscall filter.
+    recentAddr = runtime.hostProcess().space().alloc(
+        kRecentBufBytes, osim::PermRW, "uimanager.recent");
+    recentLen = kRecentBufBytes;
+    recentUsed = 0;
+}
+
+bool
+ImageViewer::openImage(const std::string &path)
+{
+    // Data loading through the vulnerable Pillow decoder.
+    core::ApiResult img =
+        runtime.invoke("pil.Image.open", {Value(path)});
+    if (!img.ok)
+        return false;
+    core::ApiResult sized = runtime.invoke(
+        "pil.Image.resize",
+        {img.values[0], Value(uint64_t(24)), Value(uint64_t(24))});
+    if (!sized.ok)
+        return false;
+    // Visualizing: display + record in the GTK recent manager (GUI
+    // process state).
+    core::ApiResult show = runtime.invoke(
+        "gtk.Window.show",
+        {Value(std::string("viewer")), sized.values[0]});
+    runtime.invoke("gtk.RecentManager.add", {Value(path)});
+    if (!show.ok)
+        return false;
+
+    // Record the name in the host-side recent list.
+    osim::AddressSpace &host = runtime.hostProcess().space();
+    if (recentUsed + path.size() + 1 <= recentLen) {
+        host.write(recentAddr + recentUsed, path.data(),
+                   path.size());
+        recentUsed += path.size();
+        const char nl = '\n';
+        host.write(recentAddr + recentUsed, &nl, 1);
+        ++recentUsed;
+    }
+    ++shown;
+    return true;
+}
+
+std::string
+ImageViewer::recentNames() const
+{
+    std::vector<char> buf(recentUsed);
+    const_cast<core::FreePartRuntime &>(runtime)
+        .hostProcess()
+        .space()
+        .read(recentAddr, buf.data(), recentUsed);
+    return std::string(buf.begin(), buf.end());
+}
+
+} // namespace freepart::apps

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * MComix3-style image viewer (case study §5.4.2, Fig. 15). Opening a
+ * file goes through the vulnerable Pillow loader; the recently-opened
+ * file names live both in the target program process
+ * (self._window.uimanager.recent, annotated critical data) and in
+ * the visualizing process (Gtk::RecentManager state). The §5.4.2
+ * attack tries to leak them.
+ */
+
+#ifndef FREEPART_APPS_IMAGE_VIEWER_HH
+#define FREEPART_APPS_IMAGE_VIEWER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/runtime.hh"
+
+namespace freepart::apps {
+
+/** The comic/image viewer application. */
+class ImageViewer
+{
+  public:
+    explicit ImageViewer(core::FreePartRuntime &runtime);
+
+    /** Initialization: allocate the recent-files list in the host. */
+    void setup();
+
+    /** Open and display one image file. */
+    bool openImage(const std::string &path);
+
+    /** Seed `count` benign image files; returns their paths. */
+    static std::vector<std::string>
+    seedImages(osim::Kernel &kernel, int count);
+
+    /** The host-side recent-file-names buffer (attack target). */
+    osim::Addr recentListAddr() const { return recentAddr; }
+    size_t recentListLen() const { return recentLen; }
+
+    /** Names currently recorded in the host-side list. */
+    std::string recentNames() const;
+
+    int imagesShown() const { return shown; }
+
+  private:
+    core::FreePartRuntime &runtime;
+    osim::Addr recentAddr = 0;
+    size_t recentLen = 0;
+    size_t recentUsed = 0;
+    int shown = 0;
+};
+
+} // namespace freepart::apps
+
+#endif // FREEPART_APPS_IMAGE_VIEWER_HH

@@ -1,0 +1,226 @@
+#include "apps/omr_checker.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "fw/image_format.hh"
+#include "util/logging.hh"
+
+namespace freepart::apps {
+
+namespace {
+
+using ipc::Value;
+
+} // namespace
+
+OmrChecker::OmrChecker(core::FreePartRuntime &runtime, Config config)
+    : runtime(runtime), config(config)
+{
+}
+
+OmrChecker::OmrChecker(core::FreePartRuntime &runtime)
+    : OmrChecker(runtime, Config())
+{
+}
+
+std::vector<std::string>
+OmrChecker::seedInputs(osim::Kernel &kernel, int count)
+{
+    return seedInputs(kernel, count, Config());
+}
+
+std::vector<std::string>
+OmrChecker::seedInputs(osim::Kernel &kernel, int count,
+                       const Config &config)
+{
+    std::vector<std::string> paths;
+    for (int i = 0; i < count; ++i) {
+        std::string path = "/data/omr_" + std::to_string(i) +
+                           ".fpim";
+        kernel.vfs().putFile(
+            path, fw::encodeImageFile(
+                      config.imageRows, config.imageCols, 3,
+                      fw::synthPixels(config.imageRows,
+                                      config.imageCols, 3,
+                                      static_cast<uint64_t>(i) + 7)));
+        paths.push_back(std::move(path));
+    }
+    return paths;
+}
+
+core::ApiResult
+OmrChecker::call(const std::string &api, ipc::ValueList args)
+{
+    calls.push_back(api);
+    return runtime.invoke(api, std::move(args));
+}
+
+void
+OmrChecker::setup()
+{
+    // The grading template: coordinates of the answer-mark areas
+    // (Fig. 1's template.QBlocks.orig). Created during the
+    // Initialization state so the first loading API flips it
+    // read-only.
+    uint64_t template_id =
+        runtime.createHostMat(24, 24, 1, /*seed=*/99, "template");
+    const fw::MatDesc &tmpl = runtime.hostStore().mat(template_id);
+    templateAddr_ = tmpl.addr;
+    templateLen_ = tmpl.byteLen();
+    templateId = template_id;
+
+    // Master answer key derived from the template content: grading
+    // depends on the (protected) template bytes, so corrupting the
+    // template corrupts every grade — the Fig. 1 attack goal.
+    masterKey.clear();
+    osim::AddressSpace &host = runtime.hostProcess().space();
+    for (uint32_t q = 0; q < config.questions; ++q) {
+        uint8_t byte = host.readValue<uint8_t>(
+            templateAddr_ + q * 7 % templateLen_);
+        masterKey.push_back(byte % 4);
+    }
+}
+
+GradeResult
+OmrChecker::gradeSubmission(const std::string &image_path)
+{
+    GradeResult result;
+    result.image = image_path;
+
+    // --- Data loading -------------------------------------------------
+    core::ApiResult img = call("cv2.imread",
+                               {Value(image_path)});
+    if (!img.ok) {
+        grades.push_back(result);
+        return grades.back();
+    }
+    // The host keeps a copy of the submission: the OMRCrop critical
+    // variable of the motivating example.
+    ipc::ObjectRef img_ref = img.values[0].asRef();
+    runtime.fetchToHost(img_ref);
+    const fw::MatDesc &crop = runtime.hostStore().mat(
+        img_ref.objectId);
+    omrCropAddr_ = crop.addr;
+    omrCropLen_ = crop.byteLen();
+
+    // --- Data processing ------------------------------------------------
+    core::ApiResult gray = call("cv2.cvtColor", {img.values[0]});
+    if (!gray.ok) {
+        grades.push_back(result);
+        return grades.back();
+    }
+    core::ApiResult sized = call(
+        "cv2.resize", {gray.values[0],
+                       Value(uint64_t(config.imageRows)),
+                       Value(uint64_t(config.imageCols))});
+    core::ApiResult blurred =
+        call("cv2.GaussianBlur", {sized.values[0]});
+    core::ApiResult eq =
+        call("cv2.equalizeHist", {blurred.values[0]});
+    core::ApiResult binary = call(
+        "cv2.threshold", {eq.values[0], Value(uint64_t(128)),
+                          Value(uint64_t(255))});
+    core::ApiResult cleaned =
+        call("cv2.morphologyEx", {binary.values[0]});
+    ipc::ValueList warp_args = {cleaned.values[0]};
+    const double identity[9] = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+    for (double h : identity)
+        warp_args.emplace_back(h);
+    core::ApiResult aligned =
+        call("cv2.warpPerspective", warp_args);
+    core::ApiResult contours =
+        call("cv2.findContours", {aligned.values[0]});
+    core::ApiResult hist = call("cv2.calcHist", {eq.values[0]});
+    // Template match localizes the answer grid against the
+    // (protected) grading template.
+    core::ApiResult match = call(
+        "cv2.matchTemplate",
+        {sized.values[0],
+         ipc::Value(ipc::ObjectRef{core::kHostPartition,
+                                   templateId})});
+    if (!contours.ok || !hist.ok || !match.ok) {
+        grades.push_back(result);
+        return grades.back();
+    }
+
+    // --- Host-side answer recognition -----------------------------------
+    const std::vector<uint8_t> &hist_blob = hist.values[0].asBlob();
+    uint32_t bins[256] = {};
+    std::memcpy(bins, hist_blob.data(),
+                std::min(hist_blob.size(), sizeof(bins)));
+    osim::AddressSpace &host = runtime.hostProcess().space();
+    for (uint32_t q = 0; q < config.questions; ++q) {
+        uint32_t bin = bins[(q * 29 + 3) % 256];
+        result.answers.push_back(static_cast<int>(bin % 4));
+        // Grade against the template-derived key, re-read from the
+        // protected template memory each time.
+        uint8_t key_byte = host.readValue<uint8_t>(
+            templateAddr_ + q * 7 % templateLen_);
+        if (static_cast<int>(bin % 4) ==
+            static_cast<int>(key_byte % 4))
+            ++result.score;
+    }
+
+    // --- Annotation hot loop (Fig. 4's rectangle/putText pair) ----------
+    for (uint32_t q = 0; q < config.questions; ++q) {
+        uint32_t row =
+            4 + q * (config.imageRows - 12) / config.questions;
+        core::ApiResult rect = call(
+            "cv2.rectangle",
+            {img.values[0], Value(uint64_t(row)),
+             Value(uint64_t(4)), Value(uint64_t(8)),
+             Value(uint64_t(config.imageCols - 12)),
+             Value(uint64_t(255))});
+        if (!rect.ok)
+            break;
+        call("cv2.putText",
+             {img.values[0],
+              Value(std::to_string(result.answers[q])),
+              Value(uint64_t(row + 1)), Value(uint64_t(8)),
+              Value(uint64_t(0))});
+    }
+
+    // --- Visualizing / storing ------------------------------------------
+    if (config.showGui)
+        call("cv2.imshow",
+             {Value(std::string("grading")), img.values[0]});
+    call("cv2.imwrite",
+         {Value("/out/graded_" +
+                std::to_string(grades.size()) + ".fpim"),
+          img.values[0]});
+
+    result.ok = true;
+    grades.push_back(result);
+    return grades.back();
+}
+
+void
+OmrChecker::finish()
+{
+    // Build the scores CSV in host memory and store it via the
+    // hooked pandas API (Fig. 1's .csv output).
+    std::string csv = "image,score\n";
+    for (const GradeResult &grade : grades)
+        csv += grade.image + "," + std::to_string(grade.score) +
+               "\n";
+    uint64_t id = runtime.createHostBytes(
+        std::vector<uint8_t>(csv.begin(), csv.end()), "results-csv");
+    call("pd.DataFrame.to_csv",
+         {Value(config.outputCsv),
+          ipc::Value(ipc::ObjectRef{core::kHostPartition, id})});
+    if (config.showGui)
+        call("cv2.destroyAllWindows", {});
+}
+
+std::vector<std::string>
+OmrChecker::usedApis() const
+{
+    std::vector<std::string> out;
+    for (const std::string &name : calls)
+        if (std::find(out.begin(), out.end(), name) == out.end())
+            out.push_back(name);
+    return out;
+}
+
+} // namespace freepart::apps

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * OMRChecker: the paper's motivating example (§3) — an optical-mark-
+ * recognition auto-grader built on MiniCV through the FreePart
+ * public API. It loads a grading template (critical data!), scans
+ * submission images, recognizes marked answers, draws per-question
+ * annotations (the cv2.rectangle / cv2.putText hot loop that drives
+ * the Fig. 4 partition-count cliff), displays progress, and stores
+ * scores to a CSV.
+ */
+
+#ifndef FREEPART_APPS_OMR_CHECKER_HH
+#define FREEPART_APPS_OMR_CHECKER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/runtime.hh"
+
+namespace freepart::apps {
+
+/** Grading output for one submission. */
+struct GradeResult {
+    std::string image;        //!< submission image path
+    std::vector<int> answers; //!< recognized answer per question
+    int score = 0;            //!< matches against the master key
+    bool ok = false;          //!< pipeline completed
+};
+
+/** The OMR auto-grader. */
+class OmrChecker
+{
+  public:
+    struct Config {
+        uint32_t imageRows = 96;
+        uint32_t imageCols = 96;
+        uint32_t questions = 8;  //!< answer rows on the sheet
+        bool showGui = true;     //!< display annotated sheets
+        std::string outputCsv = "/out/results.csv";
+    };
+
+    /** Bind the app to a runtime (any plan / config). */
+    OmrChecker(core::FreePartRuntime &runtime, Config config);
+    explicit OmrChecker(core::FreePartRuntime &runtime);
+
+    /**
+     * Seed a kernel's VFS with a template file and `count` benign
+     * submission images the grader can process.
+     * @return The submission image paths.
+     */
+    static std::vector<std::string>
+    seedInputs(osim::Kernel &kernel, int count,
+               const Config &config);
+    static std::vector<std::string> seedInputs(osim::Kernel &kernel,
+                                               int count);
+
+    /**
+     * Initialization phase: load the grading template into host
+     * memory (annotated critical data) and the master answer key.
+     */
+    void setup();
+
+    /** Grade one submission image; appends to results. */
+    GradeResult gradeSubmission(const std::string &image_path);
+
+    /** Finish: write the results CSV and show a summary frame. */
+    void finish();
+
+    /** Address/length of the template critical data (attack target). */
+    osim::Addr templateAddr() const { return templateAddr_; }
+    size_t templateLen() const { return templateLen_; }
+
+    /** Address of the last fetched input image in the host
+     *  (the "OMRCrop" critical variable). */
+    osim::Addr omrCropAddr() const { return omrCropAddr_; }
+    size_t omrCropLen() const { return omrCropLen_; }
+
+    const std::vector<GradeResult> &results() const { return grades; }
+
+    /** Names of every framework API the app has invoked, in order. */
+    const std::vector<std::string> &callSequence() const
+    {
+        return calls;
+    }
+
+    /** The distinct API names this app uses (for partition plans). */
+    std::vector<std::string> usedApis() const;
+
+  private:
+    core::ApiResult call(const std::string &api,
+                         ipc::ValueList args);
+
+    core::FreePartRuntime &runtime;
+    Config config;
+    uint64_t templateId = 0;
+    osim::Addr templateAddr_ = 0;
+    size_t templateLen_ = 0;
+    osim::Addr omrCropAddr_ = 0;
+    size_t omrCropLen_ = 0;
+    std::vector<int> masterKey;
+    std::vector<GradeResult> grades;
+    std::vector<std::string> calls;
+};
+
+} // namespace freepart::apps
+
+#endif // FREEPART_APPS_OMR_CHECKER_HH

@@ -1,0 +1,335 @@
+#include "apps/studies.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.hh"
+
+namespace freepart::apps {
+
+namespace {
+
+using fw::ApiType;
+
+size_t
+fwIdx(StudyFramework fw)
+{
+    return static_cast<size_t>(fw);
+}
+
+size_t
+typeIdx(ApiType type)
+{
+    return static_cast<size_t>(type);
+}
+
+/**
+ * Build the 56-app census so that the Table 3 aggregates fall out:
+ *
+ *   framework  type        avg   max  distinct   construction
+ *   OpenCV     loading     0.6    1      1       34 apps use API#0
+ *   OpenCV     processing  0.2    1      1       11 apps use API#0
+ *   TensorFlow loading     0.3    2      2       3 apps use both,
+ *                                                11 apps use one
+ *   TensorFlow processing  2.3   12     24       heavy-tailed
+ *   Pillow     loading     0.4    2      2       2 use both, 18 one
+ *   Pillow     visualizing 0.5    1      1       28 apps use API#0
+ *   NumPy      loading     0.1    1      1       6 apps
+ *   NumPy      processing  0.4    1      1       22 apps
+ *
+ * App 0 stacks loading APIs (1+2+2 = 5, the Table 3 per-type max)
+ * and app 1 stacks processing APIs (12+1+1 = 14).
+ */
+std::vector<StudyApp>
+buildCensus()
+{
+    std::vector<StudyApp> apps(56);
+    for (int i = 0; i < 56; ++i) {
+        apps[static_cast<size_t>(i)].id = i;
+        // Roughly a third of the apps are video-style loops; apps
+        // alternate between visualizing and storing sinks (some do
+        // both). Every app follows the Fig. 6 pipeline.
+        apps[static_cast<size_t>(i)].loops = i % 3 == 0;
+        apps[static_cast<size_t>(i)].hasVisualizing = i % 2 == 0;
+        apps[static_cast<size_t>(i)].hasStoring = i % 2 == 1 ||
+                                                  i % 5 == 0;
+    }
+
+    auto use = [&](int app, StudyFramework fw, ApiType type,
+                   std::vector<int> ids) {
+        apps[static_cast<size_t>(app)]
+            .vulnApis[fwIdx(fw)][typeIdx(type)] = std::move(ids);
+    };
+
+    // OpenCV loading: apps 0..33 use vulnerable API #0 (imread).
+    for (int i = 0; i < 34; ++i)
+        use(i, StudyFramework::OpenCV, ApiType::Loading, {0});
+    // OpenCV processing: apps 1..11 use vulnerable API #0.
+    for (int i = 1; i <= 11; ++i)
+        use(i, StudyFramework::OpenCV, ApiType::Processing, {0});
+    // TensorFlow loading: apps 0..2 use both APIs, 3..13 use one.
+    for (int i = 0; i < 3; ++i)
+        use(i, StudyFramework::TensorFlow, ApiType::Loading, {0, 1});
+    for (int i = 3; i < 14; ++i)
+        use(i, StudyFramework::TensorFlow, ApiType::Loading, {0});
+    // TensorFlow processing: heavy-tailed; 24 distinct APIs; the
+    // per-app counts sum to 129 (avg 2.30) with max 12 at app 1.
+    {
+        const int counts[] = {8, 12, 10, 8, 7, 6, 6, 5, 5, 4, 4, 4,
+                              4,  3,  3,  3, 3, 3, 3, 2, 2, 2, 2, 2,
+                              2,  2,  2,  2, 1, 1, 1, 1, 1, 1, 1, 1,
+                              1,  1};
+        int app = 0;
+        for (int c : counts) {
+            std::vector<int> ids;
+            for (int k = 0; k < c; ++k)
+                ids.push_back((app * 3 + k) % 24);
+            std::sort(ids.begin(), ids.end());
+            ids.erase(std::unique(ids.begin(), ids.end()),
+                      ids.end());
+            // Keep exactly c ids by extending deterministically.
+            int next = 0;
+            while (static_cast<int>(ids.size()) < c) {
+                if (std::find(ids.begin(), ids.end(), next) ==
+                    ids.end())
+                    ids.push_back(next);
+                ++next;
+            }
+            use(app, StudyFramework::TensorFlow,
+                ApiType::Processing, ids);
+            ++app;
+        }
+    }
+    // Pillow loading: apps 0,1 use both; 2..19 use one.
+    use(0, StudyFramework::Pillow, ApiType::Loading, {0, 1});
+    use(1, StudyFramework::Pillow, ApiType::Loading, {0, 1});
+    for (int i = 2; i < 20; ++i)
+        use(i, StudyFramework::Pillow, ApiType::Loading, {0});
+    // Pillow visualizing: apps 0..27.
+    for (int i = 0; i < 28; ++i)
+        use(i, StudyFramework::Pillow, ApiType::Visualizing, {0});
+    // NumPy loading: apps 20..25. NumPy processing: apps 1..22
+    // (including app 1 so the per-type processing max reaches 14:
+    // 12 TensorFlow + 1 OpenCV + 1 NumPy).
+    for (int i = 20; i < 26; ++i)
+        use(i, StudyFramework::NumPy, ApiType::Loading, {0});
+    for (int i = 1; i <= 22; ++i)
+        use(i, StudyFramework::NumPy, ApiType::Processing, {0});
+
+    return apps;
+}
+
+} // namespace
+
+const char *
+studyFrameworkName(StudyFramework fw)
+{
+    switch (fw) {
+      case StudyFramework::OpenCV:
+        return "OpenCV";
+      case StudyFramework::TensorFlow:
+        return "TensorFlow";
+      case StudyFramework::Pillow:
+        return "Pillow";
+      case StudyFramework::NumPy:
+        return "NumPy";
+      case StudyFramework::NumStudyFrameworks:
+        break;
+    }
+    return "?";
+}
+
+std::vector<ApiType>
+StudyApp::phaseSequence() const
+{
+    std::vector<ApiType> seq;
+    int rounds = loops ? 3 : 1;
+    for (int i = 0; i < rounds; ++i) {
+        seq.push_back(ApiType::Loading);
+        seq.push_back(ApiType::Processing);
+    }
+    if (hasVisualizing)
+        seq.push_back(ApiType::Visualizing);
+    if (hasStoring)
+        seq.push_back(ApiType::Storing);
+    return seq;
+}
+
+const std::vector<StudyApp> &
+studyApps()
+{
+    static const std::vector<StudyApp> census = buildCensus();
+    return census;
+}
+
+std::map<std::pair<StudyFramework, ApiType>, VulnUsageAgg>
+computeVulnUsage()
+{
+    std::map<std::pair<StudyFramework, ApiType>, VulnUsageAgg> out;
+    const auto &apps = studyApps();
+    for (size_t f = 0; f < kNumStudyFrameworks; ++f) {
+        for (size_t t = 0; t < fw::kNumApiTypes; ++t) {
+            auto fw_id = static_cast<StudyFramework>(f);
+            auto type = static_cast<ApiType>(t);
+            VulnUsageAgg agg;
+            std::set<int> distinct;
+            uint64_t sum = 0;
+            for (const StudyApp &app : apps) {
+                size_t n = app.vulnCount(fw_id, type);
+                sum += n;
+                agg.max = std::max<uint32_t>(
+                    agg.max, static_cast<uint32_t>(n));
+                for (int id : app.vulnApis[f][t])
+                    distinct.insert(id);
+            }
+            agg.avg = static_cast<double>(sum) /
+                      static_cast<double>(apps.size());
+            agg.total = static_cast<uint32_t>(distinct.size());
+            out.emplace(std::make_pair(fw_id, type), agg);
+        }
+    }
+    return out;
+}
+
+std::array<VulnUsageAgg, fw::kNumApiTypes>
+computeVulnUsageTotals()
+{
+    std::array<VulnUsageAgg, fw::kNumApiTypes> totals{};
+    const auto &apps = studyApps();
+    for (size_t t = 0; t < fw::kNumApiTypes; ++t) {
+        uint64_t sum = 0;
+        std::set<std::pair<size_t, int>> distinct;
+        for (const StudyApp &app : apps) {
+            size_t per_app = 0;
+            for (size_t f = 0; f < kNumStudyFrameworks; ++f) {
+                per_app += app.vulnApis[f][t].size();
+                for (int id : app.vulnApis[f][t])
+                    distinct.insert({f, id});
+            }
+            sum += per_app;
+            totals[t].max = std::max<uint32_t>(
+                totals[t].max, static_cast<uint32_t>(per_app));
+        }
+        totals[t].avg = static_cast<double>(sum) /
+                        static_cast<double>(apps.size());
+        totals[t].total = static_cast<uint32_t>(distinct.size());
+    }
+    return totals;
+}
+
+bool
+followsPipelinePattern(const StudyApp &app)
+{
+    std::vector<ApiType> seq = app.phaseSequence();
+    if (seq.empty() || seq.front() != ApiType::Loading)
+        return false;
+    // Accept (L P)+ followed by optional V and/or S.
+    size_t i = 0;
+    while (i + 1 < seq.size() && seq[i] == ApiType::Loading &&
+           seq[i + 1] == ApiType::Processing)
+        i += 2;
+    if (i == 0)
+        return false;
+    if (i < seq.size() && seq[i] == ApiType::Visualizing)
+        ++i;
+    if (i < seq.size() && seq[i] == ApiType::Storing)
+        ++i;
+    return i == seq.size();
+}
+
+const char *
+vulnClassName(VulnClass cls)
+{
+    switch (cls) {
+      case VulnClass::UnauthorizedMemWrite:
+        return "Unauthorized memory write";
+      case VulnClass::UnauthorizedMemRead:
+        return "Unauthorized memory read";
+      case VulnClass::DenialOfService:
+        return "DoS (Denial of Service)";
+      case VulnClass::UnauthorizedFileRead:
+        return "Unauthorized file read";
+      case VulnClass::NumVulnClasses:
+        break;
+    }
+    return "?";
+}
+
+const std::vector<CveBucket> &
+cveStudyBuckets()
+{
+    using F = StudyFramework;
+    using V = VulnClass;
+    // Reconstructed to the reported per-framework totals (172 / 44 /
+    // 22 / 3, sum 241) with the loading+processing-dominant shape of
+    // Fig. 7 (peaks in TensorFlow's loading and processing bars).
+    static const std::vector<CveBucket> buckets = {
+        // Data loading (101 total).
+        {ApiType::Loading, F::TensorFlow, V::UnauthorizedMemRead, 10},
+        {ApiType::Loading, F::TensorFlow, V::UnauthorizedMemWrite, 12},
+        {ApiType::Loading, F::TensorFlow, V::DenialOfService, 30},
+        {ApiType::Loading, F::TensorFlow, V::UnauthorizedFileRead, 7},
+        {ApiType::Loading, F::Pillow, V::UnauthorizedMemRead, 6},
+        {ApiType::Loading, F::Pillow, V::UnauthorizedMemWrite, 8},
+        {ApiType::Loading, F::Pillow, V::DenialOfService, 14},
+        {ApiType::Loading, F::Pillow, V::UnauthorizedFileRead, 2},
+        {ApiType::Loading, F::OpenCV, V::UnauthorizedMemWrite, 6},
+        {ApiType::Loading, F::OpenCV, V::DenialOfService, 4},
+        {ApiType::Loading, F::OpenCV, V::UnauthorizedMemRead, 1},
+        {ApiType::Loading, F::NumPy, V::DenialOfService, 1},
+        // Data processing (116 total).
+        {ApiType::Processing, F::TensorFlow, V::DenialOfService, 54},
+        {ApiType::Processing, F::TensorFlow, V::UnauthorizedMemRead,
+         18},
+        {ApiType::Processing, F::TensorFlow, V::UnauthorizedMemWrite,
+         20},
+        {ApiType::Processing, F::TensorFlow, V::UnauthorizedFileRead,
+         3},
+        {ApiType::Processing, F::Pillow, V::DenialOfService, 6},
+        {ApiType::Processing, F::Pillow, V::UnauthorizedMemWrite, 3},
+        {ApiType::Processing, F::Pillow, V::UnauthorizedMemRead, 1},
+        {ApiType::Processing, F::OpenCV, V::UnauthorizedMemWrite, 4},
+        {ApiType::Processing, F::OpenCV, V::DenialOfService, 5},
+        {ApiType::Processing, F::NumPy, V::DenialOfService, 2},
+        // Storing (18 total).
+        {ApiType::Storing, F::TensorFlow, V::DenialOfService, 8},
+        {ApiType::Storing, F::TensorFlow, V::UnauthorizedFileRead, 4},
+        {ApiType::Storing, F::TensorFlow, V::UnauthorizedMemWrite, 2},
+        {ApiType::Storing, F::Pillow, V::DenialOfService, 2},
+        {ApiType::Storing, F::Pillow, V::UnauthorizedFileRead, 1},
+        {ApiType::Storing, F::OpenCV, V::DenialOfService, 1},
+        // Visualizing (6 total).
+        {ApiType::Visualizing, F::TensorFlow, V::DenialOfService, 3},
+        {ApiType::Visualizing, F::TensorFlow, V::UnauthorizedMemRead,
+         1},
+        {ApiType::Visualizing, F::Pillow, V::DenialOfService, 1},
+        {ApiType::Visualizing, F::OpenCV, V::DenialOfService, 1},
+    };
+    return buckets;
+}
+
+std::map<StudyFramework, uint32_t>
+cveTotalsByFramework()
+{
+    std::map<StudyFramework, uint32_t> out;
+    for (const CveBucket &bucket : cveStudyBuckets())
+        out[bucket.framework] += bucket.count;
+    return out;
+}
+
+std::map<ApiType, uint32_t>
+cveTotalsByType()
+{
+    std::map<ApiType, uint32_t> out;
+    for (const CveBucket &bucket : cveStudyBuckets())
+        out[bucket.apiType] += bucket.count;
+    return out;
+}
+
+StatefulCensus
+statefulCensus()
+{
+    return StatefulCensus();
+}
+
+} // namespace freepart::apps

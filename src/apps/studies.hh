@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The paper's two design studies (§4.1) as datasets + analysis code:
+ *
+ *  - Study 1: 56 popular data-processing applications, their
+ *    pipeline structure (Fig. 6) and their usage of vulnerable APIs
+ *    (Table 3). The paper reports aggregates; the per-app census
+ *    here is reconstructed deterministically so that computing the
+ *    aggregates from it reproduces Table 3's numbers.
+ *  - Study 2: 241 CVEs (Aug 2018 - Feb 2022) across TensorFlow (172),
+ *    Pillow (44), OpenCV (22) and NumPy (3), bucketed by API type
+ *    and vulnerability class (Fig. 7). Per-bucket counts are
+ *    reconstructed to match the reported per-framework totals and
+ *    the loading/processing-heavy shape.
+ *
+ * Plus the stateful-API census of A.2.4.
+ */
+
+#ifndef FREEPART_APPS_STUDIES_HH
+#define FREEPART_APPS_STUDIES_HH
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fw/api_types.hh"
+
+namespace freepart::apps {
+
+// ---- Study 1: 56-application usage census ---------------------------
+
+/** Frameworks covered by the studies. */
+enum class StudyFramework : uint8_t {
+    OpenCV = 0,
+    TensorFlow,
+    Pillow,
+    NumPy,
+    NumStudyFrameworks,
+};
+
+constexpr size_t kNumStudyFrameworks =
+    static_cast<size_t>(StudyFramework::NumStudyFrameworks);
+
+/** Display name. */
+const char *studyFrameworkName(StudyFramework fw);
+
+/** One of the 56 studied applications. */
+struct StudyApp {
+    int id;       //!< 0..55
+    /** Vulnerable-API ids used, per framework x concrete API type.
+     *  Ids are global per (framework, type) pool, so distinct ids
+     *  are distinct APIs. */
+    std::vector<int> vulnApis[kNumStudyFrameworks][fw::kNumApiTypes];
+    bool loops;          //!< repeats load->process (video apps)
+    bool hasVisualizing; //!< ends with a visualizing phase
+    bool hasStoring;     //!< ends with a storing phase
+
+    /** Count of vulnerable APIs of one framework+type used. */
+    size_t
+    vulnCount(StudyFramework fw, fw::ApiType type) const
+    {
+        return vulnApis[static_cast<size_t>(fw)]
+                       [static_cast<size_t>(type)]
+                           .size();
+    }
+
+    /**
+     * Phase sequence of the app (Fig. 6 pipeline): "L", "P",
+     * repeated if looping, then "V" and/or "S".
+     */
+    std::vector<fw::ApiType> phaseSequence() const;
+};
+
+/** The 56-app census (deterministically reconstructed). */
+const std::vector<StudyApp> &studyApps();
+
+/** Aggregates per framework x type (the Table 3 cells). */
+struct VulnUsageAgg {
+    double avg = 0.0;   //!< mean vulnerable APIs per app
+    uint32_t max = 0;   //!< max in a single app
+    uint32_t total = 0; //!< distinct vulnerable APIs across all apps
+};
+
+/** Compute Table 3 aggregates from the census. */
+std::map<std::pair<StudyFramework, fw::ApiType>, VulnUsageAgg>
+computeVulnUsage();
+
+/** Totals row of Table 3 (summing across frameworks per type). */
+std::array<VulnUsageAgg, fw::kNumApiTypes> computeVulnUsageTotals();
+
+/**
+ * Fig. 6 pipeline check: true iff an app's phase sequence matches
+ * loading -> processing (optionally repeated) -> visualizing and/or
+ * storing.
+ */
+bool followsPipelinePattern(const StudyApp &app);
+
+// ---- Study 2: 241-CVE census ------------------------------------------
+
+/** Vulnerability classes of Fig. 7. */
+enum class VulnClass : uint8_t {
+    UnauthorizedMemWrite = 0,
+    UnauthorizedMemRead,
+    DenialOfService,
+    UnauthorizedFileRead,
+    NumVulnClasses,
+};
+
+constexpr size_t kNumVulnClasses =
+    static_cast<size_t>(VulnClass::NumVulnClasses);
+
+/** Display name. */
+const char *vulnClassName(VulnClass cls);
+
+/** One bucket of the CVE census. */
+struct CveBucket {
+    fw::ApiType apiType;
+    StudyFramework framework;
+    VulnClass vulnClass;
+    uint32_t count;
+};
+
+/** All non-empty buckets (sums to 241). */
+const std::vector<CveBucket> &cveStudyBuckets();
+
+/** Total CVEs per framework (TF 172 / Pillow 44 / OpenCV 22 / NumPy 3). */
+std::map<StudyFramework, uint32_t> cveTotalsByFramework();
+
+/** Total CVEs per API type. */
+std::map<fw::ApiType, uint32_t> cveTotalsByType();
+
+// ---- Stateful-API census (A.2.4) ---------------------------------------
+
+/** Breakdown of the 1,841 stateful APIs across four frameworks. */
+struct StatefulCensus {
+    uint32_t initialization = 506; //!< restored by re-running init
+    uint32_t gui = 279;            //!< restored by re-display
+    uint32_t dataProcessing = 1056; //!< need periodic checkpoints
+
+    uint32_t
+    total() const
+    {
+        return initialization + gui + dataProcessing;
+    }
+};
+
+/** The census constants. */
+StatefulCensus statefulCensus();
+
+} // namespace freepart::apps
+
+#endif // FREEPART_APPS_STUDIES_HH

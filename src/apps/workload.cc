@@ -1,0 +1,291 @@
+#include "apps/workload.hh"
+
+#include <algorithm>
+
+#include "fw/invoker.hh"
+#include "util/logging.hh"
+
+namespace freepart::apps {
+
+namespace {
+
+using fw::ApiType;
+using fw::Framework;
+
+/** Secondary framework per Table 6 footnotes: every evaluated app
+ *  also touches OpenCV (Keras for app 1, OpenCV elsewhere). */
+Framework
+secondaryFramework(Framework primary)
+{
+    return primary == Framework::OpenCV ? Framework::Pillow
+                                        : Framework::OpenCV;
+}
+
+/**
+ * Can the pipeline's live tensor replace an API's prepared first
+ * argument? Shape-agnostic elementwise ops accept anything; pooling
+ * needs rank 3; convolutions need 3 input channels (the fixture
+ * weights); everything else needs an exact shape match.
+ */
+bool
+tensorChainCompatible(const std::string &api,
+                      const std::vector<uint32_t> &chain_shape,
+                      const std::vector<uint32_t> &prep_shape)
+{
+    if (api == "torch.relu" || api == "torch.softmax" ||
+        api == "torch.argmax" || api == "np.argmax" ||
+        api == "np.mean" || api == "torch.save" ||
+        api == "np.save" || api == "tf.keras.Model.save_weights" ||
+        api == "caffe.WriteProtoToTextFile" ||
+        api == "caffe.hdf5_save_string" ||
+        api ==
+            "torch.utils.tensorboard.SummaryWriter.add_scalar" ||
+        api == "tf.keras.preprocessing.image.save_img")
+        return true;
+    if (api == "torch.nn.MaxPool2d" || api == "tf.nn.max_pool" ||
+        api == "tf.nn.avg_pool")
+        return chain_shape.size() == 3 && chain_shape[1] >= 2 &&
+               chain_shape[2] >= 2;
+    if (api == "torch.nn.Conv2d" || api == "tf.nn.conv2d" ||
+        api == "tf.nn.conv3d" || api == "caffe.Net.Forward")
+        return chain_shape.size() == 3 && chain_shape[0] == 3 &&
+               chain_shape[1] >= 3 && chain_shape[2] >= 3;
+    return chain_shape == prep_shape;
+}
+
+} // namespace
+
+WorkloadGenerator::WorkloadGenerator(const fw::ApiRegistry &registry,
+                                     Config config)
+    : registry(registry), config_(config)
+{
+}
+
+WorkloadGenerator::WorkloadGenerator(const fw::ApiRegistry &registry)
+    : WorkloadGenerator(registry, Config())
+{
+}
+
+std::vector<std::string>
+WorkloadGenerator::pickApis(ApiType type, Framework framework,
+                            uint32_t count) const
+{
+    std::vector<std::string> out;
+    auto take = [&](Framework fw_id) {
+        for (const fw::ApiDescriptor *api :
+             registry.byFramework(fw_id)) {
+            if (out.size() >= count)
+                return;
+            if (api->declaredType != type || !api->implemented())
+                continue;
+            if (std::find(out.begin(), out.end(), api->name) ==
+                out.end())
+                out.push_back(api->name);
+        }
+    };
+    take(framework);
+    take(secondaryFramework(framework));
+    // Fall back to the whole registry when the model wants more
+    // unique APIs than the two frameworks provide.
+    for (const fw::ApiDescriptor &api : registry.all()) {
+        if (out.size() >= count)
+            break;
+        if (api.declaredType != type || !api.implemented())
+            continue;
+        if (std::find(out.begin(), out.end(), api.name) == out.end())
+            out.push_back(api.name);
+    }
+    return out;
+}
+
+std::vector<std::string>
+WorkloadGenerator::apisFor(const AppModel &model) const
+{
+    std::vector<std::string> out;
+    for (auto [type, usage] :
+         {std::make_pair(ApiType::Loading, model.loading),
+          std::make_pair(ApiType::Processing, model.processing),
+          std::make_pair(ApiType::Visualizing, model.visualizing),
+          std::make_pair(ApiType::Storing, model.storing)}) {
+        std::vector<std::string> picked =
+            pickApis(type, model.framework, usage.unique);
+        out.insert(out.end(), picked.begin(), picked.end());
+    }
+    return out;
+}
+
+std::vector<WorkloadCall>
+WorkloadGenerator::trace(const AppModel &model) const
+{
+    std::vector<WorkloadCall> calls;
+    std::vector<std::string> loaders =
+        pickApis(ApiType::Loading, model.framework,
+                 std::max<uint32_t>(1, model.loading.unique));
+    std::vector<std::string> processors =
+        pickApis(ApiType::Processing, model.framework,
+                 std::max<uint32_t>(1, model.processing.unique));
+    std::vector<std::string> visualizers = pickApis(
+        ApiType::Visualizing, model.framework,
+        model.visualizing.unique);
+    std::vector<std::string> storers = pickApis(
+        ApiType::Storing, model.framework, model.storing.unique);
+
+    uint32_t rounds = std::min<uint32_t>(
+        config_.maxRounds,
+        std::max<uint32_t>(1, model.loading.total));
+    uint32_t proc_per_round = std::min<uint32_t>(
+        config_.maxCallsPerRound,
+        std::max<uint32_t>(
+            1, model.processing.total /
+                   std::max<uint32_t>(1, model.loading.total)));
+    uint32_t vis_per_round =
+        model.visualizing.total
+            ? std::max<uint32_t>(
+                  1, model.visualizing.total /
+                         std::max<uint32_t>(1,
+                                            model.loading.total))
+            : 0;
+    vis_per_round = std::min<uint32_t>(vis_per_round, 8);
+    uint32_t store_per_round =
+        model.storing.total
+            ? std::max<uint32_t>(
+                  1, model.storing.total /
+                         std::max<uint32_t>(1,
+                                            model.loading.total))
+            : 0;
+    store_per_round = std::min<uint32_t>(store_per_round, 8);
+
+    size_t li = 0, pi = 0, vi = 0, si = 0;
+    for (uint32_t round = 0; round < rounds; ++round) {
+        calls.push_back({loaders[li++ % loaders.size()], false,
+                         true});
+        for (uint32_t i = 0; i < proc_per_round; ++i)
+            calls.push_back(
+                {processors[pi++ % processors.size()], true, false});
+        for (uint32_t i = 0; i < vis_per_round && !visualizers.empty();
+             ++i)
+            calls.push_back(
+                {visualizers[vi++ % visualizers.size()], true,
+                 false});
+        for (uint32_t i = 0; i < store_per_round && !storers.empty();
+             ++i)
+            calls.push_back({storers[si++ % storers.size()], true,
+                             false});
+    }
+    return calls;
+}
+
+void
+WorkloadGenerator::seedInputs(osim::Kernel &kernel) const
+{
+    fw::TestFixture fixture;
+    fixture.rows = config_.imageRows;
+    fixture.cols = config_.imageCols;
+    fixture.tensorDim = 512;
+    fw::seedFixtureFiles(kernel, fixture);
+}
+
+WorkloadResult
+WorkloadGenerator::run(core::FreePartRuntime &runtime,
+                       const AppModel &model) const
+{
+    WorkloadResult result;
+    fw::TestFixture fixture;
+    fixture.rows = config_.imageRows;
+    fixture.cols = config_.imageCols;
+    fixture.tensorDim = 512;
+    fw::Invoker invoker(runtime.kernel(), runtime.hostStore(),
+                        core::kHostPartition, fixture);
+
+    // The live pipeline object flowing between framework APIs.
+    bool have_chain = false;
+    ipc::ObjectRef chain{};
+    fw::ObjKind chain_kind = fw::ObjKind::Bytes;
+
+    auto object_kind = [&](const ipc::ObjectRef &ref) {
+        return runtime.storeOf(runtime.homeOf(ref.objectId))
+            .get(ref.objectId)
+            .kind;
+    };
+
+    uint64_t seed = static_cast<uint64_t>(model.id) * 1000;
+    for (const WorkloadCall &call : trace(model)) {
+        // At each round boundary the host program inspects the
+        // previous round's result (reading scores, writing logs):
+        // a genuine dereference, i.e. a non-lazy copy (Table 12's
+        // ~5% non-lazy share).
+        if (call.startsRound && have_chain)
+            runtime.fetchToHost(chain);
+        const fw::ApiDescriptor &api = registry.require(call.api);
+        ipc::ValueList args = invoker.prepareArgs(api, seed++);
+        // Chain the pipeline object through compatible first args
+        // (the Fig. 6 "output of a component is the input of the
+        // next component" property LDC exploits). Substitution also
+        // requires matching Mat channel counts so grayscale-only
+        // kernels keep grayscale inputs.
+        if (call.chainInput && have_chain && !args.empty() &&
+            args[0].kind() == ipc::Value::Kind::Ref &&
+            object_kind(args[0].asRef()) == chain_kind) {
+            bool compatible = true;
+            if (chain_kind == fw::ObjKind::Mat) {
+                const ipc::ObjectRef &prep = args[0].asRef();
+                const fw::MatDesc &prep_mat =
+                    runtime.storeOf(runtime.homeOf(prep.objectId))
+                        .mat(prep.objectId);
+                const fw::MatDesc &chain_mat =
+                    runtime.storeOf(runtime.homeOf(chain.objectId))
+                        .mat(chain.objectId);
+                compatible =
+                    prep_mat.channels == chain_mat.channels;
+                // Two-Mat elementwise APIs need the first argument
+                // to match the shape of the prepared second one.
+                if (call.api == "cv2.absdiff" ||
+                    call.api == "cv2.addWeighted")
+                    compatible = compatible &&
+                                 prep_mat.rows == chain_mat.rows &&
+                                 prep_mat.cols == chain_mat.cols;
+            } else if (chain_kind == fw::ObjKind::Tensor) {
+                const std::vector<uint32_t> &chain_shape =
+                    runtime.storeOf(runtime.homeOf(chain.objectId))
+                        .tensor(chain.objectId)
+                        .shape;
+                const std::vector<uint32_t> &prep_shape =
+                    runtime
+                        .storeOf(runtime.homeOf(
+                            args[0].asRef().objectId))
+                        .tensor(args[0].asRef().objectId)
+                        .shape;
+                compatible =
+                    tensorChainCompatible(call.api, chain_shape,
+                                          prep_shape);
+            }
+            if (compatible)
+                args[0] = ipc::Value(chain);
+        }
+        core::ApiResult res = runtime.invoke(call.api,
+                                             std::move(args));
+        if (!res.ok) {
+            ++result.callsFailed;
+            continue;
+        }
+        ++result.callsOk;
+        if (!res.values.empty() &&
+            res.values[0].kind() == ipc::Value::Kind::Ref) {
+            ipc::ObjectRef out = res.values[0].asRef();
+            fw::ObjKind kind = object_kind(out);
+            if (kind == fw::ObjKind::Mat ||
+                kind == fw::ObjKind::Tensor) {
+                chain = out;
+                chain_kind = kind;
+                have_chain = true;
+            }
+        }
+    }
+    // The host consumes the final result.
+    if (have_chain)
+        runtime.fetchToHost(chain);
+    result.stats = runtime.stats();
+    return result;
+}
+
+} // namespace freepart::apps

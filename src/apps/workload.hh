@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Workload generator: turns a Table 6 application model into a
+ * concrete, deterministic call trace following the Fig. 6 pipeline
+ * (load -> process-chain -> visualize/store, repeated), and replays
+ * it against a runtime. Drives Fig. 13 (per-app overhead), the LDC
+ * ablation (§5.2), and Table 12 (copy-operation statistics).
+ */
+
+#ifndef FREEPART_APPS_WORKLOAD_HH
+#define FREEPART_APPS_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "apps/app_models.hh"
+#include "core/runtime.hh"
+#include "util/rng.hh"
+
+namespace freepart::apps {
+
+/** One generated API call (object slots filled at replay time). */
+struct WorkloadCall {
+    std::string api;     //!< API name
+    bool chainInput;     //!< feed the current pipeline object in
+    bool startsRound;    //!< loading call opening a new round
+};
+
+/** Outcome of replaying a workload. */
+struct WorkloadResult {
+    uint64_t callsOk = 0;
+    uint64_t callsFailed = 0;
+    core::RunStats stats;     //!< runtime counters after the replay
+};
+
+/**
+ * Generates and replays application workloads.
+ */
+class WorkloadGenerator
+{
+  public:
+    struct Config {
+        uint32_t imageRows = 768;  //!< ImageNet-scale frames (§5.2)
+        uint32_t imageCols = 768;
+        uint32_t maxRounds = 4;    //!< load/process rounds replayed
+        uint32_t maxCallsPerRound = 64; //!< cap per round
+    };
+
+    WorkloadGenerator(const fw::ApiRegistry &registry, Config config);
+    explicit WorkloadGenerator(const fw::ApiRegistry &registry);
+
+    /**
+     * The distinct API names chosen for an app (matching its
+     * unique-per-type counts from Table 6 as far as the registry
+     * allows). Deterministic per app.
+     */
+    std::vector<std::string> apisFor(const AppModel &model) const;
+
+    /** Build the call trace for one app model. */
+    std::vector<WorkloadCall> trace(const AppModel &model) const;
+
+    /**
+     * Replay a model's trace against a runtime. The runtime's kernel
+     * must already have fixture files seeded (seedWorkloadInputs).
+     */
+    WorkloadResult run(core::FreePartRuntime &runtime,
+                       const AppModel &model) const;
+
+    /** Seed the input files the generated traces read. */
+    void seedInputs(osim::Kernel &kernel) const;
+
+    const Config &config() const { return config_; }
+
+  private:
+    /** Pick up to `count` APIs of a type for a framework. */
+    std::vector<std::string>
+    pickApis(fw::ApiType type, fw::Framework framework,
+             uint32_t count) const;
+
+    const fw::ApiRegistry &registry;
+    Config config_;
+};
+
+} // namespace freepart::apps
+
+#endif // FREEPART_APPS_WORKLOAD_HH

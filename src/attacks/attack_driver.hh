@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Attack driver: constructs exploits for corpus CVEs (the paper built
+ * theirs from public PoCs with Metasploit payloads, §5) and launches
+ * them against an application running on any runtime configuration.
+ * The outcome classifier then reports what the attack achieved —
+ * data corrupted, data exfiltrated, host crashed — and which
+ * enforcement point stopped it.
+ */
+
+#ifndef FREEPART_ATTACKS_ATTACK_DRIVER_HH
+#define FREEPART_ATTACKS_ATTACK_DRIVER_HH
+
+#include <string>
+
+#include "attacks/cve_corpus.hh"
+#include "core/runtime.hh"
+#include "fw/invoker.hh"
+
+namespace freepart::attacks {
+
+/** What the attacker is trying to achieve (§5.3 scenarios). */
+enum class AttackGoal : uint8_t {
+    CorruptData, //!< overwrite a critical variable (Fig. 1)
+    Exfiltrate,  //!< leak a secret to a remote server
+    Dos,         //!< crash the application
+    CodeRewrite, //!< mprotect + overwrite code
+    ForkBomb,    //!< StegoNet resource exhaustion (A.7)
+};
+
+/** Display name of a goal. */
+const char *attackGoalName(AttackGoal goal);
+
+/** Map a Table 5 payload kind onto the natural attack goal. */
+AttackGoal goalForPayload(fw::PayloadKind kind);
+
+/** A concrete attack to launch. */
+struct AttackSpec {
+    std::string cve;        //!< CVE id from the corpus
+    AttackGoal goal = AttackGoal::Dos;
+    osim::Pid targetPid = 0;   //!< process holding the victim data
+    osim::Addr targetAddr = 0; //!< victim data address
+    size_t targetLen = 0;      //!< victim data length
+    std::string exfilDest = "evil.example";
+};
+
+/** Classified attack result. */
+struct AttackOutcome {
+    bool delivered = false;       //!< the vulnerable API ran the input
+    bool dataCorrupted = false;   //!< victim bytes changed
+    bool dataLeaked = false;      //!< secret reached the network
+    bool hostCrashed = false;     //!< whole application lost
+    bool executorCrashed = false; //!< the executing process died
+    bool blockedByMemFault = false;   //!< page permissions stopped it
+    bool blockedBySyscall = false;    //!< seccomp stopped it
+    uint32_t childrenSpawned = 0;     //!< fork-bomb progress
+    std::string detail;           //!< human-readable narrative
+
+    /** True if the attack failed to achieve its goal AND the host
+     *  application survived. */
+    bool mitigated(AttackGoal goal) const;
+};
+
+/** Launches exploits against a runtime. */
+class AttackDriver
+{
+  public:
+    AttackDriver(core::FreePartRuntime &runtime,
+                 const fw::ApiRegistry &registry);
+
+    /** Build + deliver the exploit, classify the outcome. */
+    AttackOutcome launch(const AttackSpec &spec);
+
+  private:
+    /** Craft the payload for a spec. */
+    fw::ExploitPayload buildPayload(const AttackSpec &spec) const;
+
+    /** Deliver through a file-loading API (crafted input file). */
+    core::ApiResult deliverViaFile(const CveRecord &cve,
+                                   const fw::ExploitPayload &payload);
+
+    /** Deliver through a data-processing/visualizing API (crafted
+     *  in-memory object). */
+    core::ApiResult
+    deliverViaObject(const CveRecord &cve,
+                     const fw::ExploitPayload &payload);
+
+    core::FreePartRuntime &runtime;
+    const fw::ApiRegistry &registry;
+};
+
+} // namespace freepart::attacks
+
+#endif // FREEPART_ATTACKS_ATTACK_DRIVER_HH

@@ -1,0 +1,102 @@
+#include "attacks/cve_corpus.hh"
+
+#include "util/logging.hh"
+
+namespace freepart::attacks {
+
+namespace {
+
+using fw::ApiType;
+using fw::PayloadKind;
+
+const char *kMemWrite = "Unauthorized Mem. Write";
+const char *kRce = "Remote Code Execution";
+const char *kDos = "Denial-of-Service (DoS)";
+
+/** Table 5, one record per CVE. */
+const std::vector<CveRecord> kEvaluation = {
+    // Unauthorized memory writes in the OpenCV image decoder.
+    {"CVE-2017-12604", kMemWrite, PayloadKind::OobWrite,
+     "cv2.imread", ApiType::Loading, {1, 9, 10, 12}},
+    {"CVE-2017-12605", kMemWrite, PayloadKind::OobWrite,
+     "cv2.imread", ApiType::Loading, {1, 9, 10, 12}},
+    {"CVE-2017-12606", kMemWrite, PayloadKind::OobWrite,
+     "cv2.imread", ApiType::Loading, {1, 9, 10, 12}},
+    {"CVE-2017-12597", kMemWrite, PayloadKind::OobWrite,
+     "cv2.imread", ApiType::Loading, {1, 9, 10, 12}},
+    // Remote code execution.
+    {"CVE-2017-17760", kRce, PayloadKind::CodeRewrite, "cv2.imread",
+     ApiType::Loading, {1, 7, 10, 12}},
+    {"CVE-2019-5063", kRce, PayloadKind::OobWrite,
+     "cv2.CascadeClassifier.detectMultiScale", ApiType::Processing,
+     {1, 9, 10}},
+    {"CVE-2019-5064", kRce, PayloadKind::OobWrite,
+     "cv2.CascadeClassifier.detectMultiScale", ApiType::Processing,
+     {1, 9, 10}},
+    // Denial of service.
+    {"CVE-2017-14136", kDos, PayloadKind::Dos, "cv2.imread",
+     ApiType::Loading, {1, 7, 9, 10, 12}},
+    {"CVE-2018-5269", kDos, PayloadKind::Dos, "cv2.imdecode",
+     ApiType::Loading, {1, 7, 9, 10, 12}},
+    {"CVE-2019-14491", kDos, PayloadKind::Dos,
+     "cv2.CascadeClassifier.detectMultiScale", ApiType::Processing,
+     {1, 9, 10}},
+    {"CVE-2019-14492", kDos, PayloadKind::Dos,
+     "cv2.CascadeClassifier.detectMultiScale", ApiType::Processing,
+     {1, 9, 10}},
+    {"CVE-2019-14493", kDos, PayloadKind::Dos,
+     "cv2.CascadeClassifier.detectMultiScale", ApiType::Processing,
+     {1, 9, 10}},
+    {"CVE-2021-29513", kDos, PayloadKind::Dos, "tf.nn.conv3d",
+     ApiType::Processing, {21, 23}},
+    {"CVE-2021-29618", kDos, PayloadKind::Dos, "tf.nn.max_pool",
+     ApiType::Processing, {23}},
+    {"CVE-2021-37661", kDos, PayloadKind::Dos, "tf.nn.avg_pool",
+     ApiType::Processing, {21, 22, 23}},
+    {"CVE-2021-41198", kDos, PayloadKind::Dos, "tf.nn.conv2d",
+     ApiType::Processing, {20, 22}},
+    // The paper counts 18 reproduced CVEs; the remaining two rows of
+    // its Table 5 ranges are the imread decoder variants below.
+    {"CVE-2017-12862", kMemWrite, PayloadKind::OobWrite,
+     "cv2.imread", ApiType::Loading, {1, 9, 10, 12}},
+    {"CVE-2017-12864", kMemWrite, PayloadKind::OobWrite,
+     "cv2.imread", ApiType::Loading, {1, 9, 10, 12}},
+};
+
+const std::vector<CveRecord> kCaseStudies = {
+    {"CVE-2020-10378", "Unauthorized Mem. Read",
+     PayloadKind::Exfiltrate, "pil.Image.open", ApiType::Loading,
+     {}},
+    {"SIM-IMSHOW-DOS", kDos, PayloadKind::Dos, "cv2.imshow",
+     ApiType::Visualizing, {8}},
+    {"SIM-STEGONET", "Trojaned DNN model (StegoNet)",
+     PayloadKind::ForkBomb, "torch.load", ApiType::Loading, {}},
+};
+
+} // namespace
+
+const std::vector<CveRecord> &
+evaluationCves()
+{
+    return kEvaluation;
+}
+
+const std::vector<CveRecord> &
+caseStudyCves()
+{
+    return kCaseStudies;
+}
+
+const CveRecord &
+cveById(const std::string &id)
+{
+    for (const CveRecord &record : kEvaluation)
+        if (record.id == id)
+            return record;
+    for (const CveRecord &record : kCaseStudies)
+        if (record.id == id)
+            return record;
+    util::fatal("cve corpus: unknown CVE '%s'", id.c_str());
+}
+
+} // namespace freepart::attacks

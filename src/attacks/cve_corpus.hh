@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The CVE corpus: the 18 real-world vulnerabilities of Table 5 used
+ * in the evaluation, plus the case-study vulnerabilities (§5.4, A.7).
+ * Each record carries the vulnerability class, the vulnerable API in
+ * the MiniCV/MiniDNN registry, the API type (which agent process it
+ * lands in), and the affected sample-program ids from Table 6.
+ */
+
+#ifndef FREEPART_ATTACKS_CVE_CORPUS_HH
+#define FREEPART_ATTACKS_CVE_CORPUS_HH
+
+#include <string>
+#include <vector>
+
+#include "fw/api_types.hh"
+#include "fw/vuln.hh"
+
+namespace freepart::attacks {
+
+/** One vulnerability usable by the attack driver. */
+struct CveRecord {
+    std::string id;          //!< e.g. "CVE-2017-12597"
+    std::string vulnClass;   //!< Table 5 "Vuln. Type" column
+    fw::PayloadKind defaultPayload; //!< representative payload
+    std::string api;         //!< vulnerable API (registry name)
+    fw::ApiType apiType;     //!< DL / DP (Table 5 last column)
+    std::vector<int> samples; //!< affected Table 6 sample ids
+};
+
+/** The 18 evaluation CVEs (Table 5 rows, expanded). */
+const std::vector<CveRecord> &evaluationCves();
+
+/** Case-study vulnerabilities: MComix3 leak (CVE-2020-10378), the
+ *  motivating example's imshow DoS, and the StegoNet model trojan. */
+const std::vector<CveRecord> &caseStudyCves();
+
+/** Look up any corpus record by id; throws util::FatalError. */
+const CveRecord &cveById(const std::string &id);
+
+} // namespace freepart::attacks
+
+#endif // FREEPART_ATTACKS_CVE_CORPUS_HH

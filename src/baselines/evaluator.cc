@@ -1,0 +1,421 @@
+#include "baselines/evaluator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace freepart::baselines {
+
+namespace {
+
+/** Critical-data accesses charged per API call for the Fig. 2-(b)
+ *  data-isolation technique (the paper reports ">800 IPCs for each
+ *  sample input"; scaled to this build's shorter per-input call
+ *  sequences so the Table 9 ordering is preserved). */
+constexpr uint64_t kDataAccessesPerCall = 4;
+
+/**
+ * Reported process count per Table 1 semantics: code-based
+ * techniques split the host program itself, library-based and
+ * FreePart add agent processes next to the host, memory-based uses
+ * one process.
+ */
+size_t
+reportedProcessCount(Technique technique,
+                     const core::PartitionPlan &plan)
+{
+    switch (technique) {
+      case Technique::NoIsolation:
+      case Technique::MemoryBased:
+        return 1;
+      case Technique::CodeApi:
+      case Technique::CodeApiData:
+        return plan.partitionCount();
+      default:
+        return plan.partitionCount() + 1;
+    }
+}
+
+} // namespace
+
+int
+SecurityChecks::dataScore() const
+{
+    return int(omrCropCorruptionMitigated) +
+           int(templateCorruptionMitigated) +
+           int(omrCropPermsEnforced) + int(templatePermsEnforced) +
+           int(omrCropNotShared) + int(templateNotShared);
+}
+
+int
+SecurityChecks::apiScore() const
+{
+    return int(codeRewriteMitigated) + int(imreadIsolated) +
+           int(imshowIsolated) + int(fiveOrMoreProcesses) +
+           int(individualProcesses);
+}
+
+const char *
+SecurityChecks::dataLevel() const
+{
+    int score = dataScore();
+    if (score >= 6)
+        return "Highly";
+    if (score >= 4)
+        return "Mostly";
+    if (score >= 2)
+        return "Less";
+    return "Not";
+}
+
+const char *
+SecurityChecks::apiLevel() const
+{
+    int score = apiScore();
+    if (score >= 5)
+        return "Highly";
+    if (score >= 3)
+        return "Mostly";
+    if (score >= 2)
+        return "Less";
+    return "Not";
+}
+
+const char *
+TechniqueReport::perfLevel() const
+{
+    if (overheadPct < 10.0)
+        return "Low";
+    if (overheadPct < 100.0)
+        return "Moderate";
+    return "High";
+}
+
+TechniqueEvaluator::TechniqueEvaluator()
+    : TechniqueEvaluator(Config())
+{
+}
+
+TechniqueEvaluator::TechniqueEvaluator(Config config)
+    : config(config), registry(fw::buildFullRegistry())
+{
+    analysis::HybridCategorizer categorizer(registry);
+    cats = categorizer.categorizeAll();
+
+    // Dry run to discover the OMR application's API set.
+    osim::Kernel kernel;
+    apps::OmrChecker::Config omr_config;
+    omr_config.imageRows = 48;
+    omr_config.imageCols = 48;
+    omr_config.questions = 2;
+    auto inputs = apps::OmrChecker::seedInputs(kernel, 1, omr_config);
+    core::FreePartRuntime runtime(kernel, registry, cats,
+                                  core::PartitionPlan::inHost());
+    apps::OmrChecker app(runtime, omr_config);
+    app.setup();
+    app.gradeSubmission(inputs[0]);
+    app.finish();
+    apis = app.usedApis();
+}
+
+TechniqueEvaluator::Scenario
+TechniqueEvaluator::makeScenario(Technique technique)
+{
+    Scenario scenario;
+    scenario.setup = makeTechniqueSetup(technique, apis);
+    scenario.kernel = std::make_unique<osim::Kernel>();
+    scenario.runtime = std::make_unique<core::FreePartRuntime>(
+        *scenario.kernel, registry, cats, scenario.setup.plan,
+        scenario.setup.config);
+
+    core::FreePartRuntime &runtime = *scenario.runtime;
+    // Critical data placed per technique semantics (Fig. 2).
+    scenario.templateAddr = runtime.allocInPartition(
+        scenario.setup.templatePartition, "template", 64);
+    scenario.templatePid =
+        scenario.setup.templatePartition == core::kHostPartition
+            ? runtime.hostPid()
+            : runtime.agentPid(scenario.setup.templatePartition);
+    scenario.cropAddr = runtime.allocInPartition(
+        scenario.setup.cropPartition, "OMRCrop", 64);
+    scenario.cropPid =
+        scenario.setup.cropPartition == core::kHostPartition
+            ? runtime.hostPid()
+            : runtime.agentPid(scenario.setup.cropPartition);
+    const char *template_bytes = "QBLOCKS:coordinates-v1..........";
+    scenario.kernel->process(scenario.templatePid)
+        .space()
+        .write(scenario.templateAddr, template_bytes, 32);
+    const char *crop_bytes = "OMRCROP:input-image-pixels......";
+    scenario.kernel->process(scenario.cropPid)
+        .space()
+        .write(scenario.cropAddr, crop_bytes, 32);
+
+    // A resident "API code" page in the process that will execute
+    // imread (the code-manipulation attack target).
+    uint32_t imread_part = scenario.setup.plan.partitionFor(
+        "cv2.imread", fw::ApiType::Loading);
+    scenario.codePid = imread_part == core::kHostPartition
+                           ? runtime.hostPid()
+                           : runtime.agentPid(imread_part);
+    scenario.codeAddr =
+        scenario.kernel->process(scenario.codePid)
+            .space()
+            .alloc(64, osim::PermRX, "imread-code");
+    return scenario;
+}
+
+void
+TechniqueEvaluator::warmup(Scenario &scenario, int submissions)
+{
+    apps::OmrChecker::Config omr_config;
+    omr_config.imageRows = config.imageRows;
+    omr_config.imageCols = config.imageCols;
+    omr_config.questions = config.questions;
+    auto inputs = apps::OmrChecker::seedInputs(
+        *scenario.kernel, submissions, omr_config);
+    apps::OmrChecker app(*scenario.runtime, omr_config);
+    app.setup();
+    for (const std::string &input : inputs)
+        app.gradeSubmission(input);
+    app.finish();
+    scenario.runtime->lockdownAll();
+}
+
+void
+TechniqueEvaluator::measureSecurity(Technique technique,
+                                    TechniqueReport &report)
+{
+    using attacks::AttackDriver;
+    using attacks::AttackGoal;
+    using attacks::AttackOutcome;
+    using attacks::AttackSpec;
+
+    // Each attack runs against a fresh scenario so outcomes are
+    // independent (a host crash in one cannot mask another).
+    auto attack = [&](const std::string &cve, AttackGoal goal,
+                      osim::Pid pid, osim::Addr addr, size_t len) {
+        Scenario scenario = makeScenario(technique);
+        warmup(scenario, 1);
+        AttackDriver driver(*scenario.runtime, registry);
+        AttackSpec spec;
+        spec.cve = cve;
+        spec.goal = goal;
+        spec.targetPid = pid;
+        spec.targetAddr = addr;
+        spec.targetLen = len;
+        return std::make_pair(driver.launch(spec),
+                              std::move(scenario));
+    };
+
+    // M: memory corruption of template (via imread, Fig. 1 step 1).
+    auto [m_template, s1] =
+        [&] {
+            Scenario scenario = makeScenario(technique);
+            warmup(scenario, 1);
+            AttackDriver driver(*scenario.runtime, registry);
+            AttackSpec spec;
+            spec.cve = "CVE-2017-12597";
+            spec.goal = AttackGoal::CorruptData;
+            spec.targetPid = scenario.templatePid;
+            spec.targetAddr = scenario.templateAddr;
+            spec.targetLen = 8;
+            return std::make_pair(driver.launch(spec),
+                                  std::move(scenario));
+        }();
+
+    // M: memory corruption of OMRCrop (via another imread CVE).
+    auto [m_crop, s2] = [&] {
+        Scenario scenario = makeScenario(technique);
+        warmup(scenario, 1);
+        AttackDriver driver(*scenario.runtime, registry);
+        AttackSpec spec;
+        spec.cve = "CVE-2017-12606";
+        spec.goal = AttackGoal::CorruptData;
+        spec.targetPid = scenario.cropPid;
+        spec.targetAddr = scenario.cropAddr;
+        spec.targetLen = 8;
+        return std::make_pair(driver.launch(spec),
+                              std::move(scenario));
+    }();
+
+    // C: code rewriting inside the imread process.
+    auto [c_outcome, s3] = [&] {
+        Scenario scenario = makeScenario(technique);
+        warmup(scenario, 1);
+        AttackDriver driver(*scenario.runtime, registry);
+        AttackSpec spec;
+        spec.cve = "CVE-2017-17760";
+        spec.goal = AttackGoal::CodeRewrite;
+        spec.targetPid = scenario.codePid;
+        spec.targetAddr = scenario.codeAddr;
+        spec.targetLen = 4;
+        return std::make_pair(driver.launch(spec),
+                              std::move(scenario));
+    }();
+
+    // D: denial of service via imread and via imshow (Fig. 1 (B)).
+    auto [d_imread, s4] =
+        attack("CVE-2017-14136", AttackGoal::Dos, 0, 0, 0);
+    auto [d_imshow, s5] =
+        attack("SIM-IMSHOW-DOS", AttackGoal::Dos, 0, 0, 0);
+
+    report.preventsMemCorruption =
+        !m_template.dataCorrupted && !m_crop.dataCorrupted;
+    report.preventsCodeManip = !c_outcome.dataCorrupted;
+    report.preventsDos =
+        !d_imread.hostCrashed && !d_imshow.hostCrashed;
+
+    SecurityChecks &checks = report.checks;
+    checks.templateCorruptionMitigated = !m_template.dataCorrupted;
+    checks.omrCropCorruptionMitigated = !m_crop.dataCorrupted;
+    checks.codeRewriteMitigated = !c_outcome.dataCorrupted;
+
+    // Permission enforcement: the annotated variables must actually
+    // have been flipped read-only during the warmup run.
+    auto perms_enforced = [&](const Scenario &scenario,
+                              const char *name) {
+        for (const core::ProtectedVar &var :
+             scenario.runtime->protectedVars())
+            if (var.name == name && var.isProtected)
+                return true;
+        return false;
+    };
+    checks.templatePermsEnforced = perms_enforced(s1, "template");
+    checks.omrCropPermsEnforced = perms_enforced(s2, "OMRCrop");
+
+    // Shared-with-APIs: structural — the variable's process also
+    // executes framework APIs, or the technique shares data with the
+    // library over shared memory.
+    const TechniqueSetup &setup = s1.setup;
+    auto shared_with_apis = [&](uint32_t partition) {
+        if (setup.dataSharedWithApis)
+            return true;
+        // A partition (or the host) is private iff no framework API
+        // executes inside it.
+        for (const std::string &api : apis)
+            if (setup.plan.partitionFor(
+                    api, registry.require(api).declaredType) ==
+                partition)
+                return true;
+        return false;
+    };
+    checks.templateNotShared =
+        !shared_with_apis(setup.templatePartition);
+    checks.omrCropNotShared = !shared_with_apis(setup.cropPartition);
+
+    // Isolation of the two CVE-carrying APIs used by the app: the
+    // API must run outside the host, away from the critical data,
+    // and not share a process with the other vulnerable API.
+    auto partition_of = [&](const std::string &api) {
+        return setup.plan.partitionFor(
+            api, cats.count(api) ? cats.at(api).type
+                                 : fw::ApiType::Unknown);
+    };
+    uint32_t p_imread = partition_of("cv2.imread");
+    uint32_t p_imshow = partition_of("cv2.imshow");
+    auto isolated = [&](uint32_t p, uint32_t other) {
+        return p != core::kHostPartition &&
+               p != setup.templatePartition &&
+               p != setup.cropPartition && p != other;
+    };
+    checks.imreadIsolated = isolated(p_imread, p_imshow);
+    checks.imshowIsolated = isolated(p_imshow, p_imread);
+    report.isolatedCveApis = size_t(checks.imreadIsolated) +
+                             size_t(checks.imshowIsolated);
+
+    report.processCount =
+        reportedProcessCount(technique, setup.plan);
+    checks.fiveOrMoreProcesses = report.processCount >= 5;
+    checks.individualProcesses = technique == Technique::LibPerApi;
+}
+
+void
+TechniqueEvaluator::measurePerformance(Technique technique,
+                                       TechniqueReport &report)
+{
+    Scenario scenario = makeScenario(technique);
+    warmup(scenario, config.submissions);
+    core::RunStats stats = scenario.runtime->stats();
+    report.ipcCount = stats.ipcMessages;
+    report.bytesTransferred = stats.bytesTransferred;
+    report.simTime = stats.elapsed();
+    if (scenario.setup.chargeDataAccessIpc) {
+        // Fig. 2-(b): every critical-data access from partitioned
+        // code is an IPC to the data process.
+        uint64_t accesses = stats.apiCalls * kDataAccessesPerCall;
+        const osim::CostModel &costs = scenario.kernel->costs();
+        report.ipcCount += accesses;
+        report.bytesTransferred += accesses * 64;
+        report.simTime +=
+            accesses * (costs.ipcRoundTrip + costs.copyCost(64));
+    }
+}
+
+void
+TechniqueEvaluator::measureGranularity(Technique technique,
+                                       TechniqueReport &report)
+{
+    TechniqueSetup setup = makeTechniqueSetup(technique, apis);
+    std::map<uint32_t, size_t> per_partition;
+    for (const std::string &api : apis) {
+        fw::ApiType type = cats.count(api)
+                               ? cats.at(api).type
+                               : fw::ApiType::Unknown;
+        ++per_partition[setup.plan.partitionFor(api, type)];
+    }
+    std::vector<size_t> counts;
+    counts.reserve(per_partition.size());
+    for (const auto &[partition, count] : per_partition)
+        counts.push_back(count);
+    if (counts.empty())
+        return;
+    report.minApisPerProc =
+        *std::min_element(counts.begin(), counts.end());
+    report.maxApisPerProc =
+        *std::max_element(counts.begin(), counts.end());
+    double mean = 0;
+    for (size_t count : counts)
+        mean += static_cast<double>(count);
+    mean /= static_cast<double>(counts.size());
+    double var = 0;
+    for (size_t count : counts)
+        var += (static_cast<double>(count) - mean) *
+               (static_cast<double>(count) - mean);
+    report.granStddev = counts.size() > 1
+                            ? std::sqrt(var / (counts.size() - 1))
+                            : 0.0;
+}
+
+TechniqueReport
+TechniqueEvaluator::evaluate(Technique technique)
+{
+    TechniqueReport report;
+    report.technique = technique;
+    measureSecurity(technique, report);
+    measurePerformance(technique, report);
+    measureGranularity(technique, report);
+    return report;
+}
+
+std::vector<TechniqueReport>
+TechniqueEvaluator::evaluateAll()
+{
+    std::vector<TechniqueReport> reports;
+    for (size_t i = 0; i < kNumTechniques; ++i)
+        reports.push_back(
+            evaluate(static_cast<Technique>(i)));
+    double base = 0;
+    for (const TechniqueReport &report : reports)
+        if (report.technique == Technique::NoIsolation)
+            base = static_cast<double>(report.simTime);
+    if (base > 0)
+        for (TechniqueReport &report : reports)
+            report.overheadPct =
+                (static_cast<double>(report.simTime) - base) /
+                base * 100.0;
+    return reports;
+}
+
+} // namespace freepart::baselines

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Head-to-head evaluation of the isolation techniques on the
+ * motivating example (OMRChecker): runs the app under each technique
+ * for the performance comparison (Table 9), measures the API
+ * isolation granularity (Table 10), and launches the motivating
+ * example's attacks to score each technique against the Table 8
+ * security rubric (summarized in Table 1).
+ */
+
+#ifndef FREEPART_BASELINES_EVALUATOR_HH
+#define FREEPART_BASELINES_EVALUATOR_HH
+
+#include <memory>
+
+#include "apps/omr_checker.hh"
+#include "attacks/attack_driver.hh"
+#include "baselines/technique.hh"
+
+namespace freepart::baselines {
+
+/** The Table 8 rubric checklist. */
+struct SecurityChecks {
+    // Data checks (6).
+    bool omrCropCorruptionMitigated = false;
+    bool templateCorruptionMitigated = false;
+    bool omrCropPermsEnforced = false;
+    bool templatePermsEnforced = false;
+    bool omrCropNotShared = false;
+    bool templateNotShared = false;
+    // API checks (5).
+    bool codeRewriteMitigated = false;
+    bool imreadIsolated = false;
+    bool imshowIsolated = false;
+    bool fiveOrMoreProcesses = false;
+    bool individualProcesses = false;
+
+    int dataScore() const;
+    int apiScore() const;
+
+    /** "Highly" / "Mostly" / "Less" / "Not" effective. */
+    const char *dataLevel() const;
+    const char *apiLevel() const;
+};
+
+/** Full evaluation record for one technique (one Table 1 row). */
+struct TechniqueReport {
+    Technique technique = Technique::NoIsolation;
+    SecurityChecks checks;
+    bool preventsMemCorruption = false; //!< M attack class
+    bool preventsCodeManip = false;     //!< C attack class
+    bool preventsDos = false;           //!< D attack class
+    size_t isolatedCveApis = 0;         //!< Table 1 "Isolated API" col
+    size_t processCount = 0;            //!< Table 1 "# of Processes"
+    size_t minApisPerProc = 0;          //!< Table 10 granularity
+    size_t maxApisPerProc = 0;
+    double granStddev = 0.0;            //!< Table 1 granularity sigma
+    uint64_t ipcCount = 0;              //!< Table 9 "# of IPC"
+    uint64_t bytesTransferred = 0;      //!< Table 9 "Data"
+    osim::SimTime simTime = 0;          //!< Table 9 "Time"
+    double overheadPct = 0.0;           //!< vs NoIsolation
+
+    /** Table 9 performance class ("Low"/"Moderate"/"High"). */
+    const char *perfLevel() const;
+};
+
+/** The evaluation harness. */
+class TechniqueEvaluator
+{
+  public:
+    struct Config {
+        int submissions = 2;          //!< graded inputs per run
+        uint32_t imageRows = 192;     //!< submission image size
+        uint32_t imageCols = 192;
+        uint32_t questions = 8;       //!< hot-loop iterations
+    };
+
+    TechniqueEvaluator();
+    explicit TechniqueEvaluator(Config config);
+
+    /** Evaluate one technique (overheadPct left at 0). */
+    TechniqueReport evaluate(Technique technique);
+
+    /** Evaluate all techniques; fills overheadPct vs NoIsolation. */
+    std::vector<TechniqueReport> evaluateAll();
+
+    /** The OMR application's API set (discovered by a dry run). */
+    const std::vector<std::string> &omrApis() const { return apis; }
+
+    /** Access the categorization shared by all runs. */
+    const analysis::Categorization &categorization() const
+    {
+        return cats;
+    }
+
+  private:
+    /** Fresh runtime + critical data for one scenario. */
+    struct Scenario {
+        std::unique_ptr<osim::Kernel> kernel;
+        std::unique_ptr<core::FreePartRuntime> runtime;
+        TechniqueSetup setup;
+        osim::Addr templateAddr = 0;
+        osim::Pid templatePid = 0;
+        osim::Addr cropAddr = 0;
+        osim::Pid cropPid = 0;
+        osim::Addr codeAddr = 0; //!< page in the imread process
+        osim::Pid codePid = 0;
+    };
+
+    Scenario makeScenario(Technique technique);
+    void warmup(Scenario &scenario, int submissions);
+    void measureSecurity(Technique technique,
+                         TechniqueReport &report);
+    void measurePerformance(Technique technique,
+                            TechniqueReport &report);
+    void measureGranularity(Technique technique,
+                            TechniqueReport &report);
+
+    Config config;
+    fw::ApiRegistry registry;
+    analysis::Categorization cats;
+    std::vector<std::string> apis;
+};
+
+} // namespace freepart::baselines
+
+#endif // FREEPART_BASELINES_EVALUATOR_HH

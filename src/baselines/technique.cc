@@ -1,0 +1,129 @@
+#include "baselines/technique.hh"
+
+#include "util/logging.hh"
+
+namespace freepart::baselines {
+
+const char *
+techniqueName(Technique technique)
+{
+    switch (technique) {
+      case Technique::NoIsolation:
+        return "No isolation";
+      case Technique::CodeApi:
+        return "Code-based: API";
+      case Technique::CodeApiData:
+        return "Code-based: API & Data";
+      case Technique::LibEntire:
+        return "Library-based: Entire Library";
+      case Technique::LibPerApi:
+        return "Library-based: Individual APIs";
+      case Technique::MemoryBased:
+        return "Memory-based";
+      case Technique::FreePart:
+        return "FreePart";
+      case Technique::NumTechniques:
+        break;
+    }
+    return "?";
+}
+
+TechniqueSetup
+makeTechniqueSetup(Technique technique,
+                   const std::vector<std::string> &apis)
+{
+    TechniqueSetup setup;
+    switch (technique) {
+      case Technique::NoIsolation: {
+        setup.plan = core::PartitionPlan::inHost();
+        setup.config.enforceMemoryProtection = false;
+        setup.config.restrictSyscalls = false;
+        break;
+      }
+      case Technique::CodeApi: {
+        // Three processes split by annotated code region: the
+        // initialization + imread region (which also holds the
+        // template variable — the Fig. 2-(a) weakness), the imshow
+        // region, and everything else.
+        std::map<std::string, uint32_t> map;
+        for (const std::string &api : apis) {
+            if (api == "cv2.imread")
+                map[api] = 0;
+            else if (api == "cv2.imshow")
+                map[api] = 1;
+            else
+                map[api] = 2;
+        }
+        setup.plan = core::PartitionPlan::custom(std::move(map), 3);
+        setup.config.enforceMemoryProtection = false;
+        // Diverse code runs in every process, so a syscall allowlist
+        // degenerates to allow-everything (§3 footnote 3).
+        setup.config.restrictSyscalls = false;
+        // The partitioned host code holds its data in-process, so
+        // objects move only when a call crosses a code region.
+        setup.config.lazyDataCopy = true;
+        setup.templatePartition = 0; // lives with imread
+        setup.cropPartition = 2;     // lives with the API bulk
+        break;
+      }
+      case Technique::CodeApiData: {
+        // Same three code processes + two dedicated data processes
+        // (partitions 3 and 4 run no APIs).
+        std::map<std::string, uint32_t> map;
+        for (const std::string &api : apis) {
+            if (api == "cv2.imread")
+                map[api] = 0;
+            else if (api == "cv2.imshow")
+                map[api] = 1;
+            else
+                map[api] = 2;
+        }
+        setup.plan = core::PartitionPlan::custom(std::move(map), 5);
+        setup.config.enforceMemoryProtection = false;
+        setup.config.restrictSyscalls = false;
+        setup.config.lazyDataCopy = true;
+        setup.templatePartition = 3;
+        setup.cropPartition = 4;
+        setup.chargeDataAccessIpc = true;
+        break;
+      }
+      case Technique::LibEntire: {
+        setup.plan = core::PartitionPlan::singleAgent();
+        setup.config.enforceMemoryProtection = false;
+        // One process runs every API type: the union allowlist
+        // approaches allow-everything, modeled as no restriction.
+        setup.config.restrictSyscalls = false;
+        // The [10] optimization: variables shared with the library
+        // over shared memory (fast, but exposes the data).
+        setup.config.lazyDataCopy = true;
+        setup.dataSharedWithApis = true;
+        break;
+      }
+      case Technique::LibPerApi: {
+        setup.plan = core::PartitionPlan::perApi(apis);
+        setup.config.enforceMemoryProtection = false;
+        // Narrow per-process profiles make restriction effective.
+        setup.config.restrictSyscalls = true;
+        // Entire argument data transferred on every call (Fig. 2-(d),
+        // "355 MB for a 1.7 MB image").
+        setup.config.lazyDataCopy = false;
+        break;
+      }
+      case Technique::MemoryBased: {
+        setup.plan = core::PartitionPlan::inHost();
+        setup.config.enforceMemoryProtection = true;
+        setup.config.restrictSyscalls = false;
+        break;
+      }
+      case Technique::FreePart: {
+        setup.plan = core::PartitionPlan::freePartDefault();
+        // Defaults: LDC + protection + seccomp + restart.
+        break;
+      }
+      case Technique::NumTechniques:
+        util::panic("makeTechniqueSetup: bad technique");
+    }
+    return setup;
+}
+
+} // namespace freepart::baselines

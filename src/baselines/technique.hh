@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The isolation techniques compared in §3.1 / Table 1, each expressed
+ * as a configuration of the shared runtime: a partition plan, feature
+ * switches, and critical-data placement. The semantics follow the
+ * paper's Fig. 2 illustrations:
+ *
+ *  (a) Code-based API isolation: 3 processes split by code region;
+ *      the template variable lives WITH the imread process.
+ *  (b) Code-based API+data isolation: 5 processes (3 code + 2 data);
+ *      every critical-data access costs an IPC (>800 per input).
+ *  (c) Library-based isolation, entire library: 1 agent runs all
+ *      APIs; data shared with the library via shared memory.
+ *  (d) Library-based isolation, per API: one process per API, full
+ *      argument copies on every call.
+ *  (e) Memory-based isolation: no partitions, page permissions only.
+ *  (f) FreePart: 4 type-based agents + temporal protection + LDC +
+ *      per-agent seccomp.
+ */
+
+#ifndef FREEPART_BASELINES_TECHNIQUE_HH
+#define FREEPART_BASELINES_TECHNIQUE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/partition_plan.hh"
+#include "core/runtime.hh"
+
+namespace freepart::baselines {
+
+/** The compared techniques. */
+enum class Technique : uint8_t {
+    NoIsolation = 0, //!< vanilla execution (overhead baseline)
+    CodeApi,         //!< Fig. 2-(a)
+    CodeApiData,     //!< Fig. 2-(b)
+    LibEntire,       //!< Fig. 2-(c)
+    LibPerApi,       //!< Fig. 2-(d)
+    MemoryBased,     //!< memory permissions only
+    FreePart,        //!< Fig. 2-(e)
+    NumTechniques,
+};
+
+constexpr size_t kNumTechniques =
+    static_cast<size_t>(Technique::NumTechniques);
+
+/** Display name (Table 1 row label). */
+const char *techniqueName(Technique technique);
+
+/** Everything needed to instantiate a technique on an app. */
+struct TechniqueSetup {
+    core::PartitionPlan plan = core::PartitionPlan::inHost();
+    core::RuntimeConfig config;
+    /** Critical data (template) placed in this partition
+     *  (kHostPartition = host process). */
+    uint32_t templatePartition = core::kHostPartition;
+    /** Second critical variable (OMRCrop) placement. */
+    uint32_t cropPartition = core::kHostPartition;
+    /** Data kept in a mapping shared with API processes (the [10]
+     *  shared-memory optimization of Fig. 2-(c)). */
+    bool dataSharedWithApis = false;
+    /** Charge one IPC round trip per critical-data access (the
+     *  Fig. 2-(b) data-isolation cost; ">800 IPCs per input"). */
+    bool chargeDataAccessIpc = false;
+};
+
+/**
+ * Build the setup of a technique for an application using the given
+ * API list (needed by the per-API and code-based plans).
+ */
+TechniqueSetup makeTechniqueSetup(Technique technique,
+                                  const std::vector<std::string> &apis);
+
+} // namespace freepart::baselines
+
+#endif // FREEPART_BASELINES_TECHNIQUE_HH

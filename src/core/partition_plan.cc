@@ -1,0 +1,119 @@
+#include "core/partition_plan.hh"
+
+#include "util/logging.hh"
+
+namespace freepart::core {
+
+PartitionPlan
+PartitionPlan::inHost()
+{
+    PartitionPlan plan;
+    plan.kind_ = PlanKind::InHost;
+    plan.count_ = 0;
+    return plan;
+}
+
+PartitionPlan
+PartitionPlan::freePartDefault()
+{
+    PartitionPlan plan;
+    plan.kind_ = PlanKind::ByType;
+    plan.count_ = fw::kNumApiTypes;
+    return plan;
+}
+
+PartitionPlan
+PartitionPlan::singleAgent()
+{
+    PartitionPlan plan;
+    plan.kind_ = PlanKind::Single;
+    plan.count_ = 1;
+    return plan;
+}
+
+PartitionPlan
+PartitionPlan::perApi(const std::vector<std::string> &apis)
+{
+    PartitionPlan plan;
+    plan.kind_ = PlanKind::ByApi;
+    uint32_t next = 0;
+    for (const std::string &name : apis)
+        if (!plan.apiMap.count(name))
+            plan.apiMap.emplace(name, next++);
+    plan.count_ = next;
+    return plan;
+}
+
+PartitionPlan
+PartitionPlan::custom(std::map<std::string, uint32_t> map,
+                      uint32_t count)
+{
+    PartitionPlan plan;
+    plan.kind_ = PlanKind::ByApi;
+    plan.apiMap = std::move(map);
+    plan.count_ = count;
+    for (const auto &[name, part] : plan.apiMap)
+        if (part >= count)
+            util::fatal("PartitionPlan: '%s' -> %u out of range",
+                        name.c_str(), part);
+    return plan;
+}
+
+uint32_t
+PartitionPlan::partitionFor(const std::string &api_name,
+                            fw::ApiType type) const
+{
+    switch (kind_) {
+      case PlanKind::InHost:
+        return kHostPartition;
+      case PlanKind::Single:
+        return 0;
+      case PlanKind::ByType:
+        switch (type) {
+          case fw::ApiType::Loading:
+            return 0;
+          case fw::ApiType::Processing:
+          case fw::ApiType::Neutral:
+          case fw::ApiType::Unknown:
+            return 1;
+          case fw::ApiType::Visualizing:
+            return 2;
+          case fw::ApiType::Storing:
+            return 3;
+        }
+        return 1;
+      case PlanKind::ByApi: {
+        auto it = apiMap.find(api_name);
+        if (it == apiMap.end())
+            // Unlisted APIs run in the host (code-based techniques
+            // only isolate the annotated call sites).
+            return kHostPartition;
+        return it->second;
+      }
+    }
+    return kHostPartition;
+}
+
+std::string
+PartitionPlan::partitionName(uint32_t partition) const
+{
+    if (partition == kHostPartition)
+        return "host";
+    if (kind_ == PlanKind::ByType) {
+        switch (partition) {
+          case 0:
+            return "agent:loading";
+          case 1:
+            return "agent:processing";
+          case 2:
+            return "agent:visualizing";
+          case 3:
+            return "agent:storing";
+          default:
+            break;
+        }
+    }
+    return "agent:" + std::to_string(partition);
+}
+
+} // namespace freepart::core

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Partition plans: how framework APIs map onto isolated agent
+ * processes. FreePart's default is one agent per API type (§3.2,
+ * "Choice of Four Partitions"); the plan abstraction also expresses
+ * the baselines' layouts (whole-library, per-API, code-region) and
+ * the random finer-grained plans of the Fig. 4 sweep / A.1.4.
+ */
+
+#ifndef FREEPART_CORE_PARTITION_PLAN_HH
+#define FREEPART_CORE_PARTITION_PLAN_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fw/api_types.hh"
+
+namespace freepart::core {
+
+/** Sentinel partition meaning "run in the host process". */
+constexpr uint32_t kHostPartition = UINT32_MAX;
+
+/** How a plan routes APIs to partitions. */
+enum class PlanKind {
+    InHost,    //!< no isolation: everything in the host process
+    ByType,    //!< FreePart: one agent per API type
+    Single,    //!< whole-library isolation: one agent for everything
+    ByApi,     //!< explicit per-API map (per-API / code-based /
+               //!< random finer-grained plans)
+};
+
+/** A partitioning of framework APIs onto agent processes. */
+class PartitionPlan
+{
+  public:
+    /** No isolation: all APIs execute in the host process. */
+    static PartitionPlan inHost();
+
+    /** FreePart default: 4 agents, one per API type. */
+    static PartitionPlan freePartDefault();
+
+    /** Whole-library isolation: one agent runs every API. */
+    static PartitionPlan singleAgent();
+
+    /** One agent per API name. */
+    static PartitionPlan perApi(const std::vector<std::string> &apis);
+
+    /** Explicit api->partition map with the given partition count. */
+    static PartitionPlan custom(std::map<std::string, uint32_t> map,
+                                uint32_t count);
+
+    PlanKind kind() const { return kind_; }
+
+    /** Number of agent processes the plan needs. */
+    uint32_t partitionCount() const { return count_; }
+
+    /**
+     * Partition for an API, given its categorized type.
+     * Returns kHostPartition under InHost; for type-neutral APIs the
+     * runtime overrides this with the current context's partition.
+     */
+    uint32_t partitionFor(const std::string &api_name,
+                          fw::ApiType type) const;
+
+    /** Human-readable label of a partition. */
+    std::string partitionName(uint32_t partition) const;
+
+  private:
+    PlanKind kind_ = PlanKind::ByType;
+    uint32_t count_ = fw::kNumApiTypes;
+    std::map<std::string, uint32_t> apiMap;
+};
+
+} // namespace freepart::core
+
+#endif // FREEPART_CORE_PARTITION_PLAN_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Runtime statistics: the quantities the paper's evaluation reports —
+ * IPC message counts and bytes moved (Table 9), lazy vs non-lazy copy
+ * operations (Table 12), permission flips, agent crashes/restarts,
+ * and simulated wall-clock time (Fig. 13).
+ */
+
+#ifndef FREEPART_CORE_RUN_STATS_HH
+#define FREEPART_CORE_RUN_STATS_HH
+
+#include <cstdint>
+
+#include "osim/types.hh"
+
+namespace freepart::core {
+
+/** Counters accumulated by a runtime across invoke() calls. */
+struct RunStats {
+    uint64_t apiCalls = 0;        //!< framework API invocations
+    uint64_t ipcMessages = 0;     //!< RPC messages (both directions)
+    uint64_t bytesTransferred = 0; //!< all cross-process bytes
+    uint64_t lazyCopies = 0;      //!< ref passes with no data motion
+    uint64_t directCopies = 0;    //!< LDC agent-to-agent data fetches
+    uint64_t eagerCopies = 0;     //!< host-mediated object copies
+    uint64_t protectionFlips = 0; //!< temporal mprotect applications
+    uint64_t stateChanges = 0;    //!< framework state transitions
+    uint64_t agentCrashes = 0;    //!< agent processes lost to faults
+    uint64_t agentRestarts = 0;   //!< respawns performed
+    uint64_t retriedCalls = 0;    //!< at-least-once re-executions
+    uint64_t memFaults = 0;       //!< blocked memory accesses
+    uint64_t syscallDenials = 0;  //!< seccomp SIGSYS deliveries
+    osim::SimTime startTime = 0;  //!< sim clock at runtime creation
+    osim::SimTime endTime = 0;    //!< sim clock at last snapshot
+
+    /** Simulated time elapsed. */
+    osim::SimTime
+    elapsed() const
+    {
+        return endTime >= startTime ? endTime - startTime : 0;
+    }
+
+    /** Total data-copy operations (lazy + direct + eager). */
+    uint64_t
+    copyOps() const
+    {
+        return lazyCopies + directCopies + eagerCopies;
+    }
+
+    /** Fraction of copy operations that avoided the host hop. */
+    double
+    lazyFraction() const
+    {
+        uint64_t total = copyOps();
+        return total ? static_cast<double>(lazyCopies + directCopies) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+} // namespace freepart::core
+
+#endif // FREEPART_CORE_RUN_STATS_HH

@@ -1,0 +1,720 @@
+#include "core/runtime.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace freepart::core {
+
+namespace {
+
+/** Infrastructure syscalls every agent needs regardless of its APIs:
+ *  the IPC machinery (shm + futex), allocator traffic, and clean
+ *  shutdown. prctl is included so the agent can lock its own filter. */
+const std::set<osim::Syscall> kInfraSyscalls = {
+    osim::Syscall::Futex,   osim::Syscall::ShmOpen,
+    osim::Syscall::Mmap,    osim::Syscall::Munmap,
+    osim::Syscall::Brk,     osim::Syscall::Exit,
+    osim::Syscall::Prctl,   osim::Syscall::SchedYield,
+    osim::Syscall::Getpid,
+};
+
+} // namespace
+
+const char *
+frameworkStateName(FrameworkState state)
+{
+    switch (state) {
+      case FrameworkState::Initialization:
+        return "Initialization";
+      case FrameworkState::Loading:
+        return "Data Loading";
+      case FrameworkState::Processing:
+        return "Data Processing";
+      case FrameworkState::Visualizing:
+        return "Visualizing";
+      case FrameworkState::Storing:
+        return "Data Storing";
+    }
+    return "?";
+}
+
+FrameworkState
+stateForType(fw::ApiType type)
+{
+    switch (type) {
+      case fw::ApiType::Loading:
+        return FrameworkState::Loading;
+      case fw::ApiType::Processing:
+        return FrameworkState::Processing;
+      case fw::ApiType::Visualizing:
+        return FrameworkState::Visualizing;
+      case fw::ApiType::Storing:
+        return FrameworkState::Storing;
+      case fw::ApiType::Neutral:
+      case fw::ApiType::Unknown:
+        break;
+    }
+    return FrameworkState::Processing;
+}
+
+FreePartRuntime::FreePartRuntime(osim::Kernel &kernel,
+                                 const fw::ApiRegistry &registry,
+                                 analysis::Categorization categorization,
+                                 PartitionPlan plan,
+                                 RuntimeConfig config)
+    : kernel_(kernel), registry(registry),
+      cats(std::move(categorization)), plan_(std::move(plan)),
+      config(config)
+{
+    osim::Process &host = kernel_.spawn("host-program");
+    hostPid_ = host.pid();
+    hostStore_ = std::make_unique<fw::ObjectStore>(kernel_, hostPid_,
+                                                   &idCounter);
+    setupAgents();
+    stats_.startTime = kernel_.now();
+}
+
+void
+FreePartRuntime::setupAgents()
+{
+    agents.resize(plan_.partitionCount());
+    for (uint32_t p = 0; p < plan_.partitionCount(); ++p) {
+        Agent &agent = agents[p];
+        agent.partition = p;
+        osim::Process &proc = kernel_.spawn(plan_.partitionName(p));
+        agent.pid = proc.pid();
+        agent.store = std::make_unique<fw::ObjectStore>(
+            kernel_, agent.pid, &idCounter);
+        agent.channel = std::make_unique<ipc::Channel>(
+            kernel_, "ch:" + plan_.partitionName(p), hostPid_,
+            agent.pid, config.ringBytes);
+    }
+    // Record which APIs route to which agent (drives the per-agent
+    // syscall unions and the lockdown trigger).
+    for (const auto &[name, entry] : cats) {
+        uint32_t p = plan_.partitionFor(name, entry.type);
+        if (p != kHostPartition && p < agents.size())
+            agents[p].assignedApis.insert(name);
+    }
+    for (Agent &agent : agents)
+        if (config.restrictSyscalls)
+            installPolicy(agent);
+}
+
+std::set<osim::Syscall>
+FreePartRuntime::buildPolicy(const Agent &agent) const
+{
+    // Union of the required syscalls of every API assigned to this
+    // agent (§4.4.1 "Overlapping System Calls Between APIs").
+    std::set<osim::Syscall> allowed = kInfraSyscalls;
+    for (const std::string &name : agent.assignedApis) {
+        auto it = cats.find(name);
+        if (it == cats.end())
+            continue;
+        allowed.insert(it->second.syscalls.begin(),
+                       it->second.syscalls.end());
+    }
+    return allowed;
+}
+
+void
+FreePartRuntime::installPolicy(Agent &agent)
+{
+    agent.policy = buildPolicy(agent);
+    osim::Process &proc = kernel_.process(agent.pid);
+    proc.filter().install(agent.policy);
+    agent.locked = false;
+}
+
+void
+FreePartRuntime::lockdownAgent(Agent &agent)
+{
+    if (agent.locked)
+        return;
+    osim::Process &proc = kernel_.process(agent.pid);
+    // Drop the init-only syscalls (mprotect / connect) — they were
+    // needed only for first executions (§4.4.1).
+    for (osim::Syscall call : osim::allSyscalls())
+        if (osim::isInitOnlySyscall(call))
+            proc.filter().deny(call);
+    // Pin fd-sensitive syscalls to the device fds opened during the
+    // grace period ("operate only on the designated files").
+    std::set<osim::Fd> device_fds;
+    if (agent.devices.camera >= 0)
+        device_fds.insert(agent.devices.camera);
+    if (agent.devices.gui >= 0)
+        device_fds.insert(agent.devices.gui);
+    if (agent.devices.net >= 0)
+        device_fds.insert(agent.devices.net);
+    proc.filter().restrictFds(osim::Syscall::Ioctl, device_fds);
+    proc.filter().restrictFds(osim::Syscall::Select, device_fds);
+    // Lock with PR_SET_NO_NEW_PRIVS via the agent's own prctl.
+    kernel_.sysPrctlNoNewPrivs(proc);
+    agent.locked = true;
+}
+
+void
+FreePartRuntime::maybeAutoLockdown(Agent &agent)
+{
+    if (!config.restrictSyscalls || !config.lockAfterInit ||
+        agent.locked)
+        return;
+    // All assigned APIs have executed at least once: the grace
+    // period is over ("FreePart first executes all the framework
+    // APIs and then restricts them afterwards").
+    if (agent.executedApis.size() >= agent.assignedApis.size())
+        lockdownAgent(agent);
+}
+
+void
+FreePartRuntime::lockdownAll()
+{
+    for (Agent &agent : agents)
+        if (config.restrictSyscalls)
+            lockdownAgent(agent);
+}
+
+osim::Process &
+FreePartRuntime::hostProcess()
+{
+    return kernel_.process(hostPid_);
+}
+
+bool
+FreePartRuntime::hostAlive() const
+{
+    return kernel_.process(hostPid_).alive();
+}
+
+void
+FreePartRuntime::annotateData(const std::string &name, osim::Addr addr,
+                              size_t len)
+{
+    vars.push_back({name, hostPid_, addr, len, state_, false});
+}
+
+osim::Addr
+FreePartRuntime::allocHostData(const std::string &name, size_t len)
+{
+    osim::Addr addr = kernel_.process(hostPid_).space().alloc(
+        len, osim::PermRW, name);
+    annotateData(name, addr, len);
+    return addr;
+}
+
+osim::Addr
+FreePartRuntime::allocInPartition(uint32_t partition,
+                                  const std::string &name, size_t len)
+{
+    osim::Pid pid = partition == kHostPartition
+                        ? hostPid_
+                        : agents.at(partition).pid;
+    osim::Addr addr =
+        kernel_.process(pid).space().alloc(len, osim::PermRW, name);
+    vars.push_back({name, pid, addr, len, state_, false});
+    return addr;
+}
+
+uint64_t
+FreePartRuntime::createHostMat(uint32_t rows, uint32_t cols,
+                               uint32_t ch, uint64_t seed,
+                               const std::string &label)
+{
+    osim::AddressSpace &space = kernel_.process(hostPid_).space();
+    fw::MatDesc mat;
+    mat.rows = rows;
+    mat.cols = cols;
+    mat.channels = ch;
+    mat.addr = space.alloc(mat.byteLen(), osim::PermRW, label);
+    std::vector<uint8_t> pixels =
+        fw::synthPixels(rows, cols, ch, seed);
+    space.write(mat.addr, pixels.data(), pixels.size());
+    uint64_t id = hostStore_->putMat(mat, label);
+    objectHome[id] = {kHostPartition, fw::ObjKind::Mat};
+    vars.push_back({label, hostPid_, mat.addr, mat.byteLen(), state_,
+                    false});
+    return id;
+}
+
+uint64_t
+FreePartRuntime::createHostBytes(const std::vector<uint8_t> &bytes,
+                                 const std::string &label)
+{
+    osim::AddressSpace &space = kernel_.process(hostPid_).space();
+    osim::Addr addr = space.alloc(bytes.size() ? bytes.size() : 1,
+                                  osim::PermRW, label);
+    space.write(addr, bytes.data(), bytes.size());
+    uint64_t id = hostStore_->putBytes(addr, bytes.size(), label);
+    objectHome[id] = {kHostPartition, fw::ObjKind::Bytes};
+    vars.push_back({label, hostPid_, addr, bytes.size(), state_,
+                    false});
+    return id;
+}
+
+uint32_t
+FreePartRuntime::partitionOfApi(const std::string &api_name) const
+{
+    auto it = cats.find(api_name);
+    fw::ApiType type =
+        it != cats.end() ? it->second.type : fw::ApiType::Unknown;
+    const fw::ApiDescriptor *desc = registry.byName(api_name);
+    bool neutral = (it != cats.end() && it->second.typeNeutral) ||
+                   (desc && desc->typeNeutral);
+    if (neutral && lastPartition != kHostPartition &&
+        plan_.kind() == PlanKind::ByType)
+        return lastPartition;
+    return plan_.partitionFor(api_name, type);
+}
+
+osim::Pid
+FreePartRuntime::agentPid(uint32_t partition) const
+{
+    return agents.at(partition).pid;
+}
+
+bool
+FreePartRuntime::agentAlive(uint32_t partition) const
+{
+    return kernel_.process(agents.at(partition).pid).alive();
+}
+
+const osim::SyscallFilter &
+FreePartRuntime::agentFilter(uint32_t partition) const
+{
+    return kernel_.process(agents.at(partition).pid).filter();
+}
+
+fw::ObjectStore &
+FreePartRuntime::storeOf(uint32_t partition)
+{
+    if (partition == kHostPartition)
+        return *hostStore_;
+    return *agents.at(partition).store;
+}
+
+uint32_t
+FreePartRuntime::homeOf(uint64_t object_id) const
+{
+    auto it = objectHome.find(object_id);
+    if (it != objectHome.end())
+        return it->second.first;
+    // Objects created directly in the host store (e.g. by the
+    // workload harness) are adopted lazily as host-homed.
+    if (hostStore_->has(object_id)) {
+        objectHome[object_id] = {kHostPartition,
+                                 hostStore_->get(object_id).kind};
+        return kHostPartition;
+    }
+    util::panic("runtime: object %llu has no recorded home",
+                static_cast<unsigned long long>(object_id));
+}
+
+const RunStats &
+FreePartRuntime::stats()
+{
+    stats_.endTime = kernel_.now();
+    return stats_;
+}
+
+void
+FreePartRuntime::enterState(FrameworkState next)
+{
+    if (next == state_)
+        return;
+    FrameworkState previous = state_;
+    state_ = next;
+    ++stats_.stateChanges;
+    kernel_.logEvent(hostPid_, osim::EventKind::StateChange,
+                     std::string(frameworkStateName(previous)) +
+                         " -> " + frameworkStateName(next));
+    if (config.enforceMemoryProtection)
+        applyTemporalProtection(previous);
+}
+
+void
+FreePartRuntime::applyTemporalProtection(FrameworkState previous)
+{
+    // All data objects defined during the previous state become
+    // read-only (Fig. 3).
+    for (ProtectedVar &var : vars) {
+        if (var.isProtected || var.definedIn != previous)
+            continue;
+        kernel_.trustedProtect(var.pid, var.addr, var.len,
+                               osim::PermRead);
+        var.isProtected = true;
+        ++stats_.protectionFlips;
+    }
+}
+
+void
+FreePartRuntime::transferObject(uint32_t from, uint32_t to,
+                                uint64_t id, bool eager)
+{
+    if (from == to)
+        return;
+    fw::ObjectStore &src = storeOf(from);
+    fw::ObjectStore &dst = storeOf(to);
+    std::vector<uint8_t> bytes = src.serialize(id);
+    fw::ObjKind kind = src.get(id).kind;
+    dst.materialize(id, kind, bytes, src.get(id).label);
+    kernel_.advance(kernel_.costs().copyCost(bytes.size()));
+    stats_.bytesTransferred += bytes.size();
+    objectHome[id] = {to, kind};
+    if (eager) {
+        // Host-mediated copies ride their own request/response pair
+        // (Fig. 11-(b)), unlike LDC's piggybacked direct fetches.
+        kernel_.advance(kernel_.costs().ipcRoundTrip);
+        stats_.ipcMessages += 2;
+        ++stats_.eagerCopies;
+    } else {
+        ++stats_.directCopies;
+    }
+}
+
+void
+FreePartRuntime::ensureArgsMaterialized(uint32_t partition,
+                                        const ipc::ValueList &args)
+{
+    for (const ipc::Value &value : args) {
+        if (value.kind() != ipc::Value::Kind::Ref)
+            continue;
+        uint64_t id = value.asRef().objectId;
+        uint32_t home = homeOf(id);
+        if (home == partition) {
+            // Reference pass: no data motion at all.
+            ++stats_.lazyCopies;
+            continue;
+        }
+        if (config.lazyDataCopy) {
+            // LDC: one direct copy from the owning process into the
+            // executing agent, at dereference time (Fig. 11-(a)).
+            transferObject(home, partition, id, /*eager=*/false);
+        } else {
+            // Without LDC the object data flows through the host
+            // process (Fig. 11-(b)): owner -> host, host -> agent.
+            if (home != kHostPartition)
+                transferObject(home, kHostPartition, id,
+                               /*eager=*/true);
+            transferObject(kHostPartition, partition, id,
+                           /*eager=*/true);
+        }
+    }
+}
+
+void
+FreePartRuntime::registerResultHomes(uint32_t partition,
+                                     const ipc::ValueList &values)
+{
+    for (const ipc::Value &value : values) {
+        if (value.kind() != ipc::Value::Kind::Ref)
+            continue;
+        uint64_t id = value.asRef().objectId;
+        fw::ObjectStore &store = storeOf(partition);
+        if (store.has(id))
+            objectHome[id] = {partition, store.get(id).kind};
+    }
+}
+
+void
+FreePartRuntime::fetchToHost(const ipc::ObjectRef &ref)
+{
+    uint32_t home = homeOf(ref.objectId);
+    if (home == kHostPartition)
+        return;
+    // The host program dereferences the data: a non-lazy copy.
+    transferObject(home, kHostPartition, ref.objectId, /*eager=*/true);
+    // Host-resident copies of framework objects fall under temporal
+    // protection from the state they were fetched in.
+    const fw::StoredObject &obj = hostStore_->get(ref.objectId);
+    vars.push_back({"fetched:" + obj.label, hostPid_, obj.addr,
+                    obj.byteLen, state_, false});
+}
+
+ApiResult
+FreePartRuntime::invoke(const std::string &api_name,
+                        ipc::ValueList args)
+{
+    const fw::ApiDescriptor *desc = registry.byName(api_name);
+    if (!desc) {
+        ApiResult res;
+        res.error = "unknown API: " + api_name;
+        return res;
+    }
+    if (!hostAlive()) {
+        ApiResult res;
+        res.error = "host program has crashed";
+        return res;
+    }
+    ++stats_.apiCalls;
+
+    auto it = cats.find(api_name);
+    fw::ApiType type =
+        it != cats.end() ? it->second.type : desc->declaredType;
+    bool neutral = (it != cats.end() && it->second.typeNeutral) ||
+                   desc->typeNeutral;
+
+    // Framework-state machine: concrete API types drive transitions;
+    // type-neutral APIs inherit the current state (§4.2).
+    if (!neutral && type != fw::ApiType::Unknown)
+        enterState(stateForType(type));
+
+    uint32_t partition = plan_.partitionFor(api_name, type);
+    if (neutral && lastPartition != kHostPartition &&
+        plan_.kind() == PlanKind::ByType)
+        partition = lastPartition;
+
+    ApiResult result;
+    if (partition == kHostPartition) {
+        result = executeInHost(*desc, args);
+    } else {
+        result = executeOnAgent(partition, *desc, args,
+                                /*is_retry=*/false);
+        lastPartition = partition;
+    }
+    return result;
+}
+
+ApiResult
+FreePartRuntime::executeInHost(const fw::ApiDescriptor &desc,
+                               const ipc::ValueList &args)
+{
+    ApiResult result;
+    osim::Process &host = kernel_.process(hostPid_);
+    // Args may reference objects living in agents (mixed plans):
+    // bring them home first.
+    for (const ipc::Value &value : args) {
+        if (value.kind() != ipc::Value::Kind::Ref)
+            continue;
+        uint64_t id = value.asRef().objectId;
+        if (homeOf(id) != kHostPartition)
+            transferObject(homeOf(id), kHostPartition, id, true);
+    }
+    fw::ExecContext ctx(kernel_, host, *hostStore_, hostDevices,
+                        kHostPartition);
+    try {
+        result.values = desc.fn(ctx, desc, args);
+        result.ok = true;
+        registerResultHomes(kHostPartition, result.values);
+    } catch (const osim::MemFault &fault) {
+        ++stats_.memFaults;
+        kernel_.faultProcess(host, fault.what());
+        result.error = fault.what();
+        result.agentCrashed = true;
+    } catch (const osim::SyscallViolation &violation) {
+        ++stats_.syscallDenials;
+        result.error = violation.what();
+        result.agentCrashed = true;
+    } catch (const osim::ProcessCrash &crash) {
+        if (host.alive())
+            kernel_.faultProcess(host, crash.what());
+        result.error = crash.what();
+        result.agentCrashed = true;
+    } catch (const util::FatalError &error) {
+        result.error = error.what();
+    }
+    return result;
+}
+
+ApiResult
+FreePartRuntime::executeOnAgent(uint32_t partition,
+                                const fw::ApiDescriptor &desc,
+                                const ipc::ValueList &args,
+                                bool is_retry)
+{
+    ApiResult result;
+    Agent &agent = agents.at(partition);
+
+    if (!agentAlive(partition)) {
+        if (!config.restartAgents || !restartAgent(partition)) {
+            result.error = "agent " + plan_.partitionName(partition) +
+                           " is dead";
+            return result;
+        }
+    }
+
+    ensureArgsMaterialized(partition, args);
+
+    // Host -> agent request over the shared-memory channel. Retries
+    // re-deliver under the original sequence number so the dedup
+    // cache can recognize duplicates.
+    uint64_t seq = is_retry ? nextSeq - 1 : nextSeq++;
+    ipc::Message request;
+    request.kind = ipc::MsgKind::Request;
+    request.seq = seq;
+    request.apiId = desc.id;
+    request.values = args;
+    agent.channel->sendRequest(request);
+    ++stats_.ipcMessages;
+
+    ipc::Message incoming;
+    if (!agent.channel->receiveRequest(incoming))
+        util::panic("runtime: request lost on channel");
+    stats_.bytesTransferred += ipc::encodeMessage(incoming).size();
+
+    // Exactly-once: a duplicate sequence number returns the cached
+    // response without re-executing the API (§4.3 "FreePart as RPC").
+    auto cached = agent.seqCache.find(incoming.seq);
+    if (cached != agent.seqCache.end()) {
+        result.ok = true;
+        result.values = cached->second;
+        ipc::Message response;
+        response.kind = ipc::MsgKind::Response;
+        response.seq = incoming.seq;
+        response.values = result.values;
+        agent.channel->sendResponse(response);
+        ++stats_.ipcMessages;
+        ipc::Message done;
+        agent.channel->receiveResponse(done);
+        return result;
+    }
+
+    osim::Process &proc = kernel_.process(agent.pid);
+    fw::ExecContext ctx(kernel_, proc, *agent.store, agent.devices,
+                        partition);
+    bool crashed = false;
+    try {
+        result.values = desc.fn(ctx, desc, incoming.values);
+        result.ok = true;
+    } catch (const osim::MemFault &fault) {
+        ++stats_.memFaults;
+        kernel_.faultProcess(proc, fault.what());
+        result.error = fault.what();
+        crashed = true;
+    } catch (const osim::SyscallViolation &violation) {
+        ++stats_.syscallDenials;
+        result.error = violation.what();
+        crashed = true;
+    } catch (const osim::ProcessCrash &crash) {
+        if (proc.alive())
+            kernel_.faultProcess(proc, crash.what());
+        result.error = crash.what();
+        crashed = true;
+    } catch (const util::FatalError &error) {
+        // Application-level failure (bad input, shape mismatch):
+        // the agent survives.
+        result.error = error.what();
+    }
+
+    if (crashed) {
+        ++stats_.agentCrashes;
+        result.agentCrashed = true;
+        if (config.restartAgents && !is_retry &&
+            restartAgent(partition)) {
+            // At-least-once: re-deliver the request once to the
+            // fresh incarnation (§4.4.2).
+            ++stats_.retriedCalls;
+            ApiResult retry =
+                executeOnAgent(partition, desc, args, true);
+            retry.agentCrashed = true; // surface that a crash happened
+            return retry;
+        }
+        return result;
+    }
+
+    if (result.ok) {
+        agent.executedApis.insert(desc.name);
+        registerResultHomes(partition, result.values);
+        if (!config.lazyDataCopy) {
+            // Without LDC every result object is copied back through
+            // the host immediately (Fig. 11-(b) steps 2/5).
+            for (const ipc::Value &value : result.values) {
+                if (value.kind() != ipc::Value::Kind::Ref)
+                    continue;
+                uint64_t id = value.asRef().objectId;
+                if (homeOf(id) != kHostPartition)
+                    transferObject(partition, kHostPartition, id,
+                                   true);
+            }
+        } else {
+            // LDC: results stay put; the host receives references.
+            for (const ipc::Value &value : result.values)
+                if (value.kind() == ipc::Value::Kind::Ref)
+                    ++stats_.lazyCopies;
+        }
+        agent.seqCache.emplace(incoming.seq, result.values);
+        if (agent.seqCache.size() > 64)
+            agent.seqCache.erase(agent.seqCache.begin());
+    }
+
+    // Agent -> host response.
+    ipc::Message response;
+    response.kind = ipc::MsgKind::Response;
+    response.seq = incoming.seq;
+    response.status = result.ok ? 0 : 1;
+    response.values = result.values;
+    agent.channel->sendResponse(response);
+    ++stats_.ipcMessages;
+    ipc::Message done;
+    if (!agent.channel->receiveResponse(done))
+        util::panic("runtime: response lost on channel");
+    stats_.bytesTransferred += ipc::encodeMessage(done).size();
+
+    // Checkpoint stateful state periodically (A.2.4).
+    if (++agent.callsSinceCheckpoint >= config.checkpointInterval) {
+        checkpointAgent(partition);
+        agent.callsSinceCheckpoint = 0;
+    }
+
+    maybeAutoLockdown(agent);
+    return result;
+}
+
+void
+FreePartRuntime::checkpointAgent(uint32_t partition)
+{
+    Agent &agent = agents.at(partition);
+    if (!agentAlive(partition))
+        return;
+    agent.checkpoint.clear();
+    for (uint64_t id : agent.store->ids()) {
+        const fw::StoredObject &obj = agent.store->get(id);
+        agent.checkpoint.emplace(
+            id, std::make_pair(obj.kind, agent.store->serialize(id)));
+    }
+}
+
+bool
+FreePartRuntime::restartAgent(uint32_t partition)
+{
+    Agent &agent = agents.at(partition);
+    if (!config.restartAgents)
+        return false;
+    kernel_.respawn(agent.pid);
+    ++stats_.agentRestarts;
+    // Fresh address space: rebuild the store binding, re-map the
+    // channel, reopen devices lazily, reinstall the policy (the new
+    // incarnation re-runs its initialization, A.2.4).
+    agent.store->clear();
+    agent.devices = fw::DeviceFds();
+    agent.channel->remapInto(agent.pid);
+    agent.executedApis.clear();
+    agent.seqCache.clear();
+    if (config.restrictSyscalls)
+        installPolicy(agent);
+    // Restore the checkpointed stateful objects. Values of the
+    // crashed incarnation are intentionally NOT restored (§6
+    // "Restoring States of Crashed Process") — only the last
+    // checkpoint is.
+    for (const auto &[id, snap] : agent.checkpoint) {
+        agent.store->materialize(id, snap.first, snap.second);
+        objectHome[id] = {partition, snap.first};
+    }
+    // Objects whose authoritative copy died with the old incarnation
+    // fall back to their stale host copy when one exists; otherwise
+    // they are gone (the paper's accepted state discrepancy).
+    std::vector<uint64_t> lost;
+    for (auto &[id, home] : objectHome) {
+        if (home.first != partition || agent.store->has(id))
+            continue;
+        if (hostStore_->has(id))
+            home.first = kHostPartition;
+        else
+            lost.push_back(id);
+    }
+    for (uint64_t id : lost)
+        objectHome.erase(id);
+    return true;
+}
+
+} // namespace freepart::core

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * FreePartRuntime: the online half of FreePart (§4.3, §4.4). It
+ * spawns the host process and one agent process per partition, hooks
+ * every framework API call into an RPC over shared-memory channels,
+ * moves data objects lazily between agents (LDC, §4.3.2), drives the
+ * framework state machine and flips host data read-only on state
+ * transitions (§4.4.3), installs per-agent seccomp allowlists with
+ * the init-phase grace period (§4.4.1), and restarts crashed agents
+ * with at-least-once RPC semantics and periodic state checkpoints
+ * (§4.4.2, A.2.4).
+ *
+ * The same class also runs the baselines: with a different
+ * PartitionPlan and RuntimeConfig it behaves as whole-library
+ * isolation, per-API isolation, code-based isolation, memory-based
+ * protection, or no isolation at all.
+ */
+
+#ifndef FREEPART_CORE_RUNTIME_HH
+#define FREEPART_CORE_RUNTIME_HH
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/hybrid_categorizer.hh"
+#include "core/partition_plan.hh"
+#include "core/run_stats.hh"
+#include "fw/api_registry.hh"
+#include "fw/image_format.hh"
+#include "fw/invoker.hh"
+#include "ipc/channel.hh"
+#include "osim/kernel.hh"
+
+namespace freepart::core {
+
+/** The framework execution state (Fig. 3). */
+enum class FrameworkState : uint8_t {
+    Initialization = 0,
+    Loading,
+    Processing,
+    Visualizing,
+    Storing,
+};
+
+/** Display name of a framework state. */
+const char *frameworkStateName(FrameworkState state);
+
+/** State entered when an API of the given type executes. */
+FrameworkState stateForType(fw::ApiType type);
+
+/** Feature switches (defaults = full FreePart). */
+struct RuntimeConfig {
+    bool lazyDataCopy = true;       //!< LDC on (§4.3.2)
+    bool restartAgents = true;      //!< respawn crashed agents
+    bool enforceMemoryProtection = true; //!< temporal mprotect
+    bool restrictSyscalls = true;   //!< install seccomp policies
+    bool lockAfterInit = true;      //!< drop init-only syscalls + lock
+    uint32_t checkpointInterval = 8; //!< calls between checkpoints
+    size_t ringBytes = 8 << 20;     //!< per-direction ring capacity
+};
+
+/** Result of one framework API invocation. */
+struct ApiResult {
+    bool ok = false;
+    std::string error;       //!< failure description when !ok
+    bool agentCrashed = false; //!< the executing process died
+    ipc::ValueList values;   //!< return values when ok
+};
+
+/** An annotated data object under temporal protection (§4.4.3). */
+struct ProtectedVar {
+    std::string name;
+    osim::Pid pid;          //!< process holding the data
+    osim::Addr addr;
+    size_t len;
+    FrameworkState definedIn; //!< state active at definition time
+    bool isProtected = false; //!< already flipped read-only
+};
+
+/** The runtime. */
+class FreePartRuntime
+{
+  public:
+    /**
+     * Create host + agents and install policies.
+     *
+     * @param kernel  The simulated kernel to run on.
+     * @param registry  Framework API registry (hooked APIs).
+     * @param categorization  Offline analysis output (API types +
+     *        syscall profiles), from analysis::HybridCategorizer.
+     * @param plan  Partitioning layout.
+     * @param config  Feature switches.
+     */
+    FreePartRuntime(osim::Kernel &kernel,
+                    const fw::ApiRegistry &registry,
+                    analysis::Categorization categorization,
+                    PartitionPlan plan,
+                    RuntimeConfig config = RuntimeConfig());
+
+    FreePartRuntime(const FreePartRuntime &) = delete;
+    FreePartRuntime &operator=(const FreePartRuntime &) = delete;
+
+    // ---- Host-side surface --------------------------------------------
+
+    osim::Pid hostPid() const { return hostPid_; }
+    osim::Process &hostProcess();
+    bool hostAlive() const;
+    fw::ObjectStore &hostStore() { return *hostStore_; }
+
+    /** Invoke a hooked framework API from the host program. */
+    ApiResult invoke(const std::string &api_name, ipc::ValueList args);
+
+    /**
+     * Annotate existing host-process data for temporal protection
+     * (the user annotation the paper requires for custom structures).
+     */
+    void annotateData(const std::string &name, osim::Addr addr,
+                      size_t len);
+
+    /** Allocate + annotate host data in one step. */
+    osim::Addr allocHostData(const std::string &name, size_t len);
+
+    /**
+     * Allocate + annotate data inside a *partition's* process (used
+     * by baseline layouts where critical data does not live in the
+     * host, e.g. code-based API isolation).
+     */
+    osim::Addr allocInPartition(uint32_t partition,
+                                const std::string &name, size_t len);
+
+    /** Create an annotated Mat in the host store; returns object id. */
+    uint64_t createHostMat(uint32_t rows, uint32_t cols, uint32_t ch,
+                           uint64_t seed, const std::string &label);
+
+    /** Create an annotated byte object in the host store. */
+    uint64_t createHostBytes(const std::vector<uint8_t> &bytes,
+                             const std::string &label);
+
+    /** Copy an object's current data into the host store (the app
+     *  dereferencing a result — a non-lazy copy). */
+    void fetchToHost(const ipc::ObjectRef &ref);
+
+    // ---- Introspection -------------------------------------------------
+
+    FrameworkState state() const { return state_; }
+    const PartitionPlan &plan() const { return plan_; }
+    osim::Kernel &kernel() { return kernel_; }
+    const analysis::Categorization &categorization() const
+    {
+        return cats;
+    }
+
+    /** Partition an API would execute in right now. */
+    uint32_t partitionOfApi(const std::string &api_name) const;
+
+    osim::Pid agentPid(uint32_t partition) const;
+    bool agentAlive(uint32_t partition) const;
+    const osim::SyscallFilter &agentFilter(uint32_t partition) const;
+
+    /** Object store of a partition (kHostPartition = host). */
+    fw::ObjectStore &storeOf(uint32_t partition);
+
+    /** Partition currently holding an object's data. */
+    uint32_t homeOf(uint64_t object_id) const;
+
+    /** Snapshot stats (sets endTime to the current sim clock). */
+    const RunStats &stats();
+
+    /** The annotated/protected variables and their status. */
+    const std::vector<ProtectedVar> &protectedVars() const
+    {
+        return vars;
+    }
+
+    // ---- Lifecycle ------------------------------------------------------
+
+    /**
+     * Finish the initialization grace period on every agent: drop
+     * init-only syscalls (mprotect/connect), pin fd-sensitive
+     * syscalls to the opened device fds, and lock the filters with
+     * PR_SET_NO_NEW_PRIVS (§4.4.1).
+     */
+    void lockdownAll();
+
+    /** Respawn one crashed agent (policy + checkpointed state). */
+    bool restartAgent(uint32_t partition);
+
+    /** Snapshot an agent's object store (stateful-API checkpoint). */
+    void checkpointAgent(uint32_t partition);
+
+  private:
+    struct Agent {
+        uint32_t partition = 0;
+        osim::Pid pid = 0;
+        std::unique_ptr<fw::ObjectStore> store;
+        fw::DeviceFds devices;
+        std::unique_ptr<ipc::Channel> channel;
+        std::set<osim::Syscall> policy; //!< installed allowlist
+        bool locked = false;            //!< lockdown applied
+        std::set<std::string> executedApis; //!< first-exec tracking
+        std::set<std::string> assignedApis; //!< APIs routed here
+        uint64_t callsSinceCheckpoint = 0;
+        /** Exactly-once dedup cache: seq -> response values. */
+        std::map<uint64_t, ipc::ValueList> seqCache;
+        /** Checkpoint: object id -> (kind, serialized bytes). */
+        std::map<uint64_t,
+                 std::pair<fw::ObjKind, std::vector<uint8_t>>>
+            checkpoint;
+    };
+
+    void setupAgents();
+    std::set<osim::Syscall> buildPolicy(const Agent &agent) const;
+    void installPolicy(Agent &agent);
+    void lockdownAgent(Agent &agent);
+    void maybeAutoLockdown(Agent &agent);
+    void applyTemporalProtection(FrameworkState previous);
+    void enterState(FrameworkState next);
+    void registerResultHomes(uint32_t partition,
+                             const ipc::ValueList &values);
+    /** Move object data between partitions; counts bytes + cost. */
+    void transferObject(uint32_t from, uint32_t to, uint64_t id,
+                        bool eager);
+    void ensureArgsMaterialized(uint32_t partition,
+                                const ipc::ValueList &args);
+    ApiResult executeInHost(const fw::ApiDescriptor &desc,
+                            const ipc::ValueList &args);
+    ApiResult executeOnAgent(uint32_t partition,
+                             const fw::ApiDescriptor &desc,
+                             const ipc::ValueList &args,
+                             bool is_retry);
+
+    osim::Kernel &kernel_;
+    const fw::ApiRegistry &registry;
+    analysis::Categorization cats;
+    PartitionPlan plan_;
+    RuntimeConfig config;
+
+    osim::Pid hostPid_ = 0;
+    uint64_t idCounter = 0;
+    std::unique_ptr<fw::ObjectStore> hostStore_;
+    fw::DeviceFds hostDevices;
+    std::vector<Agent> agents;
+
+    FrameworkState state_ = FrameworkState::Initialization;
+    uint32_t lastPartition = kHostPartition; //!< for neutral APIs
+    std::vector<ProtectedVar> vars;
+    /** object id -> (home partition, kind). Mutable so homeOf() can
+     *  lazily adopt host-store objects created outside invoke(). */
+    mutable std::map<uint64_t, std::pair<uint32_t, fw::ObjKind>>
+        objectHome;
+    uint64_t nextSeq = 1;
+    RunStats stats_;
+};
+
+} // namespace freepart::core
+
+#endif // FREEPART_CORE_RUNTIME_HH

@@ -1,0 +1,142 @@
+#include "fw/api_types.hh"
+
+#include "util/logging.hh"
+
+namespace freepart::fw {
+
+const char *
+apiTypeName(ApiType type)
+{
+    switch (type) {
+      case ApiType::Loading:
+        return "Data Loading";
+      case ApiType::Processing:
+        return "Data Processing";
+      case ApiType::Visualizing:
+        return "Visualizing";
+      case ApiType::Storing:
+        return "Storing";
+      case ApiType::Neutral:
+        return "Type-neutral";
+      case ApiType::Unknown:
+        return "Unknown";
+    }
+    return "?";
+}
+
+const char *
+apiTypeShortName(ApiType type)
+{
+    switch (type) {
+      case ApiType::Loading:
+        return "DL";
+      case ApiType::Processing:
+        return "DP";
+      case ApiType::Visualizing:
+        return "V";
+      case ApiType::Storing:
+        return "ST";
+      case ApiType::Neutral:
+        return "TN";
+      case ApiType::Unknown:
+        return "?";
+    }
+    return "?";
+}
+
+const char *
+storageKindName(StorageKind kind)
+{
+    switch (kind) {
+      case StorageKind::Mem:
+        return "MEM";
+      case StorageKind::Gui:
+        return "GUI";
+      case StorageKind::File:
+        return "FILE";
+      case StorageKind::Dev:
+        return "DEV";
+    }
+    return "?";
+}
+
+std::string
+flowOpName(const FlowOp &op)
+{
+    return std::string("W(") + storageKindName(op.dst) + ", R(" +
+           storageKindName(op.src) + "))";
+}
+
+const char *
+frameworkName(Framework fw)
+{
+    switch (fw) {
+      case Framework::OpenCV:
+        return "OpenCV";
+      case Framework::Caffe:
+        return "Caffe";
+      case Framework::PyTorch:
+        return "PyTorch";
+      case Framework::TensorFlow:
+        return "TensorFlow";
+      case Framework::Keras:
+        return "Keras";
+      case Framework::Pillow:
+        return "Pillow";
+      case Framework::NumPy:
+        return "NumPy";
+      case Framework::Pandas:
+        return "pandas";
+      case Framework::Matplotlib:
+        return "Matplotlib";
+      case Framework::Json:
+        return "json";
+      case Framework::Gtk:
+        return "GTK";
+      case Framework::NumFrameworks:
+        break;
+    }
+    return "?";
+}
+
+ApiType
+classifyFlowOps(const std::vector<FlowOp> &ops)
+{
+    bool gui = false;
+    bool load = false;
+    bool store = false;
+    bool mem = false;
+    for (const FlowOp &op : ops) {
+        if (op.dst == StorageKind::Gui || op.src == StorageKind::Gui) {
+            gui = true;
+        } else if (op.dst == StorageKind::Mem &&
+                   (op.src == StorageKind::File ||
+                    op.src == StorageKind::Dev)) {
+            load = true;
+        } else if ((op.dst == StorageKind::File ||
+                    op.dst == StorageKind::Dev) &&
+                   op.src == StorageKind::Mem) {
+            store = true;
+        } else if (op.dst == StorageKind::Mem &&
+                   op.src == StorageKind::Mem) {
+            mem = true;
+        }
+    }
+    if (gui)
+        return ApiType::Visualizing;
+    if (load && store)
+        // Unreduced load+store pattern: dominated by where the data
+        // ends up. The file-copy reduction in the analysis module
+        // normally rewrites this before classification; if both still
+        // remain, treat as Loading (data ends in memory).
+        return ApiType::Loading;
+    if (load)
+        return ApiType::Loading;
+    if (store)
+        return ApiType::Storing;
+    if (mem)
+        return ApiType::Processing;
+    return ApiType::Unknown;
+}
+
+} // namespace freepart::fw

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The API type model from §4.1/§4.2: four API types mirroring the
+ * data-processing pipeline, the storage kinds and data-flow operation
+ * IR of Fig. 8, and the framework identifiers used throughout the
+ * evaluation.
+ */
+
+#ifndef FREEPART_FW_API_TYPES_HH
+#define FREEPART_FW_API_TYPES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace freepart::fw {
+
+/**
+ * The four framework API types (plus type-neutral utilities whose
+ * effective type is decided by calling context, §4.2 "Type-neutral
+ * Framework APIs", and Unknown for uncategorized).
+ */
+enum class ApiType : uint8_t {
+    Loading = 0,     //!< W(MEM, R(FILE|DEV))
+    Processing = 1,  //!< W(MEM, R(MEM)) only
+    Visualizing = 2, //!< touches GUI storage
+    Storing = 3,     //!< W(FILE|DEV, R(MEM))
+    Neutral = 4,     //!< memory-to-memory utility, context-typed
+    Unknown = 5,
+};
+
+/** Number of concrete (isolatable) API types. */
+constexpr size_t kNumApiTypes = 4;
+
+/** Human-readable type name ("Data Loading", ...). */
+const char *apiTypeName(ApiType type);
+
+/** Short type name ("DL", "DP", "V", "ST"). */
+const char *apiTypeShortName(ApiType type);
+
+/** Storage kinds of Fig. 8: S := MEM | GUI | FILE | DEV. */
+enum class StorageKind : uint8_t {
+    Mem = 0,
+    Gui = 1,
+    File = 2,
+    Dev = 3,
+};
+
+/** Name of a storage kind ("MEM", ...). */
+const char *storageKindName(StorageKind kind);
+
+/**
+ * One data-flow operation W(dst, R(src)) from Fig. 8. Operations
+ * flagged `indirect` flow through dynamically allocated objects or
+ * indirect calls, which the static analysis cannot see (§4.2.2) —
+ * only the dynamic tracer observes them.
+ */
+struct FlowOp {
+    StorageKind dst;
+    StorageKind src;
+    bool indirect = false;
+
+    bool
+    operator==(const FlowOp &o) const
+    {
+        return dst == o.dst && src == o.src;
+    }
+};
+
+/** Render an op as "W(MEM, R(FILE))". */
+std::string flowOpName(const FlowOp &op);
+
+/** Frameworks appearing in the paper's evaluation and studies. */
+enum class Framework : uint8_t {
+    OpenCV = 0,
+    Caffe,
+    PyTorch,
+    TensorFlow,
+    Keras,
+    Pillow,
+    NumPy,
+    Pandas,
+    Matplotlib,
+    Json,
+    Gtk,
+    NumFrameworks,
+};
+
+/** Framework display name. */
+const char *frameworkName(Framework fw);
+
+/**
+ * Classify a set of observed flow operations into an API type using
+ * the Fig. 9 rules:
+ *  - any W(MEM, R(FILE|DEV))          -> Loading
+ *  - any GUI read or write            -> Visualizing
+ *  - any W(FILE|DEV, R(MEM))          -> Storing
+ *  - only W(MEM, R(MEM))              -> Processing
+ *  - no operations observed           -> Unknown
+ * Visualizing wins over Loading/Storing for GUI-socket traffic;
+ * Loading+Storing both present resolves per the "memory copy via
+ * files" reduction *before* calling this (see analysis module).
+ */
+ApiType classifyFlowOps(const std::vector<FlowOp> &ops);
+
+} // namespace freepart::fw
+
+#endif // FREEPART_FW_API_TYPES_HH

@@ -1,0 +1,59 @@
+#include "fw/exec_context.hh"
+
+namespace freepart::fw {
+
+osim::Fd
+ExecContext::cameraFd()
+{
+    if (devices.camera < 0)
+        devices.camera = kernel_.sysOpen(proc_, "/dev/camera0", false);
+    return devices.camera;
+}
+
+osim::Fd
+ExecContext::guiFd()
+{
+    if (devices.gui < 0) {
+        osim::Fd fd = kernel_.sysSocket(proc_);
+        kernel_.sysConnect(proc_, fd, "gui");
+        devices.gui = fd;
+    }
+    return devices.gui;
+}
+
+osim::Fd
+ExecContext::netFd(const std::string &dest)
+{
+    if (devices.net < 0) {
+        osim::Fd fd = kernel_.sysSocket(proc_);
+        kernel_.sysConnect(proc_, fd, dest);
+        devices.net = fd;
+    }
+    return devices.net;
+}
+
+MatDesc
+ExecContext::allocMat(uint32_t rows, uint32_t cols, uint32_t channels,
+                      const std::string &label)
+{
+    MatDesc desc;
+    desc.rows = rows;
+    desc.cols = cols;
+    desc.channels = channels;
+    desc.addr = space().alloc(desc.byteLen() ? desc.byteLen() : 1,
+                              osim::PermRW, label);
+    return desc;
+}
+
+TensorDesc
+ExecContext::allocTensor(std::vector<uint32_t> shape,
+                         const std::string &label)
+{
+    TensorDesc desc;
+    desc.shape = std::move(shape);
+    desc.addr = space().alloc(desc.byteLen() ? desc.byteLen() : 1,
+                              osim::PermRW, label);
+    return desc;
+}
+
+} // namespace freepart::fw

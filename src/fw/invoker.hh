@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Generic API-invocation harness: synthesizes valid arguments for any
+ * registered API (allocating Mats/Tensors in a target object store
+ * and seeding VFS test files). This is the analogue of the framework
+ * test suites the paper's dynamic analysis replays (§4.2.2, Table 11)
+ * and is reused by the workload generator.
+ */
+
+#ifndef FREEPART_FW_INVOKER_HH
+#define FREEPART_FW_INVOKER_HH
+
+#include "fw/api_registry.hh"
+#include "fw/exec_context.hh"
+
+namespace freepart::fw {
+
+/** Standard test-fixture paths seeded into the VFS. */
+struct TestFixture {
+    std::string imagePath = "/data/test.fpim";
+    std::string modelPath = "/data/model.fpt";
+    std::string csvPath = "/data/table.csv";
+    uint32_t rows = 64;
+    uint32_t cols = 64;
+    uint32_t channels = 3;
+    uint32_t tensorDim = 16; //!< spatial dim of synthesized tensors
+};
+
+/** Seed the VFS with the standard test fixture files. */
+void seedFixtureFiles(osim::Kernel &kernel,
+                      const TestFixture &fixture = TestFixture());
+
+/**
+ * Synthesizes arguments for registered APIs against one object store
+ * (i.e. for execution in that store's process).
+ */
+class Invoker
+{
+  public:
+    /**
+     * @param kernel   Owning kernel (fixture files must be seeded).
+     * @param store    Store in which object arguments are created.
+     * @param partition Partition id used in generated Refs.
+     */
+    Invoker(osim::Kernel &kernel, ObjectStore &store,
+            uint32_t partition,
+            const TestFixture &fixture = TestFixture());
+
+    /** True if prepareArgs() knows how to drive this API. */
+    bool canInvoke(const ApiDescriptor &api) const;
+
+    /**
+     * Build a valid argument list for the API, creating any needed
+     * Mats/Tensors in the store. seed varies generated content.
+     */
+    ipc::ValueList prepareArgs(const ApiDescriptor &api,
+                               uint64_t seed = 0);
+
+    /** Create a fresh color Mat object; returns its Ref value. */
+    ipc::Value makeMatArg(uint32_t rows, uint32_t cols, uint32_t ch,
+                          uint64_t seed);
+
+    /** Create a fresh rank-3 float tensor object. */
+    ipc::Value makeTensorArg(std::vector<uint32_t> shape,
+                             uint64_t seed);
+
+  private:
+    osim::Kernel &kernel;
+    ObjectStore &store;
+    uint32_t partition;
+    TestFixture fixture;
+};
+
+} // namespace freepart::fw
+
+#endif // FREEPART_FW_INVOKER_HH

@@ -1,0 +1,1214 @@
+/**
+ * @file
+ * MiniCV: the OpenCV-analogue framework. Registers every implemented
+ * API with its data-flow IR, syscall profile, and CVE annotations, and
+ * provides the executable bodies. Pillow / NumPy / pandas / json /
+ * Matplotlib / GTK companion APIs (used by the evaluation programs)
+ * are registered here too; the pandas/json/Matplotlib IR is flagged
+ * `indirect` because — per Table 2's footnote — those frameworks
+ * defeat the static analysis and need the hybrid (dynamic) pass.
+ */
+
+#include <cstring>
+
+#include "fw/api_registry.hh"
+#include "fw/image_format.hh"
+#include "fw/minicv_ops.hh"
+#include "fw/vuln.hh"
+#include "util/logging.hh"
+
+namespace freepart::fw {
+
+namespace {
+
+using ipc::Value;
+using ipc::ValueList;
+using osim::Syscall;
+
+// ---- Shared body helpers ---------------------------------------------
+
+/** Resolve a Ref argument to a local Mat descriptor. */
+const MatDesc &
+getMat(ExecContext &ctx, const ValueList &args, size_t i)
+{
+    return ctx.store().mat(argObjectId(args, i));
+}
+
+/** Store a result Mat and wrap it as the single return value. */
+ValueList
+retMat(ExecContext &ctx, const MatDesc &mat, const std::string &label)
+{
+    uint64_t id = ctx.store().putMat(mat, label);
+    return {refValue(ctx.partition(), id)};
+}
+
+/**
+ * Scan a Mat's leading pixels for an embedded exploit payload — the
+ * data-processing-API attack path: a crafted image whose pixel bytes
+ * smash the vulnerable kernel's parser.
+ */
+void
+checkPixelExploit(ExecContext &ctx, const ApiDescriptor &desc,
+                  const MatDesc &mat)
+{
+    if (desc.cves.empty() || mat.byteLen() == 0)
+        return;
+    size_t probe = std::min<size_t>(mat.byteLen(), 512);
+    std::vector<uint8_t> head(probe);
+    ctx.space().read(mat.addr, head.data(), probe);
+    maybeTriggerExploit(ctx, desc.cves, head);
+}
+
+/** Kernel signature: (src, dst, rows, cols, ch). */
+using UnaryKernel = void (*)(const uint8_t *, uint8_t *, uint32_t,
+                             uint32_t, uint32_t);
+
+/** Build a body for a same-shape unary Mat op. */
+ApiFn
+unaryBody(UnaryKernel kernel)
+{
+    return [kernel](ExecContext &ctx, const ApiDescriptor &desc,
+                    const ValueList &args) -> ValueList {
+        const MatDesc &src = getMat(ctx, args, 0);
+        checkPixelExploit(ctx, desc, src);
+        MatDesc dst = ctx.allocMat(src.rows, src.cols, src.channels,
+                                   desc.name);
+        const uint8_t *s =
+            ctx.space().checkedSpan(src.addr, src.byteLen());
+        uint8_t *d =
+            ctx.space().checkedSpan(dst.addr, dst.byteLen(), true);
+        kernel(s, d, src.rows, src.cols, src.channels);
+        ctx.traceOp(StorageKind::Mem, StorageKind::Mem);
+        ctx.chargeCompute(src.elements());
+        return retMat(ctx, dst, desc.name);
+    };
+}
+
+/** Build a body for a binary (two-Mat) elementwise op. */
+ApiFn
+binaryBody(void (*kernel)(const uint8_t *, const uint8_t *, uint8_t *,
+                          size_t))
+{
+    return [kernel](ExecContext &ctx, const ApiDescriptor &desc,
+                    const ValueList &args) -> ValueList {
+        const MatDesc &a = getMat(ctx, args, 0);
+        const MatDesc &b = getMat(ctx, args, 1);
+        checkPixelExploit(ctx, desc, a);
+        if (a.byteLen() != b.byteLen())
+            util::fatal("%s: shape mismatch", desc.name.c_str());
+        MatDesc dst =
+            ctx.allocMat(a.rows, a.cols, a.channels, desc.name);
+        const uint8_t *pa =
+            ctx.space().checkedSpan(a.addr, a.byteLen());
+        const uint8_t *pb =
+            ctx.space().checkedSpan(b.addr, b.byteLen());
+        uint8_t *pd =
+            ctx.space().checkedSpan(dst.addr, dst.byteLen(), true);
+        kernel(pa, pb, pd, a.byteLen());
+        ctx.traceOp(StorageKind::Mem, StorageKind::Mem);
+        ctx.chargeCompute(a.elements());
+        return retMat(ctx, dst, desc.name);
+    };
+}
+
+/** Read whole file into the process through the syscall surface. */
+std::vector<uint8_t>
+loadFileBytes(ExecContext &ctx, const std::string &path)
+{
+    osim::Kernel &kernel = ctx.kernel();
+    osim::Process &proc = ctx.proc();
+    osim::Fd fd = kernel.sysOpen(proc, path, false);
+    size_t size = kernel.sysFstat(proc, fd);
+    kernel.sysBrk(proc);
+    osim::Addr staging = ctx.space().alloc(size ? size : 1,
+                                           osim::PermRW, "staging");
+    size_t got = 0;
+    while (got < size) {
+        size_t n = kernel.sysRead(proc, fd, staging + got,
+                                  std::min<size_t>(size - got,
+                                                   1 << 16));
+        if (n == 0)
+            break;
+        got += n;
+    }
+    kernel.sysClose(proc, fd);
+    std::vector<uint8_t> bytes(got);
+    ctx.space().read(staging, bytes.data(), got);
+    ctx.space().unmap(staging);
+    return bytes;
+}
+
+/** Write bytes to a file through the syscall surface. */
+void
+storeFileBytes(ExecContext &ctx, const std::string &path,
+               const std::vector<uint8_t> &bytes)
+{
+    osim::Kernel &kernel = ctx.kernel();
+    osim::Process &proc = ctx.proc();
+    osim::Fd fd = kernel.sysOpen(proc, path, true);
+    osim::Addr staging = ctx.space().alloc(
+        bytes.size() ? bytes.size() : 1, osim::PermRW, "staging");
+    ctx.space().write(staging, bytes.data(), bytes.size());
+    size_t put = 0;
+    while (put < bytes.size()) {
+        size_t n = kernel.sysWrite(
+            proc, fd, staging + put,
+            std::min<size_t>(bytes.size() - put, 1 << 16));
+        put += n;
+    }
+    kernel.sysClose(proc, fd);
+    ctx.space().unmap(staging);
+}
+
+/** Decode image bytes into a fresh Mat; runs the exploit hook. */
+ValueList
+decodeToMat(ExecContext &ctx, const ApiDescriptor &desc,
+            const std::vector<uint8_t> &bytes,
+            const std::string &label)
+{
+    DecodedImage img = decodeImageFile(bytes);
+    maybeTriggerExploit(ctx, desc.cves, img.trailer);
+    MatDesc mat =
+        ctx.allocMat(img.rows, img.cols, img.channels, label);
+    ctx.space().write(mat.addr, img.pixels.data(), img.pixels.size());
+    ctx.traceOp(StorageKind::Mem, StorageKind::File);
+    ctx.chargeCompute(img.pixels.size());
+    return retMat(ctx, mat, label);
+}
+
+// ---- IR shorthands ----------------------------------------------------
+
+FlowOp
+opMemMem()
+{
+    return {StorageKind::Mem, StorageKind::Mem, false};
+}
+
+FlowOp
+opMemFile()
+{
+    return {StorageKind::Mem, StorageKind::File, false};
+}
+
+FlowOp
+opMemDev()
+{
+    return {StorageKind::Mem, StorageKind::Dev, false};
+}
+
+FlowOp
+opFileMem()
+{
+    return {StorageKind::File, StorageKind::Mem, false};
+}
+
+FlowOp
+opGuiMem()
+{
+    return {StorageKind::Gui, StorageKind::Mem, false};
+}
+
+FlowOp
+opMemGui()
+{
+    return {StorageKind::Mem, StorageKind::Gui, false};
+}
+
+FlowOp
+indirect(FlowOp op)
+{
+    op.indirect = true;
+    return op;
+}
+
+// Syscall profile shorthands.
+const std::set<Syscall> kLoadFileSyscalls = {
+    Syscall::Openat, Syscall::Close, Syscall::Brk, Syscall::Fstat,
+    Syscall::Read, Syscall::Lseek};
+const std::set<Syscall> kCameraSyscalls = {
+    Syscall::Openat, Syscall::Close, Syscall::Ioctl, Syscall::Mmap,
+    Syscall::Brk, Syscall::Select, Syscall::Read};
+const std::set<Syscall> kProcessSyscalls = {
+    Syscall::Brk, Syscall::Getrandom, Syscall::Gettimeofday,
+    Syscall::ClockGettime, Syscall::Openat, Syscall::Read,
+    Syscall::Close};
+const std::set<Syscall> kGuiSyscalls = {
+    Syscall::Socket, Syscall::Connect, Syscall::Select,
+    Syscall::Sendto, Syscall::Futex, Syscall::Getuid,
+    Syscall::Access, Syscall::Eventfd2};
+const std::set<Syscall> kStoreSyscalls = {
+    Syscall::Openat, Syscall::Write, Syscall::Close, Syscall::Umask,
+    Syscall::Mkdir, Syscall::Lstat, Syscall::Uname, Syscall::Unlink,
+    Syscall::Dup};
+
+} // namespace
+
+void
+registerMiniCv(ApiRegistry &registry)
+{
+    // ================= Data loading ===================================
+
+    {
+        ApiDescriptor api;
+        api.name = "cv2.imread";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Loading;
+        api.ir = {opMemFile()};
+        api.syscalls = kLoadFileSyscalls;
+        api.cves = {"CVE-2017-12597", "CVE-2017-12604",
+                    "CVE-2017-12605", "CVE-2017-12606",
+                    "CVE-2017-17760", "CVE-2017-14136",
+                    "CVE-2017-12862", "CVE-2017-12864"};
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &desc,
+                    const ValueList &args) -> ValueList {
+            const std::string &path = args[0].asStr();
+            std::vector<uint8_t> bytes = loadFileBytes(ctx, path);
+            return decodeToMat(ctx, desc, bytes, "img:" + path);
+        };
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "cv2.imdecode";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Loading;
+        api.ir = {opMemFile()};
+        api.syscalls = {Syscall::Brk};
+        api.cves = {"CVE-2018-5269"};
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &desc,
+                    const ValueList &args) -> ValueList {
+            // Decodes an in-memory byte blob (e.g. network payload).
+            return decodeToMat(ctx, desc, args[0].asBlob(),
+                               "imdecode");
+        };
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "cv2.VideoCapture.read";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Loading;
+        api.ir = {opMemDev()};
+        api.syscalls = kCameraSyscalls;
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &,
+                    const ValueList &) -> ValueList {
+            osim::Kernel &kernel = ctx.kernel();
+            osim::Process &proc = ctx.proc();
+            osim::Fd fd = ctx.cameraFd();
+            kernel.sysIoctl(proc, fd, osim::kIoctlCaptureFrame);
+            kernel.sysSelect(proc, fd);
+            osim::CameraDevice &cam = kernel.camera();
+            MatDesc mat = ctx.allocMat(cam.height(), cam.width(),
+                                       cam.channels(), "frame");
+            kernel.sysRead(proc, fd, mat.addr, mat.byteLen());
+            ctx.traceOp(StorageKind::Mem, StorageKind::Dev);
+            return retMat(ctx, mat, "frame");
+        };
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "cv2.CascadeClassifier.load";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Loading;
+        api.ir = {opMemFile()};
+        api.syscalls = kLoadFileSyscalls;
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &desc,
+                    const ValueList &args) -> ValueList {
+            const std::string &path = args[0].asStr();
+            std::vector<uint8_t> bytes = loadFileBytes(ctx, path);
+            return decodeToMat(ctx, desc, bytes, "cascade:" + path);
+        };
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "cv2.readOpticalFlow";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Loading;
+        api.ir = {opMemFile()};
+        api.syscalls = kLoadFileSyscalls;
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &desc,
+                    const ValueList &args) -> ValueList {
+            std::vector<uint8_t> bytes =
+                loadFileBytes(ctx, args[0].asStr());
+            return decodeToMat(ctx, desc, bytes, "flow");
+        };
+        registry.add(std::move(api));
+    }
+
+    // ================= Data processing ================================
+
+    auto addUnary = [&registry](const std::string &name,
+                                UnaryKernel kernel,
+                                bool neutral = false) {
+        ApiDescriptor api;
+        api.name = name;
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Processing;
+        api.typeNeutral = neutral;
+        api.ir = {opMemMem()};
+        api.syscalls = {Syscall::Brk};
+        api.fn = unaryBody(kernel);
+        registry.add(std::move(api));
+    };
+
+    addUnary("cv2.GaussianBlur", &ops::gaussianBlur3x3);
+    addUnary("cv2.erode", &ops::erode3x3);
+    addUnary("cv2.dilate", &ops::dilate3x3);
+    addUnary("cv2.morphologyEx",
+             +[](const uint8_t *s, uint8_t *d, uint32_t r, uint32_t c,
+                 uint32_t ch) { ops::morphClose(s, d, r, c, ch); });
+    addUnary("cv2.flip",
+             +[](const uint8_t *s, uint8_t *d, uint32_t r, uint32_t c,
+                 uint32_t ch) { ops::flipHorizontal(s, d, r, c, ch); });
+    // cvtColor and createMemStorage/alloc are the paper's examples of
+    // type-neutral utilities (§4.2).
+    {
+        ApiDescriptor api;
+        api.name = "cv2.cvtColor";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Processing;
+        api.typeNeutral = true;
+        api.ir = {opMemMem()};
+        api.syscalls = {Syscall::Brk};
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &desc,
+                    const ValueList &args) -> ValueList {
+            const MatDesc &src = getMat(ctx, args, 0);
+            checkPixelExploit(ctx, desc, src);
+            MatDesc dst =
+                ctx.allocMat(src.rows, src.cols, 1, "gray");
+            const uint8_t *s =
+                ctx.space().checkedSpan(src.addr, src.byteLen());
+            uint8_t *d = ctx.space().checkedSpan(dst.addr,
+                                                 dst.byteLen(), true);
+            ops::toGray(s, d, src.rows, src.cols, src.channels);
+            ctx.traceOp(StorageKind::Mem, StorageKind::Mem);
+            ctx.chargeCompute(src.elements());
+            return retMat(ctx, dst, "gray");
+        };
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "cv2.blur";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Processing;
+        api.ir = {opMemMem()};
+        api.syscalls = {Syscall::Brk};
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &desc,
+                    const ValueList &args) -> ValueList {
+            const MatDesc &src = getMat(ctx, args, 0);
+            checkPixelExploit(ctx, desc, src);
+            uint32_t k = args.size() > 1
+                             ? static_cast<uint32_t>(args[1].asU64())
+                             : 3;
+            MatDesc dst = ctx.allocMat(src.rows, src.cols,
+                                       src.channels, "blur");
+            ops::boxBlur(
+                ctx.space().checkedSpan(src.addr, src.byteLen()),
+                ctx.space().checkedSpan(dst.addr, dst.byteLen(), true),
+                src.rows, src.cols, src.channels, k);
+            ctx.traceOp(StorageKind::Mem, StorageKind::Mem);
+            ctx.chargeCompute(src.elements() * k);
+            return retMat(ctx, dst, "blur");
+        };
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "cv2.Canny";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Processing;
+        api.ir = {opMemMem()};
+        api.syscalls = {Syscall::Brk};
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &desc,
+                    const ValueList &args) -> ValueList {
+            const MatDesc &src = getMat(ctx, args, 0);
+            checkPixelExploit(ctx, desc, src);
+            uint8_t lo = static_cast<uint8_t>(args[1].asU64());
+            uint8_t hi = static_cast<uint8_t>(args[2].asU64());
+            // Canny expects grayscale; convert internally otherwise.
+            std::vector<uint8_t> gray;
+            const uint8_t *g;
+            const uint8_t *s =
+                ctx.space().checkedSpan(src.addr, src.byteLen());
+            if (src.channels == 1) {
+                g = s;
+            } else {
+                gray.resize(static_cast<size_t>(src.rows) * src.cols);
+                ops::toGray(s, gray.data(), src.rows, src.cols,
+                            src.channels);
+                g = gray.data();
+            }
+            MatDesc dst = ctx.allocMat(src.rows, src.cols, 1,
+                                       "edges");
+            ops::cannyEdges(
+                g,
+                ctx.space().checkedSpan(dst.addr, dst.byteLen(), true),
+                src.rows, src.cols, lo, hi);
+            ctx.traceOp(StorageKind::Mem, StorageKind::Mem);
+            ctx.chargeCompute(src.elements() * 3);
+            return retMat(ctx, dst, "edges");
+        };
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "cv2.resize";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Processing;
+        api.ir = {opMemMem()};
+        api.syscalls = {Syscall::Brk};
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &desc,
+                    const ValueList &args) -> ValueList {
+            const MatDesc &src = getMat(ctx, args, 0);
+            checkPixelExploit(ctx, desc, src);
+            uint32_t drows = static_cast<uint32_t>(args[1].asU64());
+            uint32_t dcols = static_cast<uint32_t>(args[2].asU64());
+            MatDesc dst =
+                ctx.allocMat(drows, dcols, src.channels, "resized");
+            ops::resizeBilinear(
+                ctx.space().checkedSpan(src.addr, src.byteLen()),
+                src.rows, src.cols, src.channels,
+                ctx.space().checkedSpan(dst.addr, dst.byteLen(), true),
+                drows, dcols);
+            ctx.traceOp(StorageKind::Mem, StorageKind::Mem);
+            ctx.chargeCompute(dst.elements());
+            return retMat(ctx, dst, "resized");
+        };
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "cv2.equalizeHist";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Processing;
+        api.ir = {opMemMem()};
+        api.syscalls = {Syscall::Brk};
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &desc,
+                    const ValueList &args) -> ValueList {
+            const MatDesc &src = getMat(ctx, args, 0);
+            checkPixelExploit(ctx, desc, src);
+            if (src.channels != 1)
+                util::fatal("cv2.equalizeHist: expects grayscale");
+            MatDesc dst =
+                ctx.allocMat(src.rows, src.cols, 1, "equalized");
+            ops::equalizeHist(
+                ctx.space().checkedSpan(src.addr, src.byteLen()),
+                ctx.space().checkedSpan(dst.addr, dst.byteLen(), true),
+                src.rows, src.cols);
+            ctx.traceOp(StorageKind::Mem, StorageKind::Mem);
+            ctx.chargeCompute(src.elements());
+            return retMat(ctx, dst, "equalized");
+        };
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "cv2.threshold";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Processing;
+        api.ir = {opMemMem()};
+        api.syscalls = {Syscall::Brk};
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &desc,
+                    const ValueList &args) -> ValueList {
+            const MatDesc &src = getMat(ctx, args, 0);
+            checkPixelExploit(ctx, desc, src);
+            uint8_t thresh = static_cast<uint8_t>(args[1].asU64());
+            uint8_t maxval = static_cast<uint8_t>(args[2].asU64());
+            MatDesc dst = ctx.allocMat(src.rows, src.cols,
+                                       src.channels, "thresh");
+            ops::threshold(
+                ctx.space().checkedSpan(src.addr, src.byteLen()),
+                ctx.space().checkedSpan(dst.addr, dst.byteLen(), true),
+                src.byteLen(), thresh, maxval);
+            ctx.traceOp(StorageKind::Mem, StorageKind::Mem);
+            ctx.chargeCompute(src.elements());
+            return retMat(ctx, dst, "thresh");
+        };
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "cv2.warpPerspective";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Processing;
+        api.ir = {opMemMem()};
+        api.syscalls = {Syscall::Brk};
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &desc,
+                    const ValueList &args) -> ValueList {
+            const MatDesc &src = getMat(ctx, args, 0);
+            checkPixelExploit(ctx, desc, src);
+            double h[9];
+            for (int i = 0; i < 9; ++i)
+                h[i] = args[static_cast<size_t>(1 + i)].asF64();
+            MatDesc dst = ctx.allocMat(src.rows, src.cols,
+                                       src.channels, "warped");
+            ops::warpPerspective(
+                ctx.space().checkedSpan(src.addr, src.byteLen()),
+                ctx.space().checkedSpan(dst.addr, dst.byteLen(), true),
+                src.rows, src.cols, src.channels, h);
+            ctx.traceOp(StorageKind::Mem, StorageKind::Mem);
+            ctx.chargeCompute(src.elements() * 2);
+            return retMat(ctx, dst, "warped");
+        };
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "cv2.findContours";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Processing;
+        api.ir = {opMemMem()};
+        api.syscalls = {Syscall::Brk};
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &desc,
+                    const ValueList &args) -> ValueList {
+            const MatDesc &src = getMat(ctx, args, 0);
+            checkPixelExploit(ctx, desc, src);
+            if (src.channels != 1)
+                util::fatal("cv2.findContours: expects binary image");
+            std::vector<ops::Box> boxes;
+            uint32_t count = ops::connectedComponents(
+                ctx.space().checkedSpan(src.addr, src.byteLen()),
+                src.rows, src.cols, &boxes);
+            ctx.traceOp(StorageKind::Mem, StorageKind::Mem);
+            ctx.chargeCompute(src.elements());
+            std::vector<uint8_t> blob(boxes.size() *
+                                      sizeof(ops::Box));
+            std::memcpy(blob.data(), boxes.data(), blob.size());
+            return {Value(static_cast<uint64_t>(count)),
+                    Value(std::move(blob))};
+        };
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "cv2.matchTemplate";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Processing;
+        api.ir = {opMemMem()};
+        api.syscalls = {Syscall::Brk};
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &desc,
+                    const ValueList &args) -> ValueList {
+            const MatDesc &img = getMat(ctx, args, 0);
+            const MatDesc &tmpl = getMat(ctx, args, 1);
+            checkPixelExploit(ctx, desc, img);
+            if (img.channels != 1 || tmpl.channels != 1)
+                util::fatal("cv2.matchTemplate: expects grayscale");
+            uint32_t br = 0, bc = 0;
+            uint64_t score = ops::templateMatchBest(
+                ctx.space().checkedSpan(img.addr, img.byteLen()),
+                img.rows, img.cols,
+                ctx.space().checkedSpan(tmpl.addr, tmpl.byteLen()),
+                tmpl.rows, tmpl.cols, br, bc);
+            ctx.traceOp(StorageKind::Mem, StorageKind::Mem);
+            ctx.chargeCompute(static_cast<size_t>(img.elements()) *
+                              tmpl.elements() / 64 + 1);
+            return {Value(static_cast<uint64_t>(br)),
+                    Value(static_cast<uint64_t>(bc)), Value(score)};
+        };
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "cv2.CascadeClassifier.detectMultiScale";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Processing;
+        api.ir = {opMemMem()};
+        api.syscalls = kProcessSyscalls;
+        api.cves = {"CVE-2019-5063", "CVE-2019-5064",
+                    "CVE-2019-14491", "CVE-2019-14492",
+                    "CVE-2019-14493"};
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &desc,
+                    const ValueList &args) -> ValueList {
+            // args: image (gray), cascade template (gray).
+            const MatDesc &img = getMat(ctx, args, 0);
+            checkPixelExploit(ctx, desc, img);
+            if (img.channels != 1)
+                util::fatal("detectMultiScale: expects grayscale");
+            // "Detection": threshold + connected components, a real
+            // (if simple) object detector over the pixel data.
+            std::vector<uint8_t> bin(img.byteLen());
+            ops::threshold(
+                ctx.space().checkedSpan(img.addr, img.byteLen()),
+                bin.data(), img.byteLen(), 128, 255);
+            std::vector<ops::Box> boxes;
+            ops::connectedComponents(bin.data(), img.rows, img.cols,
+                                     &boxes);
+            ctx.traceOp(StorageKind::Mem, StorageKind::Mem);
+            ctx.chargeCompute(img.elements() * 4);
+            std::vector<uint8_t> blob(boxes.size() *
+                                      sizeof(ops::Box));
+            std::memcpy(blob.data(), boxes.data(), blob.size());
+            return {Value(static_cast<uint64_t>(boxes.size())),
+                    Value(std::move(blob))};
+        };
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "cv2.rectangle";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Processing;
+        api.ir = {opMemMem()};
+        api.syscalls = {Syscall::Brk};
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &desc,
+                    const ValueList &args) -> ValueList {
+            const MatDesc &mat = getMat(ctx, args, 0);
+            checkPixelExploit(ctx, desc, mat);
+            ops::Box box = {static_cast<uint32_t>(args[1].asU64()),
+                            static_cast<uint32_t>(args[2].asU64()),
+                            static_cast<uint32_t>(args[3].asU64()),
+                            static_cast<uint32_t>(args[4].asU64())};
+            uint8_t color = static_cast<uint8_t>(args[5].asU64());
+            ops::drawRect(
+                ctx.space().checkedSpan(mat.addr, mat.byteLen(), true),
+                mat.rows, mat.cols, mat.channels, box, color);
+            ctx.traceOp(StorageKind::Mem, StorageKind::Mem);
+            // Drawing into a large Mat dirties cache lines across the
+            // whole image footprint; charge proportional compute.
+            ctx.chargeCompute(mat.elements() / 8 +
+                              (box[2] + box[3]) * 2 + 1);
+            // Draw APIs mutate in place; return the same ref.
+            return {args[0]};
+        };
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "cv2.putText";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Processing;
+        api.ir = {opMemMem()};
+        api.syscalls = {Syscall::Brk};
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &desc,
+                    const ValueList &args) -> ValueList {
+            const MatDesc &mat = getMat(ctx, args, 0);
+            checkPixelExploit(ctx, desc, mat);
+            const std::string &text = args[1].asStr();
+            uint32_t r = static_cast<uint32_t>(args[2].asU64());
+            uint32_t c = static_cast<uint32_t>(args[3].asU64());
+            uint8_t color = static_cast<uint8_t>(args[4].asU64());
+            ops::drawText(
+                ctx.space().checkedSpan(mat.addr, mat.byteLen(), true),
+                mat.rows, mat.cols, mat.channels, r, c, text, color);
+            ctx.traceOp(StorageKind::Mem, StorageKind::Mem);
+            ctx.chargeCompute(mat.elements() / 8 +
+                              text.size() * 35 + 1);
+            return {args[0]};
+        };
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "cv2.addWeighted";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Processing;
+        api.ir = {opMemMem()};
+        api.syscalls = {Syscall::Brk};
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &desc,
+                    const ValueList &args) -> ValueList {
+            const MatDesc &a = getMat(ctx, args, 0);
+            const MatDesc &b = getMat(ctx, args, 1);
+            checkPixelExploit(ctx, desc, a);
+            double alpha = args[2].asF64();
+            double beta = args[3].asF64();
+            if (a.byteLen() != b.byteLen())
+                util::fatal("cv2.addWeighted: shape mismatch");
+            MatDesc dst =
+                ctx.allocMat(a.rows, a.cols, a.channels, "blend");
+            ops::addWeighted(
+                ctx.space().checkedSpan(a.addr, a.byteLen()),
+                ctx.space().checkedSpan(b.addr, b.byteLen()),
+                ctx.space().checkedSpan(dst.addr, dst.byteLen(), true),
+                a.byteLen(), alpha, beta);
+            ctx.traceOp(StorageKind::Mem, StorageKind::Mem);
+            ctx.chargeCompute(a.elements());
+            return retMat(ctx, dst, "blend");
+        };
+        registry.add(std::move(api));
+    }
+
+    addUnary("cv2.normalize",
+             +[](const uint8_t *s, uint8_t *d, uint32_t r, uint32_t c,
+                 uint32_t ch) {
+                 ops::normalizeMinMax(
+                     s, d, static_cast<size_t>(r) * c * ch);
+             });
+    addUnary("cv2.bitwise_not",
+             +[](const uint8_t *s, uint8_t *d, uint32_t r, uint32_t c,
+                 uint32_t ch) {
+                 ops::invert(s, d, static_cast<size_t>(r) * c * ch);
+             });
+
+    {
+        ApiDescriptor api;
+        api.name = "cv2.absdiff";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Processing;
+        api.ir = {opMemMem()};
+        api.syscalls = {Syscall::Brk};
+        api.fn = binaryBody(&ops::absdiff);
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "cv2.Sobel";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Processing;
+        api.ir = {opMemMem()};
+        api.syscalls = {Syscall::Brk};
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &desc,
+                    const ValueList &args) -> ValueList {
+            const MatDesc &src = getMat(ctx, args, 0);
+            checkPixelExploit(ctx, desc, src);
+            if (src.channels != 1)
+                util::fatal("cv2.Sobel: expects grayscale");
+            MatDesc dst =
+                ctx.allocMat(src.rows, src.cols, 1, "sobel");
+            ops::sobelMagnitude(
+                ctx.space().checkedSpan(src.addr, src.byteLen()),
+                ctx.space().checkedSpan(dst.addr, dst.byteLen(), true),
+                src.rows, src.cols);
+            ctx.traceOp(StorageKind::Mem, StorageKind::Mem);
+            ctx.chargeCompute(src.elements() * 2);
+            return retMat(ctx, dst, "sobel");
+        };
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "cv2.filter2D";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Processing;
+        api.ir = {opMemMem()};
+        api.syscalls = {Syscall::Brk};
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &desc,
+                    const ValueList &args) -> ValueList {
+            const MatDesc &src = getMat(ctx, args, 0);
+            checkPixelExploit(ctx, desc, src);
+            float k[9];
+            for (int i = 0; i < 9; ++i)
+                k[i] = static_cast<float>(
+                    args[static_cast<size_t>(1 + i)].asF64());
+            MatDesc dst = ctx.allocMat(src.rows, src.cols,
+                                       src.channels, "filtered");
+            ops::convFilter3x3(
+                ctx.space().checkedSpan(src.addr, src.byteLen()),
+                ctx.space().checkedSpan(dst.addr, dst.byteLen(), true),
+                src.rows, src.cols, src.channels, k);
+            ctx.traceOp(StorageKind::Mem, StorageKind::Mem);
+            ctx.chargeCompute(src.elements() * 9);
+            return retMat(ctx, dst, "filtered");
+        };
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "cv2.calcHist";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Processing;
+        api.ir = {opMemMem()};
+        api.syscalls = {Syscall::Brk};
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &desc,
+                    const ValueList &args) -> ValueList {
+            const MatDesc &src = getMat(ctx, args, 0);
+            checkPixelExploit(ctx, desc, src);
+            uint32_t hist[256];
+            ops::histogram256(
+                ctx.space().checkedSpan(src.addr, src.byteLen()),
+                src.byteLen(), hist);
+            ctx.traceOp(StorageKind::Mem, StorageKind::Mem);
+            ctx.chargeCompute(src.elements());
+            std::vector<uint8_t> blob(sizeof(hist));
+            std::memcpy(blob.data(), hist, sizeof(hist));
+            return {Value(std::move(blob))};
+        };
+        registry.add(std::move(api));
+    }
+
+    // Type-neutral utility APIs (§4.2): pure memory plumbing used
+    // alongside every other type.
+    for (const char *name :
+         {"cv2.createMemStorage", "cv2.alloc", "cv2.copyTo"}) {
+        ApiDescriptor api;
+        api.name = name;
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Processing;
+        api.typeNeutral = true;
+        api.ir = {opMemMem()};
+        api.syscalls = {Syscall::Brk, Syscall::Mmap};
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &desc,
+                    const ValueList &args) -> ValueList {
+            if (args.empty() ||
+                args[0].kind() != Value::Kind::Ref) {
+                // Bare allocation utility: returns an empty 1-page
+                // buffer object.
+                osim::Addr addr = ctx.kernel().sysMmap(
+                    ctx.proc(), osim::kPageSize, osim::PermRW,
+                    desc.name);
+                uint64_t id = ctx.store().putBytes(
+                    addr, osim::kPageSize, desc.name);
+                return {refValue(ctx.partition(), id)};
+            }
+            // copyTo: deep copy of a Mat.
+            const MatDesc &src = getMat(ctx, args, 0);
+            MatDesc dst = ctx.allocMat(src.rows, src.cols,
+                                       src.channels, "copy");
+            const uint8_t *s =
+                ctx.space().checkedSpan(src.addr, src.byteLen());
+            uint8_t *d = ctx.space().checkedSpan(dst.addr,
+                                                 dst.byteLen(), true);
+            std::memcpy(d, s, src.byteLen());
+            ctx.traceOp(StorageKind::Mem, StorageKind::Mem);
+            ctx.chargeCompute(src.elements());
+            return retMat(ctx, dst, "copy");
+        };
+        registry.add(std::move(api));
+    }
+
+    // ================= Visualizing ====================================
+
+    {
+        ApiDescriptor api;
+        api.name = "cv2.imshow";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Visualizing;
+        api.ir = {opGuiMem()};
+        api.syscalls = kGuiSyscalls;
+        // The motivating example's DoS vulnerability in imshow()
+        // (Fig. 1 (B)); no public CVE id is given in the paper, so a
+        // clearly-marked simulation id is used.
+        api.cves = {"SIM-IMSHOW-DOS"};
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &desc,
+                    const ValueList &args) -> ValueList {
+            const std::string &window = args[0].asStr();
+            const MatDesc &mat = getMat(ctx, args, 1);
+            checkPixelExploit(ctx, desc, mat);
+            osim::Fd fd = ctx.guiFd();
+            ctx.kernel().guiShow(ctx.proc(), fd, window, mat.cols,
+                                 mat.rows, mat.addr, mat.byteLen());
+            ctx.traceOp(StorageKind::Gui, StorageKind::Mem);
+            return {};
+        };
+        registry.add(std::move(api));
+    }
+
+    auto addGuiNoop = [&registry](const std::string &name) {
+        ApiDescriptor api;
+        api.name = name;
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Visualizing;
+        api.ir = {opGuiMem()};
+        api.syscalls = kGuiSyscalls;
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &,
+                    const ValueList &) -> ValueList {
+            osim::Fd fd = ctx.guiFd();
+            ctx.kernel().sysSelect(ctx.proc(), fd);
+            ctx.traceOp(StorageKind::Gui, StorageKind::Mem);
+            return {};
+        };
+        registry.add(std::move(api));
+    };
+    addGuiNoop("cv2.namedWindow");
+    addGuiNoop("cv2.moveWindow");
+    addGuiNoop("cv2.setWindowTitle");
+    addGuiNoop("cv2.destroyAllWindows");
+
+    {
+        ApiDescriptor api;
+        api.name = "cv2.pollKey";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Visualizing;
+        api.ir = {opMemGui()};
+        api.syscalls = kGuiSyscalls;
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &,
+                    const ValueList &) -> ValueList {
+            osim::Fd fd = ctx.guiFd();
+            ctx.kernel().sysSelect(ctx.proc(), fd);
+            int key = ctx.kernel().display().popKey();
+            ctx.traceOp(StorageKind::Mem, StorageKind::Gui);
+            return {Value(static_cast<int64_t>(key))};
+        };
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "cv2.getMouseWheelDelta";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Visualizing;
+        api.ir = {opMemGui()};
+        api.syscalls = kGuiSyscalls;
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &,
+                    const ValueList &) -> ValueList {
+            osim::Fd fd = ctx.guiFd();
+            ctx.kernel().sysSelect(ctx.proc(), fd);
+            ctx.traceOp(StorageKind::Mem, StorageKind::Gui);
+            return {Value(static_cast<int64_t>(0))};
+        };
+        registry.add(std::move(api));
+    }
+
+    // ================= Storing ========================================
+
+    {
+        ApiDescriptor api;
+        api.name = "cv2.imwrite";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Storing;
+        api.ir = {opFileMem()};
+        api.syscalls = kStoreSyscalls;
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &,
+                    const ValueList &args) -> ValueList {
+            const std::string &path = args[0].asStr();
+            const MatDesc &mat = getMat(ctx, args, 1);
+            std::vector<uint8_t> pixels(mat.byteLen());
+            ctx.space().read(mat.addr, pixels.data(), pixels.size());
+            std::vector<uint8_t> file = encodeImageFile(
+                mat.rows, mat.cols, mat.channels, pixels);
+            storeFileBytes(ctx, path, file);
+            ctx.traceOp(StorageKind::File, StorageKind::Mem);
+            return {Value(static_cast<uint64_t>(1))};
+        };
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "cv2.VideoWriter.write";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Storing;
+        api.ir = {opFileMem()};
+        api.syscalls = kStoreSyscalls;
+        api.syscalls.insert(Syscall::Lseek); // appends at stream end
+        api.stateful = true; // keeps an open output stream position
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &,
+                    const ValueList &args) -> ValueList {
+            const std::string &path = args[0].asStr();
+            const MatDesc &mat = getMat(ctx, args, 1);
+            std::vector<uint8_t> pixels(mat.byteLen());
+            ctx.space().read(mat.addr, pixels.data(), pixels.size());
+            // Append the frame to the "video" container file.
+            osim::Kernel &kernel = ctx.kernel();
+            osim::Process &proc = ctx.proc();
+            osim::Fd fd = kernel.sysOpen(proc, path, true);
+            size_t end = kernel.vfs().sizeOf(path);
+            kernel.sysLseek(proc, fd, end);
+            osim::Addr staging = ctx.space().alloc(
+                pixels.size() ? pixels.size() : 1, osim::PermRW,
+                "frame-out");
+            ctx.space().write(staging, pixels.data(), pixels.size());
+            kernel.sysWrite(proc, fd, staging, pixels.size());
+            kernel.sysClose(proc, fd);
+            ctx.space().unmap(staging);
+            ctx.traceOp(StorageKind::File, StorageKind::Mem);
+            return {Value(static_cast<uint64_t>(pixels.size()))};
+        };
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "cv2.writeOpticalFlow";
+        api.framework = Framework::OpenCV;
+        api.declaredType = ApiType::Storing;
+        api.ir = {opFileMem()};
+        api.syscalls = kStoreSyscalls;
+        api.fn = registry.require("cv2.imwrite").fn;
+        registry.add(std::move(api));
+    }
+
+    // ================= Companion frameworks ===========================
+
+    {
+        ApiDescriptor api;
+        api.name = "pil.Image.open";
+        api.framework = Framework::Pillow;
+        api.declaredType = ApiType::Loading;
+        api.ir = {opMemFile()};
+        api.syscalls = kLoadFileSyscalls;
+        api.cves = {"CVE-2020-10378"};
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &desc,
+                    const ValueList &args) -> ValueList {
+            std::vector<uint8_t> bytes =
+                loadFileBytes(ctx, args[0].asStr());
+            return decodeToMat(ctx, desc, bytes,
+                               "pil:" + args[0].asStr());
+        };
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "pil.Image.save";
+        api.framework = Framework::Pillow;
+        api.declaredType = ApiType::Storing;
+        api.ir = {opFileMem()};
+        api.syscalls = kStoreSyscalls;
+        api.fn = registry.require("cv2.imwrite").fn;
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "pil.Image.resize";
+        api.framework = Framework::Pillow;
+        api.declaredType = ApiType::Processing;
+        api.ir = {opMemMem()};
+        api.syscalls = {Syscall::Brk};
+        api.fn = registry.require("cv2.resize").fn;
+        registry.add(std::move(api));
+    }
+
+    // pandas / json / Matplotlib: the Table 2 footnote cases whose
+    // data flows the static pass cannot see (indirect dispatch inside
+    // the Python runtime) — IR ops flagged indirect.
+    {
+        ApiDescriptor api;
+        api.name = "pd.read_csv";
+        api.framework = Framework::Pandas;
+        api.declaredType = ApiType::Loading;
+        api.ir = {indirect(opMemFile())};
+        api.syscalls = kLoadFileSyscalls;
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &,
+                    const ValueList &args) -> ValueList {
+            std::vector<uint8_t> bytes =
+                loadFileBytes(ctx, args[0].asStr());
+            osim::Addr addr = ctx.space().alloc(
+                bytes.size() ? bytes.size() : 1, osim::PermRW, "csv");
+            ctx.space().write(addr, bytes.data(), bytes.size());
+            uint64_t id =
+                ctx.store().putBytes(addr, bytes.size(), "csv");
+            ctx.traceOp(StorageKind::Mem, StorageKind::File);
+            ctx.chargeCompute(bytes.size());
+            return {refValue(ctx.partition(), id)};
+        };
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "pd.DataFrame.to_csv";
+        api.framework = Framework::Pandas;
+        api.declaredType = ApiType::Storing;
+        api.ir = {indirect(opFileMem())};
+        api.syscalls = kStoreSyscalls;
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &,
+                    const ValueList &args) -> ValueList {
+            const std::string &path = args[0].asStr();
+            const StoredObject &obj =
+                ctx.store().get(argObjectId(args, 1));
+            std::vector<uint8_t> bytes(obj.byteLen);
+            ctx.space().read(obj.addr, bytes.data(), bytes.size());
+            storeFileBytes(ctx, path, bytes);
+            ctx.traceOp(StorageKind::File, StorageKind::Mem);
+            return {Value(static_cast<uint64_t>(bytes.size()))};
+        };
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "json.load";
+        api.framework = Framework::Json;
+        api.declaredType = ApiType::Loading;
+        api.ir = {indirect(opMemFile())};
+        api.syscalls = kLoadFileSyscalls;
+        api.fn = registry.require("pd.read_csv").fn;
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "json.dump";
+        api.framework = Framework::Json;
+        api.declaredType = ApiType::Storing;
+        api.ir = {indirect(opFileMem())};
+        api.syscalls = kStoreSyscalls;
+        api.fn = registry.require("pd.DataFrame.to_csv").fn;
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "plt.show";
+        api.framework = Framework::Matplotlib;
+        api.declaredType = ApiType::Visualizing;
+        api.ir = {indirect(opGuiMem())};
+        api.syscalls = kGuiSyscalls;
+        api.fn = registry.require("cv2.imshow").fn;
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "plt.savefig";
+        api.framework = Framework::Matplotlib;
+        api.declaredType = ApiType::Storing;
+        api.ir = {indirect(opFileMem())};
+        api.syscalls = kStoreSyscalls;
+        api.fn = registry.require("cv2.imwrite").fn;
+        registry.add(std::move(api));
+    }
+
+    // GTK APIs used by the MComix3 case study (§5.4.2): the recent-
+    // files manager is GUI state held in the visualizing process.
+    {
+        ApiDescriptor api;
+        api.name = "gtk.RecentManager.add";
+        api.framework = Framework::Gtk;
+        api.declaredType = ApiType::Visualizing;
+        api.ir = {opGuiMem()};
+        api.syscalls = kGuiSyscalls;
+        api.stateful = true; // accumulates the recent-files list
+        api.fn = [](ExecContext &ctx, const ApiDescriptor &,
+                    const ValueList &args) -> ValueList {
+            osim::Fd fd = ctx.guiFd();
+            ctx.kernel().sysSelect(ctx.proc(), fd);
+            // Store the recent file name in process-local GUI state.
+            const std::string &name = args[0].asStr();
+            osim::Addr addr = ctx.space().alloc(
+                name.size() ? name.size() : 1, osim::PermRW,
+                "recent-file");
+            ctx.space().write(addr, name.data(), name.size());
+            ctx.store().putBytes(addr, name.size(), "recent-file");
+            ctx.traceOp(StorageKind::Gui, StorageKind::Mem);
+            return {};
+        };
+        registry.add(std::move(api));
+    }
+
+    {
+        ApiDescriptor api;
+        api.name = "gtk.Window.show";
+        api.framework = Framework::Gtk;
+        api.declaredType = ApiType::Visualizing;
+        api.ir = {opGuiMem()};
+        api.syscalls = kGuiSyscalls;
+        api.fn = registry.require("cv2.imshow").fn;
+        registry.add(std::move(api));
+    }
+}
+
+} // namespace freepart::fw

@@ -1,0 +1,152 @@
+#include "fw/object_store.hh"
+
+#include "util/logging.hh"
+
+namespace freepart::fw {
+
+ObjectStore::ObjectStore(osim::Kernel &kernel, osim::Pid pid,
+                         uint64_t *id_counter)
+    : kernel(kernel), pid_(pid), idCounter(id_counter)
+{
+    if (!id_counter)
+        util::panic("ObjectStore: null id counter");
+}
+
+uint64_t
+ObjectStore::putMat(const MatDesc &desc, const std::string &label)
+{
+    uint64_t id = ++*idCounter;
+    StoredObject obj;
+    obj.kind = ObjKind::Mat;
+    obj.mat = desc;
+    obj.addr = desc.addr;
+    obj.byteLen = desc.byteLen();
+    obj.label = label;
+    objects.emplace(id, std::move(obj));
+    return id;
+}
+
+uint64_t
+ObjectStore::putTensor(const TensorDesc &desc, const std::string &label)
+{
+    uint64_t id = ++*idCounter;
+    StoredObject obj;
+    obj.kind = ObjKind::Tensor;
+    obj.tensor = desc;
+    obj.addr = desc.addr;
+    obj.byteLen = desc.byteLen();
+    obj.label = label;
+    objects.emplace(id, std::move(obj));
+    return id;
+}
+
+uint64_t
+ObjectStore::putBytes(osim::Addr addr, size_t len,
+                      const std::string &label)
+{
+    uint64_t id = ++*idCounter;
+    StoredObject obj;
+    obj.kind = ObjKind::Bytes;
+    obj.addr = addr;
+    obj.byteLen = len;
+    obj.label = label;
+    objects.emplace(id, std::move(obj));
+    return id;
+}
+
+const StoredObject &
+ObjectStore::get(uint64_t id) const
+{
+    auto it = objects.find(id);
+    if (it == objects.end())
+        util::panic("ObjectStore(pid %u): unknown object %llu", pid_,
+                    static_cast<unsigned long long>(id));
+    return it->second;
+}
+
+const MatDesc &
+ObjectStore::mat(uint64_t id) const
+{
+    const StoredObject &obj = get(id);
+    if (obj.kind != ObjKind::Mat)
+        util::panic("ObjectStore: object %llu is not a Mat",
+                    static_cast<unsigned long long>(id));
+    return obj.mat;
+}
+
+const TensorDesc &
+ObjectStore::tensor(uint64_t id) const
+{
+    const StoredObject &obj = get(id);
+    if (obj.kind != ObjKind::Tensor)
+        util::panic("ObjectStore: object %llu is not a Tensor",
+                    static_cast<unsigned long long>(id));
+    return obj.tensor;
+}
+
+void
+ObjectStore::erase(uint64_t id)
+{
+    objects.erase(id);
+}
+
+std::vector<uint8_t>
+ObjectStore::serialize(uint64_t id) const
+{
+    const StoredObject &obj = get(id);
+    const osim::AddressSpace &space = kernel.process(pid_).space();
+    switch (obj.kind) {
+      case ObjKind::Mat:
+        return matToBytes(space, obj.mat);
+      case ObjKind::Tensor:
+        return tensorToBytes(space, obj.tensor);
+      case ObjKind::Bytes: {
+        std::vector<uint8_t> out(obj.byteLen);
+        space.read(obj.addr, out.data(), obj.byteLen);
+        return out;
+      }
+    }
+    util::panic("ObjectStore::serialize: bad kind");
+}
+
+void
+ObjectStore::materialize(uint64_t id, ObjKind kind,
+                         const std::vector<uint8_t> &bytes,
+                         const std::string &label)
+{
+    osim::AddressSpace &space = kernel.process(pid_).space();
+    StoredObject obj;
+    obj.kind = kind;
+    obj.label = label;
+    switch (kind) {
+      case ObjKind::Mat:
+        obj.mat = matFromBytes(space, bytes, label);
+        obj.addr = obj.mat.addr;
+        obj.byteLen = obj.mat.byteLen();
+        break;
+      case ObjKind::Tensor:
+        obj.tensor = tensorFromBytes(space, bytes, label);
+        obj.addr = obj.tensor.addr;
+        obj.byteLen = obj.tensor.byteLen();
+        break;
+      case ObjKind::Bytes:
+        obj.addr = space.alloc(bytes.size() ? bytes.size() : 1,
+                               osim::PermRW, label);
+        obj.byteLen = bytes.size();
+        space.write(obj.addr, bytes.data(), bytes.size());
+        break;
+    }
+    objects[id] = std::move(obj);
+}
+
+std::vector<uint64_t>
+ObjectStore::ids() const
+{
+    std::vector<uint64_t> out;
+    out.reserve(objects.size());
+    for (const auto &[id, obj] : objects)
+        out.push_back(id);
+    return out;
+}
+
+} // namespace freepart::fw

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Per-process table of framework data objects (Mats, Tensors, raw
+ * byte regions). Object ids are globally unique across a runtime so a
+ * wire ObjectRef (partition, id) names exactly one object — the
+ * bookkeeping behind Lazy Data Copy (§4.3.2), matching the paper's
+ * map_set()/map_get() in the agent request handlers (Fig. 10-(c)).
+ */
+
+#ifndef FREEPART_FW_OBJECT_STORE_HH
+#define FREEPART_FW_OBJECT_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fw/mat.hh"
+#include "fw/tensor.hh"
+#include "osim/kernel.hh"
+
+namespace freepart::fw {
+
+/** Kinds of stored framework objects. */
+enum class ObjKind : uint8_t { Mat, Tensor, Bytes };
+
+/** One entry in an ObjectStore. */
+struct StoredObject {
+    ObjKind kind = ObjKind::Bytes;
+    MatDesc mat;        //!< valid when kind == Mat
+    TensorDesc tensor;  //!< valid when kind == Tensor
+    osim::Addr addr = osim::kNullAddr; //!< buffer base (all kinds)
+    size_t byteLen = 0; //!< buffer length (all kinds)
+    std::string label;  //!< debug label
+};
+
+/**
+ * Object table bound to one process's address space. The runtime
+ * creates one store per partition (and one for the host) and shares a
+ * single id counter across them.
+ */
+class ObjectStore
+{
+  public:
+    /**
+     * @param kernel      Owning kernel.
+     * @param pid         Process whose space holds the objects.
+     * @param id_counter  Shared monotonically increasing id source.
+     */
+    ObjectStore(osim::Kernel &kernel, osim::Pid pid,
+                uint64_t *id_counter);
+
+    osim::Pid pid() const { return pid_; }
+
+    /** Register a materialized Mat; returns its new object id. */
+    uint64_t putMat(const MatDesc &desc, const std::string &label = "");
+
+    /** Register a materialized Tensor. */
+    uint64_t putTensor(const TensorDesc &desc,
+                       const std::string &label = "");
+
+    /** Register a raw byte region. */
+    uint64_t putBytes(osim::Addr addr, size_t len,
+                      const std::string &label = "");
+
+    bool has(uint64_t id) const { return objects.count(id) > 0; }
+
+    /** Look up an object; panics on unknown id. */
+    const StoredObject &get(uint64_t id) const;
+
+    /** Fetch a Mat descriptor; panics if id is not a Mat. */
+    const MatDesc &mat(uint64_t id) const;
+
+    /** Fetch a Tensor descriptor; panics if id is not a Tensor. */
+    const TensorDesc &tensor(uint64_t id) const;
+
+    /** Drop an object (its memory stays allocated until unmapped). */
+    void erase(uint64_t id);
+
+    /** Serialize an object's header+data (for eager RPC transfer). */
+    std::vector<uint8_t> serialize(uint64_t id) const;
+
+    /**
+     * Materialize serialized bytes produced by serialize() into this
+     * store's process, preserving the original object id so refs keep
+     * resolving after a cross-process move.
+     */
+    void materialize(uint64_t id, ObjKind kind,
+                     const std::vector<uint8_t> &bytes,
+                     const std::string &label = "");
+
+    /** Number of live objects. */
+    size_t count() const { return objects.size(); }
+
+    /** All live object ids, ascending. */
+    std::vector<uint64_t> ids() const;
+
+    /** Remove everything (used on agent respawn). */
+    void clear() { objects.clear(); }
+
+  private:
+    osim::Kernel &kernel;
+    osim::Pid pid_;
+    uint64_t *idCounter;
+    std::map<uint64_t, StoredObject> objects;
+};
+
+} // namespace freepart::fw
+
+#endif // FREEPART_FW_OBJECT_STORE_HH

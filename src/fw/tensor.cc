@@ -1,0 +1,70 @@
+#include "fw/tensor.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace freepart::fw {
+
+std::vector<uint8_t>
+tensorToBytes(const osim::AddressSpace &space, const TensorDesc &desc)
+{
+    uint32_t rank = static_cast<uint32_t>(desc.shape.size());
+    std::vector<uint8_t> out(sizeof(uint32_t) * (1 + rank) +
+                             desc.byteLen());
+    std::memcpy(out.data(), &rank, sizeof(uint32_t));
+    std::memcpy(out.data() + sizeof(uint32_t), desc.shape.data(),
+                rank * sizeof(uint32_t));
+    space.read(desc.addr, out.data() + sizeof(uint32_t) * (1 + rank),
+               desc.byteLen());
+    return out;
+}
+
+TensorDesc
+tensorFromBytes(osim::AddressSpace &space,
+                const std::vector<uint8_t> &bytes,
+                const std::string &label)
+{
+    if (bytes.size() < sizeof(uint32_t))
+        util::fatal("tensorFromBytes: truncated header");
+    uint32_t rank = 0;
+    std::memcpy(&rank, bytes.data(), sizeof(uint32_t));
+    if (rank > 8)
+        util::fatal("tensorFromBytes: implausible rank %u", rank);
+    if (bytes.size() < sizeof(uint32_t) * (1 + rank))
+        util::fatal("tensorFromBytes: truncated shape");
+    TensorDesc desc;
+    desc.shape.resize(rank);
+    std::memcpy(desc.shape.data(), bytes.data() + sizeof(uint32_t),
+                rank * sizeof(uint32_t));
+    size_t expect = sizeof(uint32_t) * (1 + rank) + desc.byteLen();
+    if (bytes.size() < expect)
+        util::fatal("tensorFromBytes: truncated data (%zu < %zu)",
+                    bytes.size(), expect);
+    desc.addr = space.alloc(desc.byteLen() ? desc.byteLen() : 1,
+                            osim::PermRW, label);
+    space.write(desc.addr,
+                bytes.data() + sizeof(uint32_t) * (1 + rank),
+                desc.byteLen());
+    return desc;
+}
+
+std::vector<float>
+tensorRead(const osim::AddressSpace &space, const TensorDesc &desc)
+{
+    std::vector<float> out(desc.elements());
+    space.read(desc.addr, out.data(), desc.byteLen());
+    return out;
+}
+
+void
+tensorWrite(osim::AddressSpace &space, const TensorDesc &desc,
+            const std::vector<float> &values)
+{
+    if (values.size() != desc.elements())
+        util::panic("tensorWrite: %zu values for %zu elements",
+                    values.size(), desc.elements());
+    space.write(desc.addr, values.data(), desc.byteLen());
+}
+
+} // namespace freepart::fw

@@ -1,0 +1,205 @@
+#include "fw/vuln.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace freepart::fw {
+
+namespace {
+
+constexpr uint32_t kPayloadMagic = 0x4c495645; // "EVIL"
+
+void
+put32(std::vector<uint8_t> &out, uint32_t v)
+{
+    const auto *b = reinterpret_cast<const uint8_t *>(&v);
+    out.insert(out.end(), b, b + 4);
+}
+
+void
+put64(std::vector<uint8_t> &out, uint64_t v)
+{
+    const auto *b = reinterpret_cast<const uint8_t *>(&v);
+    out.insert(out.end(), b, b + 8);
+}
+
+} // namespace
+
+const char *
+payloadKindName(PayloadKind kind)
+{
+    switch (kind) {
+      case PayloadKind::OobWrite:
+        return "oob-write";
+      case PayloadKind::Exfiltrate:
+        return "exfiltrate";
+      case PayloadKind::Dos:
+        return "dos";
+      case PayloadKind::CodeRewrite:
+        return "code-rewrite";
+      case PayloadKind::ForkBomb:
+        return "fork-bomb";
+    }
+    return "?";
+}
+
+std::vector<uint8_t>
+encodePayload(const ExploitPayload &payload)
+{
+    std::vector<uint8_t> out;
+    put32(out, kPayloadMagic);
+    out.push_back(static_cast<uint8_t>(payload.kind));
+    put32(out, static_cast<uint32_t>(payload.cve.size()));
+    out.insert(out.end(), payload.cve.begin(), payload.cve.end());
+    put64(out, payload.targetAddr);
+    put32(out, static_cast<uint32_t>(payload.writeData.size()));
+    out.insert(out.end(), payload.writeData.begin(),
+               payload.writeData.end());
+    put64(out, payload.leakAddr);
+    put32(out, payload.leakLen);
+    put32(out, static_cast<uint32_t>(payload.dest.size()));
+    out.insert(out.end(), payload.dest.begin(), payload.dest.end());
+    put32(out, payload.forkCount);
+    return out;
+}
+
+std::optional<ExploitPayload>
+decodePayload(const std::vector<uint8_t> &bytes)
+{
+    size_t pos = 0;
+    auto get32 = [&](uint32_t &v) {
+        if (pos + 4 > bytes.size())
+            return false;
+        std::memcpy(&v, bytes.data() + pos, 4);
+        pos += 4;
+        return true;
+    };
+    auto get64 = [&](uint64_t &v) {
+        if (pos + 8 > bytes.size())
+            return false;
+        std::memcpy(&v, bytes.data() + pos, 8);
+        pos += 8;
+        return true;
+    };
+    auto getStr = [&](std::string &s) {
+        uint32_t n = 0;
+        if (!get32(n) || pos + n > bytes.size())
+            return false;
+        s.assign(bytes.begin() + static_cast<ptrdiff_t>(pos),
+                 bytes.begin() + static_cast<ptrdiff_t>(pos + n));
+        pos += n;
+        return true;
+    };
+
+    uint32_t magic = 0;
+    if (!get32(magic) || magic != kPayloadMagic)
+        return std::nullopt;
+    if (pos >= bytes.size())
+        return std::nullopt;
+
+    ExploitPayload p;
+    p.kind = static_cast<PayloadKind>(bytes[pos++]);
+    if (!getStr(p.cve))
+        return std::nullopt;
+    if (!get64(p.targetAddr))
+        return std::nullopt;
+    uint32_t wlen = 0;
+    if (!get32(wlen) || pos + wlen > bytes.size())
+        return std::nullopt;
+    p.writeData.assign(bytes.begin() + static_cast<ptrdiff_t>(pos),
+                       bytes.begin() +
+                           static_cast<ptrdiff_t>(pos + wlen));
+    pos += wlen;
+    if (!get64(p.leakAddr))
+        return std::nullopt;
+    if (!get32(p.leakLen))
+        return std::nullopt;
+    if (!getStr(p.dest))
+        return std::nullopt;
+    if (!get32(p.forkCount))
+        return std::nullopt;
+    return p;
+}
+
+void
+executePayload(ExecContext &ctx, const ExploitPayload &payload)
+{
+    osim::Kernel &kernel = ctx.kernel();
+    osim::Process &proc = ctx.proc();
+
+    switch (payload.kind) {
+      case PayloadKind::OobWrite:
+        // Arbitrary write with the process's own memory view. Under
+        // isolation the attacker-known address is simply not mapped
+        // here (or is read-only under temporal protection) -> fault.
+        proc.space().write(payload.targetAddr,
+                           payload.writeData.data(),
+                           payload.writeData.size());
+        break;
+
+      case PayloadKind::Exfiltrate: {
+        // Read the secret, then ship it out: socket + connect + send.
+        // Each step can be stopped: the read by the process boundary,
+        // the syscalls by the seccomp allowlist.
+        std::vector<uint8_t> secret(payload.leakLen);
+        proc.space().read(payload.leakAddr, secret.data(),
+                          payload.leakLen);
+        osim::Addr stage = proc.space().alloc(
+            payload.leakLen ? payload.leakLen : 1, osim::PermRW,
+            "exfil-stage");
+        proc.space().write(stage, secret.data(), payload.leakLen);
+        osim::Fd fd = kernel.sysSocket(proc);
+        kernel.sysConnect(proc, fd, payload.dest);
+        kernel.sysSend(proc, fd, stage, payload.leakLen);
+        break;
+      }
+
+      case PayloadKind::Dos:
+        kernel.faultProcess(proc, "DoS payload (" + payload.cve + ")");
+        throw osim::ProcessCrash(proc.pid(),
+                                 "DoS payload (" + payload.cve + ")");
+
+      case PayloadKind::CodeRewrite: {
+        // Flip a region writable, then overwrite it — the classic
+        // code-rewriting step. The mprotect syscall is the choke
+        // point FreePart's allowlist removes after initialization.
+        kernel.sysMprotect(proc, payload.targetAddr,
+                           payload.writeData.size()
+                               ? payload.writeData.size()
+                               : 1,
+                           osim::PermRWX);
+        proc.space().write(payload.targetAddr,
+                           payload.writeData.data(),
+                           payload.writeData.size());
+        break;
+      }
+
+      case PayloadKind::ForkBomb:
+        for (uint32_t i = 0; i < payload.forkCount; ++i)
+            kernel.sysFork(proc);
+        break;
+    }
+}
+
+void
+maybeTriggerExploit(ExecContext &ctx,
+                    const std::vector<std::string> &api_cves,
+                    const std::vector<uint8_t> &input)
+{
+    std::optional<ExploitPayload> payload = decodePayload(input);
+    if (!payload)
+        return;
+    bool vulnerable =
+        std::find(api_cves.begin(), api_cves.end(), payload->cve) !=
+        api_cves.end();
+    if (!vulnerable) {
+        // A patched / unaffected API treats the payload as garbage
+        // pixels; nothing happens.
+        return;
+    }
+    executePayload(ctx, *payload);
+}
+
+} // namespace freepart::fw

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Exploit payload model. Real CVE PoCs cannot run in this substrate,
+ * so crafted inputs carry a serialized payload that, when parsed by a
+ * *vulnerable* API, executes with that API's privileges inside its
+ * process — exactly the attacker capability of the threat model (§2).
+ * Payload classes mirror Table 5's vulnerability types:
+ *
+ *  - OobWrite    : unauthorized memory write (CVE-2017-12597 class)
+ *  - Exfiltrate  : unauthorized memory read + network send (§5.3)
+ *  - Dos         : crash the executing process (CVE-2019-14491 class)
+ *  - CodeRewrite : mprotect + overwrite (code-manipulation attack)
+ *  - ForkBomb    : StegoNet-style resource exhaustion (A.7)
+ *
+ * Whether a payload achieves anything is decided entirely by the
+ * enforcement points it hits: page permissions, the process boundary,
+ * and the seccomp filter.
+ */
+
+#ifndef FREEPART_FW_VULN_HH
+#define FREEPART_FW_VULN_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fw/exec_context.hh"
+#include "osim/types.hh"
+
+namespace freepart::fw {
+
+/** Classes of exploit payloads (mirroring Table 5). */
+enum class PayloadKind : uint8_t {
+    OobWrite = 0,
+    Exfiltrate,
+    Dos,
+    CodeRewrite,
+    ForkBomb,
+};
+
+/** Name of a payload kind ("oob-write", ...). */
+const char *payloadKindName(PayloadKind kind);
+
+/** A concrete exploit payload embedded in a crafted input. */
+struct ExploitPayload {
+    PayloadKind kind = PayloadKind::Dos;
+    std::string cve;              //!< CVE this exploit targets
+
+    // OobWrite / CodeRewrite
+    osim::Addr targetAddr = 0;    //!< address to corrupt
+    std::vector<uint8_t> writeData; //!< bytes to write
+
+    // Exfiltrate
+    osim::Addr leakAddr = 0;      //!< address to leak
+    uint32_t leakLen = 0;         //!< bytes to leak
+    std::string dest = "evil.example"; //!< exfiltration destination
+
+    // ForkBomb
+    uint32_t forkCount = 8;
+};
+
+/** Serialize a payload (embedded into crafted input files). */
+std::vector<uint8_t> encodePayload(const ExploitPayload &payload);
+
+/** Parse a payload; nullopt if bytes are not a payload blob. */
+std::optional<ExploitPayload>
+decodePayload(const std::vector<uint8_t> &bytes);
+
+/**
+ * Execute a payload with the privileges of the current context's
+ * process. Faults and syscall denials propagate as osim exceptions;
+ * callers (the runtime's RPC dispatch) convert them into contained
+ * agent crashes.
+ */
+void executePayload(ExecContext &ctx, const ExploitPayload &payload);
+
+/**
+ * The vulnerable-API entry point: if `input` embeds a payload whose
+ * CVE is in `api_cves` (i.e. this API is actually vulnerable to it),
+ * run the payload. Called by vulnerable API bodies while parsing
+ * untrusted input.
+ */
+void maybeTriggerExploit(ExecContext &ctx,
+                         const std::vector<std::string> &api_cves,
+                         const std::vector<uint8_t> &input);
+
+} // namespace freepart::fw
+
+#endif // FREEPART_FW_VULN_HH

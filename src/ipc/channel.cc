@@ -1,0 +1,95 @@
+#include "ipc/channel.hh"
+
+#include "util/logging.hh"
+
+namespace freepart::ipc {
+
+namespace {
+
+/** Split a segment's backing into two ring regions. */
+uint8_t *
+regionAt(const osim::Backing &backing, size_t offset)
+{
+    return backing->data() + offset;
+}
+
+} // namespace
+
+Channel::Channel(osim::Kernel &kernel, const std::string &name,
+                 osim::Pid host_pid, osim::Pid agent_pid,
+                 size_t ring_bytes)
+    : kernel(kernel), host(host_pid), agent(agent_pid),
+      segId(kernel.shmCreate(name, 2 * ring_bytes)),
+      reqRing(SpscRing::create(regionAt(kernel.shmBacking(segId), 0),
+                               ring_bytes)),
+      respRing(SpscRing::create(
+          regionAt(kernel.shmBacking(segId), ring_bytes), ring_bytes))
+{
+    // Map the segment into both processes so the isolation picture is
+    // faithful: the rings are the only memory the two sides share.
+    kernel.trustedShmMap(host_pid, segId, osim::PermRW);
+    kernel.trustedShmMap(agent_pid, segId, osim::PermRW);
+}
+
+void
+Channel::remapInto(osim::Pid pid)
+{
+    kernel.trustedShmMap(pid, segId, osim::PermRW);
+}
+
+void
+Channel::sendOn(SpscRing &ring, const Message &msg, bool is_request)
+{
+    std::vector<uint8_t> wire = encodeMessage(msg);
+    if (!ring.tryPush(wire.data(), wire.size())) {
+        // A full ring would block the real producer on a futex until
+        // the consumer drains; the synchronous simulation never leaves
+        // messages queued, so this indicates a single oversized
+        // message.
+        util::fatal("channel: message of %zu bytes exceeds ring "
+                    "capacity %zu",
+                    wire.size(), ring.capacity());
+    }
+    stats_.bytesSent += wire.size();
+    ++stats_.futexWakes;
+    if (is_request)
+        ++stats_.requests;
+    else
+        ++stats_.responses;
+    // Futex wake + wait on the peer side + context switch.
+    kernel.advance(kernel.costs().ipcRoundTrip / 2);
+}
+
+void
+Channel::sendRequest(const Message &msg)
+{
+    sendOn(reqRing, msg, true);
+}
+
+bool
+Channel::receiveRequest(Message &out)
+{
+    std::vector<uint8_t> wire;
+    if (!reqRing.tryPop(wire))
+        return false;
+    out = decodeMessage(wire);
+    return true;
+}
+
+void
+Channel::sendResponse(const Message &msg)
+{
+    sendOn(respRing, msg, false);
+}
+
+bool
+Channel::receiveResponse(Message &out)
+{
+    std::vector<uint8_t> wire;
+    if (!respRing.tryPop(wire))
+        return false;
+    out = decodeMessage(wire);
+    return true;
+}
+
+} // namespace freepart::ipc

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * A bidirectional RPC channel between the host process and one agent
+ * process, built from two SPSC rings in a simulated shared-memory
+ * segment with futex-accounted synchronization (§4.3, footnote 8).
+ *
+ * The simulation executes synchronously, so a send immediately makes
+ * the message poppable on the other side; the futex/context-switch
+ * latency is charged to the simulated clock via the kernel cost
+ * model.
+ */
+
+#ifndef FREEPART_IPC_CHANNEL_HH
+#define FREEPART_IPC_CHANNEL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "ipc/codec.hh"
+#include "ipc/spsc_ring.hh"
+#include "osim/kernel.hh"
+
+namespace freepart::ipc {
+
+/** IPC traffic counters for one channel. */
+struct ChannelStats {
+    uint64_t requests = 0;      //!< request messages sent
+    uint64_t responses = 0;     //!< response messages sent
+    uint64_t bytesSent = 0;     //!< total wire bytes in both directions
+    uint64_t futexWakes = 0;    //!< synchronization wakeups charged
+};
+
+/**
+ * Host<->agent channel over a shm segment. The first half of the
+ * segment is the request ring (host -> agent), the second half the
+ * response ring (agent -> host).
+ */
+class Channel
+{
+  public:
+    /**
+     * Create a channel between two processes.
+     *
+     * @param kernel     Owning kernel (provides shm + cost model).
+     * @param name       Segment name, e.g. "ch:loading".
+     * @param host_pid   Host-side process.
+     * @param agent_pid  Agent-side process.
+     * @param ring_bytes Bytes per direction.
+     */
+    Channel(osim::Kernel &kernel, const std::string &name,
+            osim::Pid host_pid, osim::Pid agent_pid,
+            size_t ring_bytes = 1 << 20);
+
+    /** Send a request host->agent; charges IPC round-trip setup. */
+    void sendRequest(const Message &msg);
+
+    /** Pop the pending request on the agent side. */
+    bool receiveRequest(Message &out);
+
+    /** Send a response agent->host. */
+    void sendResponse(const Message &msg);
+
+    /** Pop the pending response on the host side. */
+    bool receiveResponse(Message &out);
+
+    /**
+     * Re-map the channel's shm segment into a process (used after an
+     * agent respawn wipes its address space, §4.4.2).
+     */
+    void remapInto(osim::Pid pid);
+
+    const ChannelStats &stats() const { return stats_; }
+    void resetStats() { stats_ = ChannelStats(); }
+
+    osim::Pid hostPid() const { return host; }
+    osim::Pid agentPid() const { return agent; }
+
+  private:
+    void sendOn(SpscRing &ring, const Message &msg, bool is_request);
+
+    osim::Kernel &kernel;
+    osim::Pid host;
+    osim::Pid agent;
+    uint32_t segId;
+    SpscRing reqRing;
+    SpscRing respRing;
+    ChannelStats stats_;
+};
+
+} // namespace freepart::ipc
+
+#endif // FREEPART_IPC_CHANNEL_HH

@@ -1,0 +1,326 @@
+#include "ipc/codec.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace freepart::ipc {
+
+Value::Kind
+Value::kind() const
+{
+    return static_cast<Kind>(payload.index());
+}
+
+uint64_t
+Value::asU64() const
+{
+    if (auto *v = std::get_if<uint64_t>(&payload))
+        return *v;
+    if (auto *v = std::get_if<int64_t>(&payload))
+        return static_cast<uint64_t>(*v);
+    util::panic("Value::asU64 on kind %d", static_cast<int>(kind()));
+}
+
+int64_t
+Value::asI64() const
+{
+    if (auto *v = std::get_if<int64_t>(&payload))
+        return *v;
+    if (auto *v = std::get_if<uint64_t>(&payload))
+        return static_cast<int64_t>(*v);
+    util::panic("Value::asI64 on kind %d", static_cast<int>(kind()));
+}
+
+double
+Value::asF64() const
+{
+    if (auto *v = std::get_if<double>(&payload))
+        return *v;
+    util::panic("Value::asF64 on kind %d", static_cast<int>(kind()));
+}
+
+const std::string &
+Value::asStr() const
+{
+    if (auto *v = std::get_if<std::string>(&payload))
+        return *v;
+    util::panic("Value::asStr on kind %d", static_cast<int>(kind()));
+}
+
+const std::vector<uint8_t> &
+Value::asBlob() const
+{
+    if (auto *v = std::get_if<std::vector<uint8_t>>(&payload))
+        return *v;
+    util::panic("Value::asBlob on kind %d", static_cast<int>(kind()));
+}
+
+std::vector<uint8_t> &
+Value::asBlobMutable()
+{
+    if (auto *v = std::get_if<std::vector<uint8_t>>(&payload))
+        return *v;
+    util::panic("Value::asBlobMutable on kind %d",
+                static_cast<int>(kind()));
+}
+
+const ObjectRef &
+Value::asRef() const
+{
+    if (auto *v = std::get_if<ObjectRef>(&payload))
+        return *v;
+    util::panic("Value::asRef on kind %d", static_cast<int>(kind()));
+}
+
+size_t
+Value::wireSize() const
+{
+    switch (kind()) {
+      case Kind::None:
+        return 1;
+      case Kind::U64:
+      case Kind::I64:
+      case Kind::F64:
+        return 1 + 8;
+      case Kind::Str:
+        return 1 + 4 + asStr().size();
+      case Kind::Blob:
+        return 1 + 4 + asBlob().size();
+      case Kind::Ref:
+        return 1 + 12;
+    }
+    return 1;
+}
+
+namespace {
+
+class Writer
+{
+  public:
+    void
+    u8(uint8_t v)
+    {
+        buf.push_back(v);
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        append(&v, sizeof(v));
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        append(&v, sizeof(v));
+    }
+
+    void
+    f64(double v)
+    {
+        append(&v, sizeof(v));
+    }
+
+    void
+    bytes(const void *p, size_t n)
+    {
+        append(p, n);
+    }
+
+    std::vector<uint8_t>
+    take()
+    {
+        return std::move(buf);
+    }
+
+  private:
+    void
+    append(const void *p, size_t n)
+    {
+        const auto *b = static_cast<const uint8_t *>(p);
+        buf.insert(buf.end(), b, b + n);
+    }
+
+    std::vector<uint8_t> buf;
+};
+
+class Reader
+{
+  public:
+    explicit Reader(const std::vector<uint8_t> &b) : buf(b) {}
+
+    uint8_t
+    u8()
+    {
+        need(1);
+        return buf[pos++];
+    }
+
+    uint32_t
+    u32()
+    {
+        uint32_t v;
+        take(&v, sizeof(v));
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        uint64_t v;
+        take(&v, sizeof(v));
+        return v;
+    }
+
+    double
+    f64()
+    {
+        double v;
+        take(&v, sizeof(v));
+        return v;
+    }
+
+    std::vector<uint8_t>
+    blob(size_t n)
+    {
+        need(n);
+        std::vector<uint8_t> out(buf.begin() +
+                                     static_cast<ptrdiff_t>(pos),
+                                 buf.begin() +
+                                     static_cast<ptrdiff_t>(pos + n));
+        pos += n;
+        return out;
+    }
+
+    bool
+    done() const
+    {
+        return pos == buf.size();
+    }
+
+  private:
+    void
+    need(size_t n)
+    {
+        if (pos + n > buf.size())
+            util::fatal("codec: truncated message (need %zu at %zu/%zu)",
+                        n, pos, buf.size());
+    }
+
+    void
+    take(void *p, size_t n)
+    {
+        need(n);
+        std::memcpy(p, buf.data() + pos, n);
+        pos += n;
+    }
+
+    const std::vector<uint8_t> &buf;
+    size_t pos = 0;
+};
+
+void
+encodeValue(Writer &w, const Value &v)
+{
+    w.u8(static_cast<uint8_t>(v.kind()));
+    switch (v.kind()) {
+      case Value::Kind::None:
+        break;
+      case Value::Kind::U64:
+        w.u64(v.asU64());
+        break;
+      case Value::Kind::I64:
+        w.u64(static_cast<uint64_t>(v.asI64()));
+        break;
+      case Value::Kind::F64:
+        w.f64(v.asF64());
+        break;
+      case Value::Kind::Str: {
+        const std::string &s = v.asStr();
+        w.u32(static_cast<uint32_t>(s.size()));
+        w.bytes(s.data(), s.size());
+        break;
+      }
+      case Value::Kind::Blob: {
+        const auto &b = v.asBlob();
+        w.u32(static_cast<uint32_t>(b.size()));
+        w.bytes(b.data(), b.size());
+        break;
+      }
+      case Value::Kind::Ref: {
+        const ObjectRef &r = v.asRef();
+        w.u32(r.ownerPartition);
+        w.u64(r.objectId);
+        break;
+      }
+    }
+}
+
+Value
+decodeValue(Reader &r)
+{
+    auto kind = static_cast<Value::Kind>(r.u8());
+    switch (kind) {
+      case Value::Kind::None:
+        return Value();
+      case Value::Kind::U64:
+        return Value(r.u64());
+      case Value::Kind::I64:
+        return Value(static_cast<int64_t>(r.u64()));
+      case Value::Kind::F64:
+        return Value(r.f64());
+      case Value::Kind::Str: {
+        uint32_t n = r.u32();
+        auto bytes = r.blob(n);
+        return Value(std::string(bytes.begin(), bytes.end()));
+      }
+      case Value::Kind::Blob: {
+        uint32_t n = r.u32();
+        return Value(r.blob(n));
+      }
+      case Value::Kind::Ref: {
+        ObjectRef ref;
+        ref.ownerPartition = r.u32();
+        ref.objectId = r.u64();
+        return Value(ref);
+      }
+    }
+    util::fatal("codec: bad value tag %d", static_cast<int>(kind));
+}
+
+} // namespace
+
+std::vector<uint8_t>
+encodeMessage(const Message &msg)
+{
+    Writer w;
+    w.u8(static_cast<uint8_t>(msg.kind));
+    w.u64(msg.seq);
+    w.u32(msg.apiId);
+    w.u32(msg.status);
+    w.u32(static_cast<uint32_t>(msg.values.size()));
+    for (const Value &v : msg.values)
+        encodeValue(w, v);
+    return w.take();
+}
+
+Message
+decodeMessage(const std::vector<uint8_t> &wire)
+{
+    Reader r(wire);
+    Message msg;
+    msg.kind = static_cast<MsgKind>(r.u8());
+    msg.seq = r.u64();
+    msg.apiId = r.u32();
+    msg.status = r.u32();
+    uint32_t count = r.u32();
+    msg.values.reserve(count);
+    for (uint32_t i = 0; i < count; ++i)
+        msg.values.push_back(decodeValue(r));
+    if (!r.done())
+        util::fatal("codec: trailing bytes in message");
+    return msg;
+}
+
+} // namespace freepart::ipc

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * RPC value model and wire codec. Framework API arguments and return
+ * values are marshalled as tagged Values. A Blob carries the full
+ * bytes of a data object (eager copy); a Ref carries only an object
+ * reference — the Lazy Data Copy optimization (§4.3.2) — consisting of
+ * the owning partition and a buffer identifier, matching the paper's
+ * "agent process's PID and the identifier of the buffer".
+ */
+
+#ifndef FREEPART_IPC_CODEC_HH
+#define FREEPART_IPC_CODEC_HH
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace freepart::ipc {
+
+/**
+ * Reference to a data object living in some partition's object table
+ * (the LDC wire representation).
+ */
+struct ObjectRef {
+    uint32_t ownerPartition = 0; //!< partition currently holding data
+    uint64_t objectId = 0;       //!< identifier within the object table
+
+    bool
+    operator==(const ObjectRef &o) const
+    {
+        return ownerPartition == o.ownerPartition &&
+               objectId == o.objectId;
+    }
+};
+
+/** A marshallable RPC value. */
+class Value
+{
+  public:
+    /** Wire tags. */
+    enum class Kind : uint8_t {
+        None = 0,
+        U64,
+        I64,
+        F64,
+        Str,
+        Blob,
+        Ref,
+    };
+
+    Value() : payload(std::monostate{}) {}
+    explicit Value(uint64_t v) : payload(v) {}
+    explicit Value(int64_t v) : payload(v) {}
+    explicit Value(double v) : payload(v) {}
+    explicit Value(std::string v) : payload(std::move(v)) {}
+    explicit Value(std::vector<uint8_t> v) : payload(std::move(v)) {}
+    explicit Value(ObjectRef v) : payload(v) {}
+
+    Kind kind() const;
+
+    bool isNone() const { return kind() == Kind::None; }
+
+    uint64_t asU64() const;
+    int64_t asI64() const;
+    double asF64() const;
+    const std::string &asStr() const;
+    const std::vector<uint8_t> &asBlob() const;
+    std::vector<uint8_t> &asBlobMutable();
+    const ObjectRef &asRef() const;
+
+    /** Approximate wire size in bytes (for IPC accounting). */
+    size_t wireSize() const;
+
+  private:
+    std::variant<std::monostate, uint64_t, int64_t, double,
+                 std::string, std::vector<uint8_t>, ObjectRef>
+        payload;
+};
+
+/** A list of RPC argument/return values. */
+using ValueList = std::vector<Value>;
+
+/** RPC message kinds. */
+enum class MsgKind : uint8_t {
+    Request = 1,   //!< host -> agent: execute API
+    Response = 2,  //!< agent -> host: results
+    Fetch = 3,     //!< agent -> agent: LDC direct data fetch
+    FetchReply = 4,
+    Ack = 5,       //!< exactly-once delivery acknowledgement
+};
+
+/** Decoded RPC message. */
+struct Message {
+    MsgKind kind = MsgKind::Request;
+    uint64_t seq = 0;    //!< sequence number (exactly-once dedup)
+    uint32_t apiId = 0;  //!< target API (requests only)
+    uint32_t status = 0; //!< 0 = ok (responses only)
+    ValueList values;    //!< arguments or results
+};
+
+/** Serialize a message to wire bytes. */
+std::vector<uint8_t> encodeMessage(const Message &msg);
+
+/** Parse wire bytes back into a message; throws on malformed input. */
+Message decodeMessage(const std::vector<uint8_t> &wire);
+
+} // namespace freepart::ipc
+
+#endif // FREEPART_IPC_CODEC_HH

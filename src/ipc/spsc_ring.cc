@@ -1,0 +1,119 @@
+#include "ipc/spsc_ring.hh"
+
+#include "util/logging.hh"
+
+namespace freepart::ipc {
+
+SpscRing::SpscRing(uint8_t *region, size_t region_len, bool init)
+    : base(region), data(region + kHeaderBytes),
+      cap(region_len > kHeaderBytes ? region_len - kHeaderBytes : 0)
+{
+    if (region_len <= kHeaderBytes + sizeof(uint32_t))
+        util::fatal("SpscRing: region too small (%zu bytes)",
+                    region_len);
+    if (init) {
+        headRef().store(0, std::memory_order_relaxed);
+        tailRef().store(0, std::memory_order_relaxed);
+        std::memcpy(base + 2 * sizeof(uint64_t), &cap, sizeof(uint64_t));
+    }
+}
+
+SpscRing
+SpscRing::create(uint8_t *region, size_t region_len)
+{
+    return SpscRing(region, region_len, true);
+}
+
+SpscRing
+SpscRing::attach(uint8_t *region, size_t region_len)
+{
+    return SpscRing(region, region_len, false);
+}
+
+std::atomic<uint64_t> &
+SpscRing::headRef() const
+{
+    return *reinterpret_cast<std::atomic<uint64_t> *>(base);
+}
+
+std::atomic<uint64_t> &
+SpscRing::tailRef() const
+{
+    return *reinterpret_cast<std::atomic<uint64_t> *>(
+        base + sizeof(uint64_t));
+}
+
+size_t
+SpscRing::size() const
+{
+    uint64_t tail = tailRef().load(std::memory_order_acquire);
+    uint64_t head = headRef().load(std::memory_order_acquire);
+    return static_cast<size_t>(tail - head);
+}
+
+void
+SpscRing::copyIn(uint64_t pos, const uint8_t *src, size_t len)
+{
+    size_t off = static_cast<size_t>(pos % cap);
+    size_t first = std::min(len, cap - off);
+    std::memcpy(data + off, src, first);
+    if (first < len)
+        std::memcpy(data, src + first, len - first);
+}
+
+void
+SpscRing::copyOut(uint64_t pos, uint8_t *dst, size_t len) const
+{
+    size_t off = static_cast<size_t>(pos % cap);
+    size_t first = std::min(len, cap - off);
+    std::memcpy(dst, data + off, first);
+    if (first < len)
+        std::memcpy(dst + first, data, len - first);
+}
+
+bool
+SpscRing::tryPush(const uint8_t *payload, size_t len)
+{
+    uint64_t head = headRef().load(std::memory_order_acquire);
+    uint64_t tail = tailRef().load(std::memory_order_relaxed);
+    size_t used = static_cast<size_t>(tail - head);
+    size_t need = sizeof(uint32_t) + len;
+    if (need > cap - used)
+        return false;
+    uint32_t len32 = static_cast<uint32_t>(len);
+    copyIn(tail, reinterpret_cast<const uint8_t *>(&len32),
+           sizeof(len32));
+    copyIn(tail + sizeof(len32), payload, len);
+    tailRef().store(tail + need, std::memory_order_release);
+    return true;
+}
+
+bool
+SpscRing::tryPop(std::vector<uint8_t> &out)
+{
+    uint64_t tail = tailRef().load(std::memory_order_acquire);
+    uint64_t head = headRef().load(std::memory_order_relaxed);
+    if (tail == head)
+        return false;
+    uint32_t len32 = 0;
+    copyOut(head, reinterpret_cast<uint8_t *>(&len32), sizeof(len32));
+    out.resize(len32);
+    copyOut(head + sizeof(len32), out.data(), len32);
+    headRef().store(head + sizeof(len32) + len32,
+                    std::memory_order_release);
+    return true;
+}
+
+size_t
+SpscRing::peekLength() const
+{
+    uint64_t tail = tailRef().load(std::memory_order_acquire);
+    uint64_t head = headRef().load(std::memory_order_relaxed);
+    if (tail == head)
+        return 0;
+    uint32_t len32 = 0;
+    copyOut(head, reinterpret_cast<uint8_t *>(&len32), sizeof(len32));
+    return len32;
+}
+
+} // namespace freepart::ipc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Single-producer/single-consumer byte ring buffer. This is the IPC
+ * primitive the paper describes in §4.3 footnote 8: "We implement IPC
+ * between processes using shared memory. It uses ring buffers and
+ * futex for synchronization."
+ *
+ * The ring operates over an externally provided byte region, so the
+ * same implementation runs both over simulated shared-memory segments
+ * (inside osim) and over real process memory (the real-time
+ * google-benchmark harness exercises it with actual std::threads).
+ */
+
+#ifndef FREEPART_IPC_SPSC_RING_HH
+#define FREEPART_IPC_SPSC_RING_HH
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace freepart::ipc {
+
+/**
+ * Lock-free SPSC ring over a caller-owned byte region.
+ *
+ * Region layout: [head:u64][tail:u64][capacity:u64][data bytes...].
+ * head/tail are free-running counters; the producer owns tail, the
+ * consumer owns head. Records are length-prefixed (u32) so variable
+ * sized messages pop out whole.
+ */
+class SpscRing
+{
+  public:
+    /** Header bytes reserved at the start of the region. */
+    static constexpr size_t kHeaderBytes = 3 * sizeof(uint64_t);
+
+    /** Attach to (and zero-initialize) a region as a fresh ring. */
+    static SpscRing create(uint8_t *region, size_t region_len);
+
+    /** Attach to an already initialized region. */
+    static SpscRing attach(uint8_t *region, size_t region_len);
+
+    /** Usable data capacity in bytes. */
+    size_t capacity() const { return cap; }
+
+    /** Bytes currently enqueued. */
+    size_t size() const;
+
+    /** True if no records are enqueued. */
+    bool empty() const { return size() == 0; }
+
+    /**
+     * Enqueue one length-prefixed record.
+     * @return false if there is not enough free space.
+     */
+    bool tryPush(const uint8_t *data, size_t len);
+
+    /**
+     * Dequeue one record into out (replacing its contents).
+     * @return false if the ring is empty.
+     */
+    bool tryPop(std::vector<uint8_t> &out);
+
+    /** Peek the length of the next record (0 if empty). */
+    size_t peekLength() const;
+
+  private:
+    SpscRing(uint8_t *region, size_t region_len, bool init);
+
+    std::atomic<uint64_t> &headRef() const;
+    std::atomic<uint64_t> &tailRef() const;
+    void copyIn(uint64_t pos, const uint8_t *src, size_t len);
+    void copyOut(uint64_t pos, uint8_t *dst, size_t len) const;
+
+    uint8_t *base;   //!< region start (header lives here)
+    uint8_t *data;   //!< data area start
+    size_t cap;      //!< data area length
+};
+
+} // namespace freepart::ipc
+
+#endif // FREEPART_IPC_SPSC_RING_HH

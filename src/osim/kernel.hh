@@ -1,0 +1,272 @@
+/**
+ * @file
+ * The simulated kernel: process lifecycle, the filtered syscall
+ * surface, shared memory, devices, the VFS, the simulated clock, and
+ * a global event log.
+ *
+ * Two trust domains exist, mirroring the paper's threat model (§2):
+ * framework/application code runs *inside* simulated processes and may
+ * only touch the world through the filtered sys* calls; the FreePart
+ * runtime is "protected via the OS kernel" and uses the trusted*
+ * entry points, which bypass per-process seccomp filters (but still
+ * respect page permissions and charge simulated time).
+ */
+
+#ifndef FREEPART_OSIM_KERNEL_HH
+#define FREEPART_OSIM_KERNEL_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "osim/cost_model.hh"
+#include "osim/devices.hh"
+#include "osim/process.hh"
+#include "osim/types.hh"
+#include "osim/vfs.hh"
+
+namespace freepart::osim {
+
+/** Ioctl request code: capture one camera frame. */
+constexpr uint64_t kIoctlCaptureFrame = 0xc0de0001;
+
+/** A named shared-memory segment mappable into several processes. */
+struct ShmSegment {
+    uint32_t id;
+    std::string name;
+    Backing backing;
+};
+
+/** Kinds of events recorded in the kernel event log. */
+enum class EventKind {
+    ProcSpawn,
+    ProcExit,
+    ProcCrash,
+    ProcRestart,
+    SyscallDenied,
+    MemFaultEvt,
+    GuiShow,
+    NetSendEvt,
+    StateChange,   //!< FreePart framework-state transitions
+    Protection,    //!< permission flips applied by the runtime
+    AttackBlocked, //!< recorded by the attack driver
+    Custom,
+};
+
+/** One entry in the kernel event log. */
+struct Event {
+    SimTime time;
+    Pid pid;
+    EventKind kind;
+    std::string detail;
+};
+
+/**
+ * The simulated kernel. Single-threaded and deterministic: syscalls
+ * execute synchronously and advance the simulated clock according to
+ * the CostModel.
+ */
+class Kernel
+{
+  public:
+    explicit Kernel(CostModel costs = CostModel());
+
+    // ---- Process lifecycle -------------------------------------------
+
+    /** Create a new process; charges spawn cost. */
+    Process &spawn(const std::string &name);
+
+    /** Look up a process by pid; panics on unknown pid. */
+    Process &process(Pid pid);
+    const Process &process(Pid pid) const;
+
+    /** True if the pid exists (crashed processes still exist). */
+    bool hasProcess(Pid pid) const;
+
+    /** Number of processes ever spawned (including crashed). */
+    size_t processCount() const { return procs.size(); }
+
+    /** Pids of all live processes. */
+    std::vector<Pid> livePids() const;
+
+    /**
+     * Restart a crashed/exited process in place: fresh address space,
+     * fresh (unlocked) filter, same pid, incarnation+1. Used by
+     * FreePart's agent-restart support (§4.4.2).
+     */
+    Process &respawn(Pid pid);
+
+    /** Mark a process crashed (fault escalation) and log the event. */
+    void faultProcess(Process &proc, const std::string &why);
+
+    // ---- Clock and costs ---------------------------------------------
+
+    SimTime now() const { return clock; }
+    void advance(SimTime ns) { clock += ns; }
+    CostModel &costs() { return costModel; }
+    const CostModel &costs() const { return costModel; }
+
+    // ---- Trusted runtime operations ----------------------------------
+
+    /** Flip page permissions in a process (runtime mprotect path). */
+    void trustedProtect(Pid pid, Addr addr, size_t len, Perms perms);
+
+    /**
+     * Copy bytes between two processes' address spaces. Respects page
+     * permissions on both sides and charges per-byte copy cost. This
+     * is the data path for RPC argument marshalling and LDC direct
+     * agent-to-agent copies.
+     */
+    void trustedCopy(Pid src_pid, Addr src, Pid dst_pid, Addr dst,
+                     size_t len);
+
+    /** Allocate memory in a process without a syscall (loader path). */
+    Addr trustedAlloc(Pid pid, size_t size, Perms perms,
+                      const std::string &label);
+
+    // ---- Filtered syscall surface ------------------------------------
+
+    /** openat(2): open a VFS file or device node. */
+    Fd sysOpen(Process &proc, const std::string &path, bool writable);
+
+    /** read(2): file/device/socket read into process memory. */
+    size_t sysRead(Process &proc, Fd fd, Addr dst, size_t len);
+
+    /** write(2): write from process memory to a file. */
+    size_t sysWrite(Process &proc, Fd fd, Addr src, size_t len);
+
+    /** close(2). */
+    void sysClose(Process &proc, Fd fd);
+
+    /** lseek(2): set the file cursor; returns new offset. */
+    size_t sysLseek(Process &proc, Fd fd, size_t offset);
+
+    /** fstat(2): returns the file size. */
+    size_t sysFstat(Process &proc, Fd fd);
+
+    /** unlink(2). */
+    void sysUnlink(Process &proc, const std::string &path);
+
+    /** mkdir(2). */
+    void sysMkdir(Process &proc, const std::string &path);
+
+    /** mmap(2): anonymous mapping in the process. */
+    Addr sysMmap(Process &proc, size_t size, Perms perms,
+                 const std::string &label);
+
+    /** munmap(2). */
+    void sysMunmap(Process &proc, Addr base);
+
+    /**
+     * mprotect(2) issued by *process* code — the code-manipulation
+     * attack path (Fig. 2 discussion). Subject to the filter.
+     */
+    void sysMprotect(Process &proc, Addr addr, size_t len, Perms perms);
+
+    /** brk(2): grows the heap (modeled as a no-op allocation). */
+    void sysBrk(Process &proc);
+
+    /** socket(2): create an unconnected socket. */
+    Fd sysSocket(Process &proc);
+
+    /** connect(2): connect a socket to a destination (fd-checked). */
+    void sysConnect(Process &proc, Fd fd, const std::string &dest);
+
+    /** send(2): transmit process memory to the socket's peer. */
+    void sysSend(Process &proc, Fd fd, Addr src, size_t len);
+
+    /** recvfrom(2): modeled as returning no data. */
+    size_t sysRecvfrom(Process &proc, Fd fd, Addr dst, size_t len);
+
+    /** ioctl(2) (fd-checked). kIoctlCaptureFrame arms the camera. */
+    void sysIoctl(Process &proc, Fd fd, uint64_t request);
+
+    /** select(2) (fd-checked). */
+    void sysSelect(Process &proc, Fd fd);
+
+    /** futex(2): cost-accounting only (simulation is synchronous). */
+    void sysFutex(Process &proc);
+
+    /** getrandom(2): deterministic pseudo-random value. */
+    uint64_t sysGetrandom(Process &proc);
+
+    /** shm_open(2): map a named segment; returns its base address. */
+    Addr sysShmOpen(Process &proc, const std::string &name, Perms perms);
+
+    /** prctl(PR_SET_NO_NEW_PRIVS): locks the process filter. */
+    void sysPrctlNoNewPrivs(Process &proc);
+
+    /** fork(2): spawns a child (the fork-bomb payload path, A.7). */
+    Pid sysFork(Process &proc);
+
+    /** exit(2). */
+    void sysExit(Process &proc);
+
+    /**
+     * Miscellaneous no-effect syscalls (getpid, gettimeofday, ...):
+     * enforced and charged, no state change.
+     */
+    void sysMisc(Process &proc, Syscall call);
+
+    /**
+     * GUI write: sends pixels over a connected GUI socket (select +
+     * sendto under the hood) and records a ShowEvent.
+     */
+    void guiShow(Process &proc, Fd gui_fd, const std::string &window,
+                 uint32_t w, uint32_t h, Addr pixels, size_t len);
+
+    // ---- Shared memory -----------------------------------------------
+
+    /** Create a named shared segment of the given size. */
+    uint32_t shmCreate(const std::string &name, size_t size);
+
+    /** Map a segment into a process from trusted runtime context. */
+    Addr trustedShmMap(Pid pid, uint32_t seg_id, Perms perms);
+
+    /** Backing bytes of a segment. */
+    Backing shmBacking(uint32_t seg_id) const;
+
+    // ---- Devices and VFS ---------------------------------------------
+
+    Vfs &vfs() { return vfs_; }
+    const Vfs &vfs() const { return vfs_; }
+    CameraDevice &camera() { return camera_; }
+    DisplayDevice &display() { return display_; }
+    NetworkDevice &network() { return network_; }
+
+    // ---- Event log -----------------------------------------------------
+
+    /** Append an event to the log. */
+    void logEvent(Pid pid, EventKind kind, const std::string &detail);
+
+    const std::vector<Event> &events() const { return eventLog; }
+    size_t countEvents(EventKind kind) const;
+    void clearEvents() { eventLog.clear(); }
+
+  private:
+    /**
+     * Count, filter-check, and charge one syscall. Denial logs an
+     * event, kills the process (SIGSYS), and throws SyscallViolation.
+     */
+    void enforce(Process &proc, Syscall call, Fd fd = -1);
+
+    /** Look up an fd or throw a fault against the process. */
+    OpenFile &requireFd(Process &proc, Fd fd);
+
+    CostModel costModel;
+    SimTime clock = 0;
+    Pid nextPid = 100;
+    std::map<Pid, std::unique_ptr<Process>> procs;
+    std::vector<ShmSegment> shmSegs;
+    Vfs vfs_;
+    CameraDevice camera_;
+    DisplayDevice display_;
+    NetworkDevice network_;
+    std::vector<Event> eventLog;
+    uint64_t randomState = 0x5eed5eed5eedull;
+};
+
+} // namespace freepart::osim
+
+#endif // FREEPART_OSIM_KERNEL_HH

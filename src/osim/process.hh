@@ -1,0 +1,148 @@
+/**
+ * @file
+ * A simulated process: its own address space (independent stack/heap,
+ * cf. §6 "each partitioned process has its independent stack and
+ * heap"), a seccomp-style syscall filter, a file-descriptor table,
+ * and per-syscall accounting.
+ */
+
+#ifndef FREEPART_OSIM_PROCESS_HH
+#define FREEPART_OSIM_PROCESS_HH
+
+#include <array>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "osim/address_space.hh"
+#include "osim/syscall_filter.hh"
+#include "osim/syscalls.hh"
+#include "osim/types.hh"
+
+namespace freepart::osim {
+
+/** Lifecycle states of a simulated process. */
+enum class ProcState {
+    Running,   //!< alive and schedulable
+    Crashed,   //!< killed by a fault (SIGSEGV/SIGSYS/abort)
+    Exited,    //!< exited voluntarily
+};
+
+/** What kind of object an open fd refers to. */
+enum class FdKind {
+    File,      //!< VFS-backed regular file
+    Camera,    //!< capture device (/dev/camera0)
+    Socket,    //!< network socket
+    GuiSocket, //!< connection to the GUI subsystem
+    Eventfd,   //!< eventfd for IPC wakeups
+};
+
+/** An entry in a process's fd table. */
+struct OpenFile {
+    FdKind kind = FdKind::File;
+    std::string path;      //!< file path / device name / socket dest
+    size_t offset = 0;     //!< file cursor
+    bool writable = false; //!< opened for writing
+    bool connected = false; //!< socket connected (connect() done)
+};
+
+/**
+ * A simulated process. Owned by the Kernel; looked up by pid. Not
+ * copyable (owns its address space).
+ */
+class Process
+{
+  public:
+    Process(Pid pid, std::string name)
+        : pid_(pid), name_(std::move(name)), space_(pid)
+    {
+        syscallCounts.fill(0);
+    }
+
+    Process(const Process &) = delete;
+    Process &operator=(const Process &) = delete;
+
+    Pid pid() const { return pid_; }
+    const std::string &name() const { return name_; }
+
+    /** Incarnation counter: bumped each time the kernel respawns. */
+    int incarnation() const { return incarnation_; }
+
+    ProcState state() const { return state_; }
+    bool alive() const { return state_ == ProcState::Running; }
+    const std::string &crashReason() const { return crashReason_; }
+
+    AddressSpace &space() { return space_; }
+    const AddressSpace &space() const { return space_; }
+
+    SyscallFilter &filter() { return filter_; }
+    const SyscallFilter &filter() const { return filter_; }
+
+    /** Allocate the next fd and bind it to an OpenFile. */
+    Fd
+    addFd(OpenFile file)
+    {
+        Fd fd = nextFd++;
+        fds_[fd] = std::move(file);
+        return fd;
+    }
+
+    /** Look up an fd; nullptr if closed/unknown. */
+    OpenFile *
+    findFd(Fd fd)
+    {
+        auto it = fds_.find(fd);
+        return it == fds_.end() ? nullptr : &it->second;
+    }
+
+    /** Close an fd; returns false if it was not open. */
+    bool closeFd(Fd fd) { return fds_.erase(fd) > 0; }
+
+    /** Number of open fds. */
+    size_t openFdCount() const { return fds_.size(); }
+
+    /** Per-syscall invocation counters (indexed by Syscall). */
+    std::array<uint64_t, kNumSyscalls> syscallCounts;
+
+    /** Number of syscalls denied by the filter. */
+    uint64_t deniedSyscalls = 0;
+
+  private:
+    friend class Kernel;
+
+    void
+    markCrashed(const std::string &why)
+    {
+        state_ = ProcState::Crashed;
+        crashReason_ = why;
+    }
+
+    void markExited() { state_ = ProcState::Exited; }
+
+    /** Kernel-side reset used by respawn(). */
+    void
+    resetForRespawn()
+    {
+        state_ = ProcState::Running;
+        crashReason_.clear();
+        space_ = AddressSpace(pid_);
+        filter_ = SyscallFilter();
+        fds_.clear();
+        nextFd = 3;
+        ++incarnation_;
+    }
+
+    Pid pid_;
+    std::string name_;
+    int incarnation_ = 0;
+    ProcState state_ = ProcState::Running;
+    std::string crashReason_;
+    AddressSpace space_;
+    SyscallFilter filter_;
+    std::map<Fd, OpenFile> fds_;
+    Fd nextFd = 3;
+};
+
+} // namespace freepart::osim
+
+#endif // FREEPART_OSIM_PROCESS_HH

@@ -1,0 +1,96 @@
+#include "osim/syscall_filter.hh"
+
+#include "util/logging.hh"
+
+namespace freepart::osim {
+
+void
+SyscallFilter::install(const std::set<Syscall> &allowed)
+{
+    if (isLocked)
+        throw SyscallViolation(0, "install on locked filter");
+    allowedSet.reset();
+    for (Syscall c : allowed)
+        allowedSet.set(static_cast<size_t>(c));
+    isInstalled = true;
+}
+
+void
+SyscallFilter::allow(Syscall call)
+{
+    if (isLocked)
+        throw SyscallViolation(0, "allow on locked filter");
+    if (!isInstalled)
+        isInstalled = true;
+    allowedSet.set(static_cast<size_t>(call));
+}
+
+void
+SyscallFilter::deny(Syscall call)
+{
+    // Tightening an installed policy is always legal, even when
+    // locked; this mirrors seccomp filter stacking semantics.
+    if (!isInstalled) {
+        // Denying from a permissive filter means: allow all others.
+        allowedSet.set();
+        isInstalled = true;
+    }
+    allowedSet.reset(static_cast<size_t>(call));
+}
+
+void
+SyscallFilter::restrictFds(Syscall call, const std::set<Fd> &fds)
+{
+    if (!needsFdRestriction(call))
+        util::panic("restrictFds: %s is not an fd-sensitive syscall",
+                    syscallName(call));
+    size_t idx = static_cast<size_t>(call);
+    fdAllow[idx] = fds;
+    fdRestricted.set(idx);
+}
+
+void
+SyscallFilter::lock()
+{
+    isLocked = true;
+}
+
+bool
+SyscallFilter::permits(Syscall call) const
+{
+    if (!isInstalled)
+        return true;
+    return allowedSet.test(static_cast<size_t>(call));
+}
+
+bool
+SyscallFilter::permitsFd(Syscall call, Fd fd) const
+{
+    if (!permits(call))
+        return false;
+    size_t idx = static_cast<size_t>(call);
+    if (!fdRestricted.test(idx))
+        return true;
+    return fdAllow[idx].count(fd) > 0;
+}
+
+size_t
+SyscallFilter::allowedCount() const
+{
+    if (!isInstalled)
+        return kNumSyscalls;
+    return allowedSet.count();
+}
+
+std::vector<std::string>
+SyscallFilter::allowedNames() const
+{
+    std::vector<std::string> out;
+    for (size_t i = 0; i < kNumSyscalls; ++i) {
+        if (!isInstalled || allowedSet.test(i))
+            out.push_back(syscallName(static_cast<Syscall>(i)));
+    }
+    return out;
+}
+
+} // namespace freepart::osim

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Seccomp-BPF-style syscall filter (§4.4.1). A filter carries an
+ * allowlist of syscalls, optional fd-argument restrictions for the
+ * fd-sensitive syscalls (ioctl, connect, select, fcntl), and a
+ * NO_NEW_PRIVS lock: once locked, the filter can never be relaxed,
+ * which is how FreePart stops payloads from re-configuring seccomp.
+ */
+
+#ifndef FREEPART_OSIM_SYSCALL_FILTER_HH
+#define FREEPART_OSIM_SYSCALL_FILTER_HH
+
+#include <bitset>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "osim/syscalls.hh"
+#include "osim/types.hh"
+
+namespace freepart::osim {
+
+/**
+ * Per-process syscall allowlist with fd-argument checks.
+ *
+ * The default-constructed filter is permissive (no filter installed),
+ * matching a process before FreePart installs its policy.
+ */
+class SyscallFilter
+{
+  public:
+    /** Permissive filter: everything allowed, not installed. */
+    SyscallFilter() = default;
+
+    /** Install an allowlist; everything else will be denied. */
+    void install(const std::set<Syscall> &allowed);
+
+    /** True once install() has been called. */
+    bool installed() const { return isInstalled; }
+
+    /** Add one syscall to the allowlist (rejected when locked). */
+    void allow(Syscall call);
+
+    /** Remove one syscall from the allowlist (allowed when locked:
+     *  tightening is always legal, mirroring seccomp stacking). */
+    void deny(Syscall call);
+
+    /**
+     * Restrict an fd-sensitive syscall to a set of designated fds
+     * (§4.4.1: "FreePart checks their file descriptors to ensure they
+     * operate only on the designated files").
+     */
+    void restrictFds(Syscall call, const std::set<Fd> &fds);
+
+    /**
+     * Lock the filter (PR_SET_NO_NEW_PRIVS): after this, allow() and
+     * install() throw SyscallViolation — a compromised process cannot
+     * relax its own policy.
+     */
+    void lock();
+
+    /** True once lock() has been called. */
+    bool locked() const { return isLocked; }
+
+    /** Check a plain syscall; true = allowed. */
+    bool permits(Syscall call) const;
+
+    /** Check an fd-sensitive syscall with its fd argument. */
+    bool permitsFd(Syscall call, Fd fd) const;
+
+    /** Number of allowed syscalls (all when not installed). */
+    size_t allowedCount() const;
+
+    /** Sorted names of the allowed syscalls (for Table 7). */
+    std::vector<std::string> allowedNames() const;
+
+  private:
+    bool isInstalled = false;
+    bool isLocked = false;
+    std::bitset<kNumSyscalls> allowedSet;
+    /** For fd-restricted syscalls: allowed fds; empty set = no
+     *  restriction registered for that syscall. */
+    std::set<Fd> fdAllow[kNumSyscalls];
+    std::bitset<kNumSyscalls> fdRestricted;
+};
+
+} // namespace freepart::osim
+
+#endif // FREEPART_OSIM_SYSCALL_FILTER_HH

@@ -1,0 +1,74 @@
+#include "osim/syscalls.hh"
+
+#include "util/logging.hh"
+
+namespace freepart::osim {
+
+namespace {
+
+const char *const kNames[kNumSyscalls] = {
+    "access",     "accept",       "bind",    "brk",
+    "clock_gettime", "close",     "connect", "dup",
+    "eventfd2",   "execve",       "exit",    "fcntl",
+    "fork",       "fstat",        "futex",   "getcwd",
+    "getpid",     "getrandom",    "gettimeofday", "getuid",
+    "ioctl",      "listen",       "lseek",   "lstat",
+    "mkdir",      "mmap",         "mprotect", "munmap",
+    "open",       "openat",       "poll",    "prctl",
+    "read",       "recvfrom",     "sched_yield", "select",
+    "send",       "sendto",       "shm_open", "socket",
+    "stat",       "umask",        "uname",   "unlink",
+    "write",      "writev",
+};
+
+} // namespace
+
+const char *
+syscallName(Syscall call)
+{
+    auto idx = static_cast<size_t>(call);
+    if (idx >= kNumSyscalls)
+        util::panic("syscallName: bad syscall id %zu", idx);
+    return kNames[idx];
+}
+
+Syscall
+syscallFromName(const std::string &name)
+{
+    for (size_t i = 0; i < kNumSyscalls; ++i)
+        if (name == kNames[i])
+            return static_cast<Syscall>(i);
+    util::fatal("unknown syscall name '%s'", name.c_str());
+}
+
+std::vector<Syscall>
+allSyscalls()
+{
+    std::vector<Syscall> out;
+    out.reserve(kNumSyscalls);
+    for (size_t i = 0; i < kNumSyscalls; ++i)
+        out.push_back(static_cast<Syscall>(i));
+    return out;
+}
+
+bool
+needsFdRestriction(Syscall call)
+{
+    switch (call) {
+      case Syscall::Ioctl:
+      case Syscall::Connect:
+      case Syscall::Select:
+      case Syscall::Fcntl:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isInitOnlySyscall(Syscall call)
+{
+    return call == Syscall::Mprotect || call == Syscall::Connect;
+}
+
+} // namespace freepart::osim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The simulated syscall table. The set mirrors the syscalls the paper
+ * names in Fig. 12 and Table 7 (openat, close, brk, fstat, read,
+ * lseek, ioctl, mmap, select, mprotect, connect, send, ...) plus the
+ * surrounding machinery FreePart itself needs (shm_open, futex,
+ * prctl for PR_SET_NO_NEW_PRIVS).
+ */
+
+#ifndef FREEPART_OSIM_SYSCALLS_HH
+#define FREEPART_OSIM_SYSCALLS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace freepart::osim {
+
+/** Identifiers for every syscall the simulated kernel implements. */
+enum class Syscall : uint8_t {
+    Access,
+    Accept,
+    Bind,
+    Brk,
+    ClockGettime,
+    Close,
+    Connect,
+    Dup,
+    Eventfd2,
+    Execve,
+    Exit,
+    Fcntl,
+    Fork,
+    Fstat,
+    Futex,
+    Getcwd,
+    Getpid,
+    Getrandom,
+    Gettimeofday,
+    Getuid,
+    Ioctl,
+    Listen,
+    Lseek,
+    Lstat,
+    Mkdir,
+    Mmap,
+    Mprotect,
+    Munmap,
+    Open,
+    Openat,
+    Poll,
+    Prctl,
+    Read,
+    Recvfrom,
+    SchedYield,
+    Select,
+    Send,
+    Sendto,
+    ShmOpen,
+    Socket,
+    Stat,
+    Umask,
+    Uname,
+    Unlink,
+    Write,
+    Writev,
+    NumSyscalls,
+};
+
+/** Number of syscalls in the table. */
+constexpr size_t kNumSyscalls =
+    static_cast<size_t>(Syscall::NumSyscalls);
+
+/** Human-readable name, matching the Linux spelling ("openat", ...). */
+const char *syscallName(Syscall call);
+
+/** Parse a Linux-style name; throws util::FatalError on unknown. */
+Syscall syscallFromName(const std::string &name);
+
+/** All syscalls, for iteration. */
+std::vector<Syscall> allSyscalls();
+
+/**
+ * Syscalls whose arguments reference file descriptors and therefore
+ * need the fd-argument restriction the paper describes in §4.4.1
+ * (ioctl, connect, select, fcntl).
+ */
+bool needsFdRestriction(Syscall call);
+
+/**
+ * Security-critical syscalls that framework APIs need only during
+ * their first execution (§4.4.1 "System Calls Required During the
+ * Initialization"): mprotect and connect.
+ */
+bool isInitOnlySyscall(Syscall call);
+
+} // namespace freepart::osim
+
+#endif // FREEPART_OSIM_SYSCALLS_HH

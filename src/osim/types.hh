@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Fundamental types and fault exceptions for the simulated operating
+ * system substrate. FreePart's enforcement points on real Linux are
+ * page permissions (mprotect) and syscall filters (seccomp-BPF); the
+ * simulated kernel reproduces exactly those enforcement points so the
+ * paper's attacks succeed or fail for the same structural reasons.
+ */
+
+#ifndef FREEPART_OSIM_TYPES_HH
+#define FREEPART_OSIM_TYPES_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace freepart::osim {
+
+/** Virtual address within a simulated process address space. */
+using Addr = uint64_t;
+
+/** Process identifier. */
+using Pid = uint32_t;
+
+/** File descriptor within a simulated process. */
+using Fd = int32_t;
+
+/** Simulated time in nanoseconds. */
+using SimTime = uint64_t;
+
+/** Size of a simulated page in bytes. */
+constexpr size_t kPageSize = 4096;
+
+/** An invalid / null address. */
+constexpr Addr kNullAddr = 0;
+
+/** Page permission bits (combine with bitwise or). */
+enum Perms : uint8_t {
+    PermNone = 0,
+    PermRead = 1,
+    PermWrite = 2,
+    PermExec = 4,
+    PermRW = PermRead | PermWrite,
+    PermRX = PermRead | PermExec,
+    PermRWX = PermRead | PermWrite | PermExec,
+};
+
+/** Round an address down to its page base. */
+constexpr Addr
+pageBase(Addr a)
+{
+    return a & ~static_cast<Addr>(kPageSize - 1);
+}
+
+/** Index of the page containing an address. */
+constexpr uint64_t
+pageIndex(Addr a)
+{
+    return a / kPageSize;
+}
+
+/**
+ * Memory access fault: the access touched an unmapped page or violated
+ * the page's permissions. This is how FreePart's temporal read-only
+ * protection stops data-corruption payloads.
+ */
+class MemFault : public std::runtime_error
+{
+  public:
+    MemFault(Pid pid, Addr addr, bool is_write, const std::string &why)
+        : std::runtime_error("mem fault pid=" + std::to_string(pid) +
+                             " addr=0x" + toHex(addr) +
+                             (is_write ? " write" : " read") + ": " + why),
+          pid(pid), addr(addr), isWrite(is_write)
+    {
+    }
+
+    Pid pid;
+    Addr addr;
+    bool isWrite;
+
+  private:
+    static std::string
+    toHex(Addr a)
+    {
+        static const char *digits = "0123456789abcdef";
+        std::string s;
+        if (!a)
+            return "0";
+        while (a) {
+            s.insert(s.begin(), digits[a & 0xf]);
+            a >>= 4;
+        }
+        return s;
+    }
+};
+
+/**
+ * Syscall filter violation: the process issued a syscall outside its
+ * seccomp allowlist (or with a disallowed fd argument). The kernel
+ * delivers SIGSYS, i.e. the process is killed.
+ */
+class SyscallViolation : public std::runtime_error
+{
+  public:
+    SyscallViolation(Pid pid, const std::string &what)
+        : std::runtime_error("syscall violation pid=" +
+                             std::to_string(pid) + ": " + what),
+          pid(pid)
+    {
+    }
+
+    Pid pid;
+};
+
+/**
+ * Explicit process crash (e.g. a DoS payload aborting the process, or
+ * an unhandled fault escalated by the kernel).
+ */
+class ProcessCrash : public std::runtime_error
+{
+  public:
+    ProcessCrash(Pid pid, const std::string &why)
+        : std::runtime_error("process crash pid=" + std::to_string(pid) +
+                             ": " + why),
+          pid(pid)
+    {
+    }
+
+    Pid pid;
+};
+
+} // namespace freepart::osim
+
+#endif // FREEPART_OSIM_TYPES_HH

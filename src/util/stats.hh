@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Small statistics accumulators used by workload harnesses and the
+ * evaluation drivers (mean / min / max / stddev over observations).
+ */
+
+#ifndef FREEPART_UTIL_STATS_HH
+#define FREEPART_UTIL_STATS_HH
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace freepart::util {
+
+/** Streaming accumulator: mean, min, max, and sample stddev. */
+class RunningStat
+{
+  public:
+    /** Record one observation. */
+    void
+    add(double x)
+    {
+        ++n;
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n);
+        m2 += delta * (x - mean_);
+        if (x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+        sum_ += x;
+    }
+
+    uint64_t count() const { return n; }
+    double mean() const { return n ? mean_ : 0.0; }
+    double sum() const { return sum_; }
+    double min() const { return n ? min_ : 0.0; }
+    double max() const { return n ? max_ : 0.0; }
+
+    /** Sample standard deviation (0 for fewer than two samples). */
+    double
+    stddev() const
+    {
+        if (n < 2)
+            return 0.0;
+        return std::sqrt(m2 / static_cast<double>(n - 1));
+    }
+
+  private:
+    uint64_t n = 0;
+    double mean_ = 0.0;
+    double m2 = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace freepart::util
+
+#endif // FREEPART_UTIL_STATS_HH

@@ -1,0 +1,123 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace freepart::util {
+
+namespace {
+
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    size_t digits = 0;
+    for (char c : s) {
+        if (std::isdigit(static_cast<unsigned char>(c)))
+            ++digits;
+        else if (c != '.' && c != ',' && c != '-' && c != '+' &&
+                 c != '%' && c != 'x')
+            return false;
+    }
+    return digits > 0;
+}
+
+} // namespace
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows.push_back(std::move(cells));
+    ++nRows;
+}
+
+void
+TextTable::addRule()
+{
+    rows.emplace_back();
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto rule = [&] {
+        std::string line = "+";
+        for (size_t w : width)
+            line += std::string(w + 2, '-') + "+";
+        return line + "\n";
+    };
+
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::string line = "|";
+        for (size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            size_t pad = width[c] - cell.size();
+            if (looksNumeric(cell))
+                line += " " + std::string(pad, ' ') + cell + " |";
+            else
+                line += " " + cell + std::string(pad, ' ') + " |";
+        }
+        return line + "\n";
+    };
+
+    std::string out = rule();
+    out += renderRow(headers_);
+    out += rule();
+    for (const auto &row : rows) {
+        if (row.empty())
+            out += rule();
+        else
+            out += renderRow(row);
+    }
+    out += rule();
+    return out;
+}
+
+std::string
+fmtDouble(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+fmtPercent(double fraction, int decimals)
+{
+    return fmtDouble(fraction * 100.0, decimals) + "%";
+}
+
+std::string
+fmtCount(uint64_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    int n = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (n && n % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++n;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+} // namespace freepart::util

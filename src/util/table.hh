@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Plain-text table rendering used by the benchmark harnesses to print
+ * paper-style tables (paper value vs. measured value side by side).
+ */
+
+#ifndef FREEPART_UTIL_TABLE_HH
+#define FREEPART_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace freepart::util {
+
+/**
+ * A simple column-aligned text table. Columns are sized to the widest
+ * cell; numeric cells are right-aligned, text cells left-aligned.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; missing cells render empty, extras are dropped. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void addRule();
+
+    /** Render the table to a string (trailing newline included). */
+    std::string render() const;
+
+    /** Number of data rows added so far (rules excluded). */
+    size_t rowCount() const { return nRows; }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows;  // empty vector == rule
+    size_t nRows = 0;
+};
+
+/** Format a double with the given number of decimals. */
+std::string fmtDouble(double v, int decimals = 2);
+
+/** Format a value as a percentage string, e.g. "3.68%". */
+std::string fmtPercent(double fraction, int decimals = 2);
+
+/** Format an integer with thousands separators, e.g. "12,411". */
+std::string fmtCount(uint64_t v);
+
+} // namespace freepart::util
+
+#endif // FREEPART_UTIL_TABLE_HH

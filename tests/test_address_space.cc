@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for osim::AddressSpace: allocation, permission-checked
+ * access, mprotect semantics, shared mappings, and fault behaviour —
+ * the enforcement point behind FreePart's temporal protection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "osim/address_space.hh"
+
+namespace freepart::osim {
+namespace {
+
+TEST(AddressSpace, AllocReturnsPageAlignedDistinctRegions)
+{
+    AddressSpace space(1);
+    Addr a = space.alloc(100);
+    Addr b = space.alloc(100);
+    EXPECT_EQ(a % kPageSize, 0u);
+    EXPECT_EQ(b % kPageSize, 0u);
+    EXPECT_NE(a, b);
+    EXPECT_GE(b, a + kPageSize);
+}
+
+TEST(AddressSpace, ReadBackWrittenBytes)
+{
+    AddressSpace space(1);
+    Addr a = space.alloc(64);
+    uint32_t v = 0xdeadbeef;
+    space.writeValue(a + 8, v);
+    EXPECT_EQ(space.readValue<uint32_t>(a + 8), 0xdeadbeefu);
+}
+
+TEST(AddressSpace, FreshAllocationIsZeroed)
+{
+    AddressSpace space(1);
+    Addr a = space.alloc(256);
+    for (int i = 0; i < 256; i += 7)
+        EXPECT_EQ(space.readValue<uint8_t>(a + i), 0);
+}
+
+TEST(AddressSpace, UnmappedAccessFaults)
+{
+    AddressSpace space(1);
+    EXPECT_THROW(space.readValue<uint8_t>(0xdead0000), MemFault);
+    uint8_t b = 1;
+    EXPECT_THROW(space.write(0xdead0000, &b, 1), MemFault);
+}
+
+TEST(AddressSpace, WriteToReadOnlyPageFaults)
+{
+    AddressSpace space(1);
+    Addr a = space.alloc(kPageSize * 2);
+    space.writeValue<uint32_t>(a, 7);
+    space.protect(a, kPageSize * 2, PermRead);
+    uint32_t v = 9;
+    EXPECT_THROW(space.write(a, &v, sizeof(v)), MemFault);
+    // Reads still succeed.
+    EXPECT_EQ(space.readValue<uint32_t>(a), 7u);
+}
+
+TEST(AddressSpace, ProtectIsPageGranular)
+{
+    AddressSpace space(1);
+    Addr a = space.alloc(kPageSize * 3);
+    space.protect(a + kPageSize, kPageSize, PermRead);
+    // First and third pages stay writable.
+    space.writeValue<uint8_t>(a, 1);
+    space.writeValue<uint8_t>(a + 2 * kPageSize, 1);
+    EXPECT_THROW(space.writeValue<uint8_t>(a + kPageSize, 1),
+                 MemFault);
+    EXPECT_EQ(space.permsAt(a), PermRW);
+    EXPECT_EQ(space.permsAt(a + kPageSize), PermRead);
+}
+
+TEST(AddressSpace, ReProtectRestoresWrite)
+{
+    AddressSpace space(1);
+    Addr a = space.alloc(64);
+    space.protect(a, 64, PermRead);
+    space.protect(a, 64, PermRW);
+    EXPECT_NO_THROW(space.writeValue<uint8_t>(a, 5));
+}
+
+TEST(AddressSpace, PermNoneBlocksReads)
+{
+    AddressSpace space(1);
+    Addr a = space.alloc(64);
+    space.protect(a, 64, PermNone);
+    EXPECT_THROW(space.readValue<uint8_t>(a), MemFault);
+}
+
+TEST(AddressSpace, CrossMappingAccessFaults)
+{
+    AddressSpace space(1);
+    Addr a = space.alloc(16);
+    // Guard page between mappings: overrun faults.
+    std::vector<uint8_t> big(2 * kPageSize, 0);
+    EXPECT_THROW(space.write(a, big.data(), big.size()), MemFault);
+}
+
+TEST(AddressSpace, UnmapRemovesMapping)
+{
+    AddressSpace space(1);
+    Addr a = space.alloc(64);
+    space.unmap(a);
+    EXPECT_THROW(space.readValue<uint8_t>(a), MemFault);
+    EXPECT_EQ(space.permsAt(a), PermNone);
+}
+
+TEST(AddressSpace, SharedMappingSeesPeerWrites)
+{
+    AddressSpace p1(1), p2(2);
+    auto backing = std::make_shared<std::vector<uint8_t>>(kPageSize);
+    Addr a1 = p1.mapShared(backing, PermRW, "shm");
+    Addr a2 = p2.mapShared(backing, PermRW, "shm");
+    p1.writeValue<uint64_t>(a1 + 16, 0x1234567890abcdefull);
+    EXPECT_EQ(p2.readValue<uint64_t>(a2 + 16), 0x1234567890abcdefull);
+}
+
+TEST(AddressSpace, MappedBytesTracksAllocations)
+{
+    AddressSpace space(1);
+    size_t before = space.mappedBytes();
+    space.alloc(1); // rounds to one page
+    EXPECT_EQ(space.mappedBytes(), before + kPageSize);
+}
+
+TEST(AddressSpace, CheckedSpanHonoursPermissions)
+{
+    AddressSpace space(1);
+    Addr a = space.alloc(128);
+    EXPECT_NE(space.checkedSpan(a, 128, true), nullptr);
+    space.protect(a, 128, PermRead);
+    EXPECT_THROW(space.checkedSpan(a, 128, true), MemFault);
+    EXPECT_NE(space.checkedSpan(a, 128), nullptr);
+}
+
+TEST(AddressSpace, FaultCarriesAddressAndDirection)
+{
+    AddressSpace space(5);
+    Addr a = space.alloc(32);
+    space.protect(a, 32, PermRead);
+    try {
+        space.writeValue<uint8_t>(a, 1);
+        FAIL() << "expected fault";
+    } catch (const MemFault &fault) {
+        EXPECT_TRUE(fault.isWrite);
+        EXPECT_EQ(fault.pid, 5u);
+        EXPECT_EQ(pageBase(fault.addr), pageBase(a));
+    }
+}
+
+} // namespace
+} // namespace freepart::osim

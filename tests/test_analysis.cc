@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the hybrid analysis stack: the file-copy reduction rule,
+ * static classification (including its deliberate blindness to
+ * indirect flows), the dynamic tracer, coverage reporting, and the
+ * end-to-end hybrid categorizer — whose output must match the
+ * ground-truth type of EVERY registered API (the §5 correctness
+ * claim: "all partitioned APIs were correctly categorized").
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/dynamic_tracer.hh"
+#include "analysis/hybrid_categorizer.hh"
+#include "analysis/static_analyzer.hh"
+
+namespace freepart::analysis {
+namespace {
+
+using fw::ApiType;
+using fw::FlowOp;
+using fw::StorageKind;
+
+const fw::ApiRegistry &
+registry()
+{
+    static fw::ApiRegistry reg = fw::buildFullRegistry();
+    return reg;
+}
+
+TEST(ReduceFileCopies, CollapsesSpillReloadPair)
+{
+    // The tf.keras.utils.get_file pattern (§4.2.1).
+    std::vector<FlowOp> ops = {
+        {StorageKind::Mem, StorageKind::Dev, false},
+        {StorageKind::File, StorageKind::Mem, false},
+        {StorageKind::Mem, StorageKind::File, false},
+    };
+    std::vector<FlowOp> reduced = reduceFileCopies(ops);
+    ASSERT_EQ(reduced.size(), 2u);
+    EXPECT_EQ(reduced[0],
+              (FlowOp{StorageKind::Mem, StorageKind::Dev, false}));
+    EXPECT_EQ(reduced[1],
+              (FlowOp{StorageKind::Mem, StorageKind::Mem, false}));
+    EXPECT_EQ(fw::classifyFlowOps(reduced), ApiType::Loading);
+}
+
+TEST(ReduceFileCopies, LeavesPureLoadersAndStorersAlone)
+{
+    std::vector<FlowOp> load = {
+        {StorageKind::Mem, StorageKind::File, false}};
+    EXPECT_EQ(reduceFileCopies(load), load);
+    std::vector<FlowOp> store = {
+        {StorageKind::File, StorageKind::Mem, false}};
+    EXPECT_EQ(reduceFileCopies(store), store);
+}
+
+TEST(ReduceFileCopies, OnlyPairsAfterSpillCollapse)
+{
+    // Reload BEFORE spill is a real load + real store, not a copy.
+    std::vector<FlowOp> ops = {
+        {StorageKind::Mem, StorageKind::File, false},
+        {StorageKind::File, StorageKind::Mem, false},
+    };
+    EXPECT_EQ(reduceFileCopies(ops).size(), 2u);
+}
+
+TEST(StaticAnalyzer, ClassifiesDirectIrCorrectly)
+{
+    StaticAnalyzer analyzer;
+    StaticResult imread =
+        analyzer.analyze(registry().require("cv2.imread"));
+    EXPECT_EQ(imread.type, ApiType::Loading);
+    EXPECT_TRUE(imread.complete);
+
+    StaticResult blur =
+        analyzer.analyze(registry().require("cv2.GaussianBlur"));
+    EXPECT_EQ(blur.type, ApiType::Processing);
+
+    StaticResult imshow =
+        analyzer.analyze(registry().require("cv2.imshow"));
+    EXPECT_EQ(imshow.type, ApiType::Visualizing);
+
+    StaticResult imwrite =
+        analyzer.analyze(registry().require("cv2.imwrite"));
+    EXPECT_EQ(imwrite.type, ApiType::Storing);
+}
+
+TEST(StaticAnalyzer, ReducesGetFileToLoading)
+{
+    StaticAnalyzer analyzer;
+    StaticResult res = analyzer.analyze(
+        registry().require("tf.keras.utils.get_file"));
+    EXPECT_EQ(res.type, ApiType::Loading);
+}
+
+TEST(StaticAnalyzer, BlindToIndirectFlows)
+{
+    // pandas/json/Matplotlib flows are hidden behind indirect
+    // dispatch (Table 2 footnote): static result is incomplete.
+    StaticAnalyzer analyzer;
+    for (const char *name :
+         {"pd.read_csv", "json.load", "plt.show", "plt.savefig"}) {
+        StaticResult res = analyzer.analyze(registry().require(name));
+        EXPECT_FALSE(res.complete) << name;
+        EXPECT_EQ(res.type, ApiType::Unknown) << name;
+    }
+}
+
+TEST(DynamicTracer, ObservesHiddenFlows)
+{
+    DynamicTracer tracer;
+    TraceResult res = tracer.trace(registry().require("pd.read_csv"));
+    EXPECT_TRUE(res.executed);
+    EXPECT_EQ(fw::classifyFlowOps(res.ops), ApiType::Loading);
+}
+
+TEST(DynamicTracer, CapturesSyscallProfile)
+{
+    DynamicTracer tracer;
+    TraceResult res = tracer.trace(registry().require("cv2.imread"));
+    ASSERT_TRUE(res.executed);
+    EXPECT_TRUE(res.syscalls.count(osim::Syscall::Openat));
+    EXPECT_TRUE(res.syscalls.count(osim::Syscall::Read));
+    EXPECT_FALSE(res.syscalls.count(osim::Syscall::Send));
+}
+
+TEST(DynamicTracer, VisualizingApiUsesGuiSyscalls)
+{
+    DynamicTracer tracer;
+    TraceResult res = tracer.trace(registry().require("cv2.imshow"));
+    ASSERT_TRUE(res.executed);
+    EXPECT_TRUE(res.syscalls.count(osim::Syscall::Sendto));
+}
+
+TEST(DynamicTracer, CoverageIsHighOnOurRegistry)
+{
+    DynamicTracer tracer;
+    for (fw::Framework framework :
+         {fw::Framework::OpenCV, fw::Framework::PyTorch,
+          fw::Framework::Caffe, fw::Framework::TensorFlow}) {
+        CoverageReport report =
+            tracer.coverFramework(registry(), framework);
+        EXPECT_GT(report.apisTotal, 0u);
+        // The paper reports 80-92% on the real frameworks (Table
+        // 11); our registry only contains driveable APIs, so the
+        // bound here is higher.
+        EXPECT_GE(report.apiCoverage(), 0.9)
+            << fw::frameworkName(framework);
+    }
+}
+
+TEST(HybridCategorizer, MatchesGroundTruthForEveryApi)
+{
+    HybridCategorizer categorizer(registry());
+    Categorization cats = categorizer.categorizeAll();
+    ASSERT_EQ(cats.size(), registry().size());
+    for (const fw::ApiDescriptor &api : registry().all()) {
+        ASSERT_TRUE(cats.count(api.name)) << api.name;
+        EXPECT_EQ(cats.at(api.name).type, api.declaredType)
+            << api.name;
+    }
+}
+
+TEST(HybridCategorizer, DynamicPassUsedExactlyForIndirectApis)
+{
+    HybridCategorizer categorizer(registry());
+    Categorization cats = categorizer.categorizeAll();
+    EXPECT_TRUE(cats.at("pd.read_csv").usedDynamic);
+    EXPECT_TRUE(cats.at("plt.show").usedDynamic);
+    EXPECT_FALSE(cats.at("cv2.imread").usedDynamic);
+    EXPECT_FALSE(cats.at("cv2.GaussianBlur").usedDynamic);
+}
+
+TEST(HybridCategorizer, SyscallProfilesPopulated)
+{
+    HybridCategorizer categorizer(registry());
+    Categorization cats =
+        categorizer.categorize({"cv2.imread", "cv2.imshow"});
+    EXPECT_TRUE(
+        cats.at("cv2.imread").syscalls.count(osim::Syscall::Openat));
+    EXPECT_TRUE(
+        cats.at("cv2.imshow").syscalls.count(osim::Syscall::Connect));
+}
+
+TEST(HybridCategorizer, NeutralDetectionFromCallSequence)
+{
+    HybridCategorizer categorizer(registry());
+    Categorization cats = categorizer.categorize(
+        {"cv2.imread", "cv2.cvtColor", "cv2.GaussianBlur",
+         "cv2.erode", "cv2.imshow"});
+    // cvtColor always borders a loading or visualizing API (the
+    // paper's imread -> cvtColor -> ... -> imshow pattern), while
+    // GaussianBlur mostly sits inside processing chains.
+    std::vector<std::string> seq = {
+        "cv2.imread", "cv2.cvtColor", "cv2.imshow",
+        "cv2.imread", "cv2.cvtColor", "cv2.GaussianBlur",
+        "cv2.erode",  "cv2.GaussianBlur", "cv2.erode",
+        "cv2.imshow"};
+    categorizer.detectNeutral(cats, seq);
+    EXPECT_TRUE(cats.at("cv2.cvtColor").typeNeutral);
+    EXPECT_FALSE(cats.at("cv2.GaussianBlur").typeNeutral);
+}
+
+TEST(HybridCategorizer, CountByType)
+{
+    HybridCategorizer categorizer(registry());
+    Categorization cats = categorizer.categorize(
+        {"cv2.imread", "cv2.GaussianBlur", "cv2.erode",
+         "cv2.imshow", "cv2.imwrite"});
+    auto counts = HybridCategorizer::countByType(cats);
+    EXPECT_EQ(counts[ApiType::Loading], 1u);
+    EXPECT_EQ(counts[ApiType::Processing], 2u);
+    EXPECT_EQ(counts[ApiType::Visualizing], 1u);
+    EXPECT_EQ(counts[ApiType::Storing], 1u);
+}
+
+} // namespace
+} // namespace freepart::analysis

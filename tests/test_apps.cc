@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests for the concrete applications: the OMR grader runs its full
+ * pipeline under partitioned and unpartitioned runtimes with
+ * identical results; the drone and viewer apps behave; the app-model
+ * dataset matches Table 6's aggregates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/app_models.hh"
+#include "apps/drone.hh"
+#include "apps/image_viewer.hh"
+#include "apps/omr_checker.hh"
+
+namespace freepart::apps {
+namespace {
+
+struct AppEnv {
+    AppEnv() : registry(fw::buildFullRegistry())
+    {
+        analysis::HybridCategorizer categorizer(registry);
+        cats = categorizer.categorizeAll();
+    }
+
+    std::unique_ptr<core::FreePartRuntime>
+    makeRuntime(core::PartitionPlan plan,
+                core::RuntimeConfig config = {})
+    {
+        kernel = std::make_unique<osim::Kernel>();
+        return std::make_unique<core::FreePartRuntime>(
+            *kernel, registry, cats, std::move(plan), config);
+    }
+
+    fw::ApiRegistry registry;
+    analysis::Categorization cats;
+    std::unique_ptr<osim::Kernel> kernel;
+};
+
+AppEnv &
+env()
+{
+    static AppEnv instance;
+    return instance;
+}
+
+OmrChecker::Config
+smallOmr()
+{
+    OmrChecker::Config config;
+    config.imageRows = 64;
+    config.imageCols = 64;
+    config.questions = 4;
+    return config;
+}
+
+TEST(OmrChecker, GradesSubmissionsEndToEnd)
+{
+    auto runtime =
+        env().makeRuntime(core::PartitionPlan::freePartDefault());
+    auto inputs =
+        OmrChecker::seedInputs(*env().kernel, 2, smallOmr());
+    OmrChecker app(*runtime, smallOmr());
+    app.setup();
+    for (const std::string &input : inputs) {
+        GradeResult result = app.gradeSubmission(input);
+        EXPECT_TRUE(result.ok) << input;
+        EXPECT_EQ(result.answers.size(), 4u);
+    }
+    app.finish();
+    // Results CSV written via the storing pipeline.
+    ASSERT_TRUE(env().kernel->vfs().exists("/out/results.csv"));
+    const auto &csv = env().kernel->vfs().getFile("/out/results.csv");
+    std::string text(csv.begin(), csv.end());
+    EXPECT_NE(text.find("image,score"), std::string::npos);
+    EXPECT_NE(text.find("/data/omr_0.fpim"), std::string::npos);
+    // Annotated sheets displayed and stored.
+    EXPECT_GE(env().kernel->display().events().size(), 2u);
+    EXPECT_TRUE(env().kernel->vfs().exists("/out/graded_0.fpim"));
+}
+
+TEST(OmrChecker, ScoresIdenticalWithAndWithoutIsolation)
+{
+    auto grade_with = [&](core::PartitionPlan plan) {
+        auto runtime = env().makeRuntime(std::move(plan));
+        auto inputs =
+            OmrChecker::seedInputs(*env().kernel, 2, smallOmr());
+        OmrChecker app(*runtime, smallOmr());
+        app.setup();
+        std::vector<int> scores;
+        for (const std::string &input : inputs)
+            scores.push_back(app.gradeSubmission(input).score);
+        return scores;
+    };
+    EXPECT_EQ(grade_with(core::PartitionPlan::freePartDefault()),
+              grade_with(core::PartitionPlan::inHost()));
+}
+
+TEST(OmrChecker, TemplateProtectedAfterInitialization)
+{
+    auto runtime =
+        env().makeRuntime(core::PartitionPlan::freePartDefault());
+    auto inputs =
+        OmrChecker::seedInputs(*env().kernel, 1, smallOmr());
+    OmrChecker app(*runtime, smallOmr());
+    app.setup();
+    // Template writable during initialization...
+    osim::AddressSpace &host = runtime->hostProcess().space();
+    EXPECT_NO_THROW(
+        host.writeValue<uint8_t>(app.templateAddr(), 1));
+    app.gradeSubmission(inputs[0]);
+    // ...read-only once the pipeline has moved past loading.
+    EXPECT_THROW(host.writeValue<uint8_t>(app.templateAddr(), 2),
+                 osim::MemFault);
+}
+
+TEST(OmrChecker, UsesApisOfAllFourTypes)
+{
+    auto runtime =
+        env().makeRuntime(core::PartitionPlan::freePartDefault());
+    auto inputs =
+        OmrChecker::seedInputs(*env().kernel, 1, smallOmr());
+    OmrChecker app(*runtime, smallOmr());
+    app.setup();
+    app.gradeSubmission(inputs[0]);
+    app.finish();
+    std::map<fw::ApiType, int> type_counts;
+    for (const std::string &api : app.usedApis())
+        ++type_counts[env().registry.require(api).declaredType];
+    EXPECT_GE(type_counts[fw::ApiType::Loading], 1);
+    EXPECT_GE(type_counts[fw::ApiType::Processing], 8);
+    EXPECT_GE(type_counts[fw::ApiType::Visualizing], 1);
+    EXPECT_GE(type_counts[fw::ApiType::Storing], 2);
+    // The hot-loop pair dominates total call counts (Fig. 4 setup).
+    int rect_calls = 0;
+    for (const std::string &api : app.callSequence())
+        if (api == "cv2.rectangle" || api == "cv2.putText")
+            ++rect_calls;
+    EXPECT_GE(rect_calls, 8);
+}
+
+TEST(DroneTracker, ProcessesFramesAndMoves)
+{
+    auto runtime =
+        env().makeRuntime(core::PartitionPlan::freePartDefault());
+    auto frames = DroneTracker::seedFrames(*env().kernel, 3);
+    DroneTracker drone(*runtime);
+    drone.setup();
+    EXPECT_DOUBLE_EQ(drone.speed(), 0.3);
+    for (const std::string &frame : frames)
+        EXPECT_TRUE(drone.processFrame(frame));
+    EXPECT_EQ(drone.framesProcessed(), 3);
+    EXPECT_EQ(drone.framesDropped(), 0);
+    EXPECT_TRUE(drone.operable());
+    EXPECT_NE(drone.positionX(), 0.0);
+}
+
+TEST(DroneTracker, SurvivesCrashedFrameAndContinues)
+{
+    auto runtime =
+        env().makeRuntime(core::PartitionPlan::freePartDefault());
+    auto frames = DroneTracker::seedFrames(*env().kernel, 2);
+    // A malicious frame that DoS-crashes the loader.
+    fw::ExploitPayload payload;
+    payload.kind = fw::PayloadKind::Dos;
+    payload.cve = "CVE-2017-14136";
+    env().kernel->vfs().putFile(
+        "/spool/evil.fpim",
+        fw::encodeImageFile(8, 8, 1, fw::synthPixels(8, 8, 1, 0),
+                            payload));
+    DroneTracker drone(*runtime);
+    drone.setup();
+    EXPECT_TRUE(drone.processFrame(frames[0]));
+    EXPECT_FALSE(drone.processFrame("/spool/evil.fpim"));
+    EXPECT_TRUE(drone.operable()); // the drone is still flying
+    EXPECT_TRUE(drone.processFrame(frames[1])); // restarted agent
+    EXPECT_EQ(drone.framesDropped(), 1);
+}
+
+TEST(ImageViewer, OpensImagesAndTracksRecents)
+{
+    auto runtime =
+        env().makeRuntime(core::PartitionPlan::freePartDefault());
+    auto images = ImageViewer::seedImages(*env().kernel, 2);
+    ImageViewer viewer(*runtime);
+    viewer.setup();
+    for (const std::string &image : images)
+        EXPECT_TRUE(viewer.openImage(image));
+    EXPECT_EQ(viewer.imagesShown(), 2);
+    EXPECT_NE(viewer.recentNames().find("secret_album_0"),
+              std::string::npos);
+    // The GTK recent manager in the visualizing process knows the
+    // window, and the display recorded the shows.
+    EXPECT_GE(env().kernel->display().events().size(), 2u);
+}
+
+TEST(AppModels, TwentyThreeAppsMatchingTable6)
+{
+    const auto &models = appModels();
+    ASSERT_EQ(models.size(), 23u);
+    // Spot-check transcribed rows.
+    const AppModel &omr = appModel(8);
+    EXPECT_EQ(omr.name, "OMRChecker");
+    EXPECT_EQ(omr.sloc, 1797u);
+    EXPECT_EQ(omr.processing.unique, 42u);
+    EXPECT_EQ(omr.processing.total, 88u);
+    const AppModel &gan = appModel(15);
+    EXPECT_EQ(gan.name, "PyTorch-GAN");
+    EXPECT_EQ(gan.processing.total, 1747u);
+    const AppModel &openpose = appModel(10);
+    EXPECT_EQ(openpose.sloc, 459373u);
+    EXPECT_EQ(openpose.framework, fw::Framework::Caffe);
+}
+
+TEST(AppModels, FrameworkDistributionMatchesPaper)
+{
+    // 9 OpenCV(-based), 3 Caffe, 10 PyTorch(includes SiamMask..19),
+    // 4 TensorFlow — but per Table 6 ids: 1-8 OpenCV, 9-11 Caffe,
+    // 12-19 PyTorch, 20-23 TensorFlow.
+    std::map<fw::Framework, int> counts;
+    for (const AppModel &model : appModels())
+        ++counts[model.framework];
+    EXPECT_EQ(counts[fw::Framework::OpenCV], 8);
+    EXPECT_EQ(counts[fw::Framework::Caffe], 3);
+    EXPECT_EQ(counts[fw::Framework::PyTorch], 8);
+    EXPECT_EQ(counts[fw::Framework::TensorFlow], 4);
+}
+
+TEST(AppModels, LoadingIsSmallestProcessingIsLargest)
+{
+    // §5.1: loading has the fewest unique APIs; processing the most.
+    uint64_t loading = 0, processing = 0, vis = 0, storing = 0;
+    for (const AppModel &model : appModels()) {
+        loading += model.loading.unique;
+        processing += model.processing.unique;
+        vis += model.visualizing.unique;
+        storing += model.storing.unique;
+    }
+    EXPECT_GT(processing, loading);
+    EXPECT_GT(processing, vis);
+    EXPECT_GT(processing, storing);
+}
+
+TEST(AppModels, UnknownIdThrows)
+{
+    EXPECT_ANY_THROW(appModel(99));
+}
+
+} // namespace
+} // namespace freepart::apps

@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Attack-driver tests: every Table 5 CVE exploit must succeed against
+ * an unprotected run and be mitigated under FreePart; the §5.3
+ * exfiltration/corruption scenarios and the case studies (§5.4, A.7)
+ * must reproduce.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/drone.hh"
+#include "apps/image_viewer.hh"
+#include "attacks/attack_driver.hh"
+#include "attacks/cve_corpus.hh"
+
+namespace freepart::attacks {
+namespace {
+
+struct AttackEnv {
+    AttackEnv() : registry(fw::buildFullRegistry())
+    {
+        analysis::HybridCategorizer categorizer(registry);
+        cats = categorizer.categorizeAll();
+    }
+
+    std::unique_ptr<core::FreePartRuntime>
+    makeRuntime(core::PartitionPlan plan,
+                core::RuntimeConfig config = {})
+    {
+        kernel = std::make_unique<osim::Kernel>();
+        fw::seedFixtureFiles(*kernel);
+        auto runtime = std::make_unique<core::FreePartRuntime>(
+            *kernel, registry, cats, std::move(plan), config);
+        return runtime;
+    }
+
+    fw::ApiRegistry registry;
+    analysis::Categorization cats;
+    std::unique_ptr<osim::Kernel> kernel;
+};
+
+AttackEnv &
+env()
+{
+    static AttackEnv instance;
+    return instance;
+}
+
+TEST(CveCorpus, EighteenEvaluationCves)
+{
+    EXPECT_EQ(evaluationCves().size(), 18u);
+    for (const CveRecord &record : evaluationCves()) {
+        // Every corpus CVE maps to a registered API annotated with
+        // that CVE.
+        const fw::ApiDescriptor &api =
+            env().registry.require(record.api);
+        EXPECT_NE(std::find(api.cves.begin(), api.cves.end(),
+                            record.id),
+                  api.cves.end())
+            << record.id;
+        EXPECT_EQ(api.declaredType, record.apiType) << record.id;
+    }
+}
+
+TEST(CveCorpus, LookupAndCaseStudies)
+{
+    EXPECT_EQ(cveById("CVE-2017-12597").api, "cv2.imread");
+    EXPECT_EQ(cveById("CVE-2020-10378").api, "pil.Image.open");
+    EXPECT_EQ(cveById("SIM-STEGONET").api, "torch.load");
+    EXPECT_ANY_THROW(cveById("CVE-0000-0000"));
+}
+
+TEST(AttackDriver, CorruptionSucceedsWithoutIsolation)
+{
+    core::RuntimeConfig config;
+    config.enforceMemoryProtection = false;
+    config.restrictSyscalls = false;
+    auto runtime =
+        env().makeRuntime(core::PartitionPlan::inHost(), config);
+    osim::Addr secret = runtime->hostProcess().space().alloc(64);
+    runtime->hostProcess().space().write(secret, "SENSITIVE", 9);
+
+    AttackDriver driver(*runtime, env().registry);
+    AttackSpec spec;
+    spec.cve = "CVE-2017-12597";
+    spec.goal = AttackGoal::CorruptData;
+    spec.targetPid = runtime->hostPid();
+    spec.targetAddr = secret;
+    spec.targetLen = 8;
+    AttackOutcome outcome = driver.launch(spec);
+    EXPECT_TRUE(outcome.dataCorrupted);
+    EXPECT_FALSE(outcome.mitigated(spec.goal));
+    // The attacker's mark landed.
+    char mark[9] = {};
+    runtime->hostProcess().space().read(secret, mark, 8);
+    EXPECT_EQ(std::string(mark), "HACKED!!");
+}
+
+TEST(AttackDriver, CorruptionBlockedByFreePart)
+{
+    auto runtime =
+        env().makeRuntime(core::PartitionPlan::freePartDefault());
+    osim::Addr secret = runtime->allocHostData("secret", 64);
+    runtime->hostProcess().space().write(secret, "SENSITIVE", 9);
+
+    AttackDriver driver(*runtime, env().registry);
+    AttackSpec spec;
+    spec.cve = "CVE-2017-12597";
+    spec.goal = AttackGoal::CorruptData;
+    spec.targetPid = runtime->hostPid();
+    spec.targetAddr = secret;
+    spec.targetLen = 8;
+    AttackOutcome outcome = driver.launch(spec);
+    EXPECT_FALSE(outcome.dataCorrupted);
+    EXPECT_FALSE(outcome.hostCrashed);
+    EXPECT_TRUE(outcome.mitigated(spec.goal));
+}
+
+TEST(AttackDriver, ExfiltrationSucceedsWithoutIsolation)
+{
+    core::RuntimeConfig config;
+    config.enforceMemoryProtection = false;
+    config.restrictSyscalls = false;
+    auto runtime =
+        env().makeRuntime(core::PartitionPlan::inHost(), config);
+    osim::Addr secret = runtime->hostProcess().space().alloc(32);
+    runtime->hostProcess().space().write(secret,
+                                         "user-profile-secret!", 20);
+    AttackDriver driver(*runtime, env().registry);
+    AttackSpec spec;
+    spec.cve = "CVE-2020-10378";
+    spec.goal = AttackGoal::Exfiltrate;
+    spec.targetPid = runtime->hostPid();
+    spec.targetAddr = secret;
+    spec.targetLen = 20;
+    AttackOutcome outcome = driver.launch(spec);
+    EXPECT_TRUE(outcome.dataLeaked);
+    EXPECT_EQ(env().kernel->network().sends().size(), 1u);
+}
+
+TEST(AttackDriver, ExfiltrationBlockedByFreePart)
+{
+    auto runtime =
+        env().makeRuntime(core::PartitionPlan::freePartDefault());
+    osim::Addr secret = runtime->allocHostData("secret", 32);
+    runtime->hostProcess().space().write(secret,
+                                         "user-profile-secret!", 20);
+    AttackDriver driver(*runtime, env().registry);
+    AttackSpec spec;
+    spec.cve = "CVE-2020-10378";
+    spec.goal = AttackGoal::Exfiltrate;
+    spec.targetPid = runtime->hostPid();
+    spec.targetAddr = secret;
+    spec.targetLen = 20;
+    AttackOutcome outcome = driver.launch(spec);
+    EXPECT_FALSE(outcome.dataLeaked);
+    EXPECT_TRUE(outcome.mitigated(spec.goal));
+    EXPECT_EQ(env().kernel->network().sends().size(), 0u);
+}
+
+TEST(AttackDriver, DosContainedByFreePart)
+{
+    auto runtime =
+        env().makeRuntime(core::PartitionPlan::freePartDefault());
+    AttackDriver driver(*runtime, env().registry);
+    AttackSpec spec;
+    spec.cve = "CVE-2017-14136";
+    spec.goal = AttackGoal::Dos;
+    AttackOutcome outcome = driver.launch(spec);
+    EXPECT_FALSE(outcome.hostCrashed);
+    EXPECT_TRUE(outcome.executorCrashed);
+    EXPECT_TRUE(outcome.mitigated(spec.goal));
+}
+
+TEST(AttackDriver, DosKillsUnprotectedHost)
+{
+    core::RuntimeConfig config;
+    config.enforceMemoryProtection = false;
+    config.restrictSyscalls = false;
+    auto runtime =
+        env().makeRuntime(core::PartitionPlan::inHost(), config);
+    AttackDriver driver(*runtime, env().registry);
+    AttackSpec spec;
+    spec.cve = "CVE-2017-14136";
+    spec.goal = AttackGoal::Dos;
+    AttackOutcome outcome = driver.launch(spec);
+    EXPECT_TRUE(outcome.hostCrashed);
+    EXPECT_FALSE(outcome.mitigated(spec.goal));
+}
+
+TEST(AttackDriver, CodeRewriteBlockedBySyscallFilter)
+{
+    auto runtime =
+        env().makeRuntime(core::PartitionPlan::freePartDefault());
+    // The "API code" page inside the loading agent.
+    osim::Pid agent = runtime->agentPid(0);
+    osim::Addr code = env().kernel->process(agent).space().alloc(
+        64, osim::PermRX, "code");
+    AttackDriver driver(*runtime, env().registry);
+    AttackSpec spec;
+    spec.cve = "CVE-2017-17760";
+    spec.goal = AttackGoal::CodeRewrite;
+    spec.targetPid = agent;
+    spec.targetAddr = code;
+    spec.targetLen = 4;
+    AttackOutcome outcome = driver.launch(spec);
+    EXPECT_FALSE(outcome.dataCorrupted);
+    EXPECT_TRUE(outcome.blockedBySyscall);
+    EXPECT_TRUE(outcome.mitigated(spec.goal));
+}
+
+TEST(AttackDriver, ForkBombBlockedBySyscallFilter)
+{
+    auto runtime =
+        env().makeRuntime(core::PartitionPlan::freePartDefault());
+    AttackDriver driver(*runtime, env().registry);
+    AttackSpec spec;
+    spec.cve = "SIM-STEGONET";
+    spec.goal = AttackGoal::ForkBomb;
+    AttackOutcome outcome = driver.launch(spec);
+    EXPECT_EQ(outcome.childrenSpawned, 0u);
+    EXPECT_TRUE(outcome.blockedBySyscall);
+    EXPECT_TRUE(outcome.mitigated(spec.goal));
+}
+
+TEST(AttackDriver, ForkBombSucceedsWithoutIsolation)
+{
+    core::RuntimeConfig config;
+    config.enforceMemoryProtection = false;
+    config.restrictSyscalls = false;
+    auto runtime =
+        env().makeRuntime(core::PartitionPlan::inHost(), config);
+    AttackDriver driver(*runtime, env().registry);
+    AttackSpec spec;
+    spec.cve = "SIM-STEGONET";
+    spec.goal = AttackGoal::ForkBomb;
+    AttackOutcome outcome = driver.launch(spec);
+    EXPECT_EQ(outcome.childrenSpawned, 8u);
+    EXPECT_FALSE(outcome.mitigated(spec.goal));
+}
+
+/**
+ * Parameterized sweep: all 18 Table 5 CVEs are mitigated under
+ * FreePart (the §5 "Correctness" claim: no false negatives).
+ */
+class Table5Sweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(Table5Sweep, MitigatedUnderFreePart)
+{
+    const CveRecord &record = cveById(GetParam());
+    auto runtime =
+        env().makeRuntime(core::PartitionPlan::freePartDefault());
+    osim::Addr secret = runtime->allocHostData("critical", 64);
+    runtime->hostProcess().space().write(secret, "CRITICAL", 8);
+
+    AttackDriver driver(*runtime, env().registry);
+    AttackSpec spec;
+    spec.cve = record.id;
+    spec.goal = goalForPayload(record.defaultPayload);
+    spec.targetPid = runtime->hostPid();
+    spec.targetAddr = secret;
+    spec.targetLen = 8;
+    AttackOutcome outcome = driver.launch(spec);
+    EXPECT_TRUE(outcome.mitigated(spec.goal)) << record.id;
+    EXPECT_TRUE(runtime->hostAlive());
+}
+
+TEST_P(Table5Sweep, SucceedsOrCrashesHostWithoutIsolation)
+{
+    const CveRecord &record = cveById(GetParam());
+    core::RuntimeConfig config;
+    config.enforceMemoryProtection = false;
+    config.restrictSyscalls = false;
+    auto runtime =
+        env().makeRuntime(core::PartitionPlan::inHost(), config);
+    osim::Addr secret = runtime->hostProcess().space().alloc(64);
+    runtime->hostProcess().space().write(secret, "CRITICAL", 8);
+
+    AttackDriver driver(*runtime, env().registry);
+    AttackSpec spec;
+    spec.cve = record.id;
+    spec.goal = goalForPayload(record.defaultPayload);
+    spec.targetPid = runtime->hostPid();
+    spec.targetAddr = secret;
+    spec.targetLen = 8;
+    AttackOutcome outcome = driver.launch(spec);
+    EXPECT_FALSE(outcome.mitigated(spec.goal)) << record.id;
+}
+
+std::vector<std::string>
+allCveIds()
+{
+    std::vector<std::string> ids;
+    for (const CveRecord &record : evaluationCves())
+        ids.push_back(record.id);
+    return ids;
+}
+
+std::string
+cveParamName(const ::testing::TestParamInfo<std::string> &info)
+{
+    std::string name = info.param;
+    for (char &c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCves, Table5Sweep,
+                         ::testing::ValuesIn(allCveIds()),
+                         cveParamName);
+
+TEST(CaseStudy, DroneCorruptionAttackContained)
+{
+    // §5.4.1: CVE-2017-12606 flips self.speed to reverse the drone.
+    auto runtime =
+        env().makeRuntime(core::PartitionPlan::freePartDefault());
+    auto frames = apps::DroneTracker::seedFrames(*env().kernel, 1);
+    apps::DroneTracker drone(*runtime);
+    drone.setup();
+    drone.processFrame(frames[0]);
+
+    AttackDriver driver(*runtime, env().registry);
+    AttackSpec spec;
+    spec.cve = "CVE-2017-12606";
+    spec.goal = AttackGoal::CorruptData;
+    spec.targetPid = runtime->hostPid();
+    spec.targetAddr = drone.speedAddr();
+    spec.targetLen = sizeof(double);
+    AttackOutcome outcome = driver.launch(spec);
+    EXPECT_FALSE(outcome.dataCorrupted);
+    EXPECT_DOUBLE_EQ(drone.speed(), 0.3); // still flying forward
+    EXPECT_TRUE(drone.operable());
+}
+
+TEST(CaseStudy, DroneCorruptionSucceedsWithoutFreePart)
+{
+    core::RuntimeConfig config;
+    config.enforceMemoryProtection = false;
+    config.restrictSyscalls = false;
+    auto runtime =
+        env().makeRuntime(core::PartitionPlan::inHost(), config);
+    auto frames = apps::DroneTracker::seedFrames(*env().kernel, 1);
+    apps::DroneTracker drone(*runtime);
+    drone.setup();
+    drone.processFrame(frames[0]);
+
+    // Craft the speed-flip payload by hand: overwrite the double.
+    AttackDriver driver(*runtime, env().registry);
+    AttackSpec spec;
+    spec.cve = "CVE-2017-12606";
+    spec.goal = AttackGoal::CorruptData;
+    spec.targetPid = runtime->hostPid();
+    spec.targetAddr = drone.speedAddr();
+    spec.targetLen = sizeof(double);
+    AttackOutcome outcome = driver.launch(spec);
+    EXPECT_TRUE(outcome.dataCorrupted);
+    EXPECT_NE(drone.speed(), 0.3);
+}
+
+TEST(CaseStudy, ViewerRecentFilesLeakBlocked)
+{
+    // §5.4.2: CVE-2020-10378 tries to leak the recent-file names.
+    auto runtime =
+        env().makeRuntime(core::PartitionPlan::freePartDefault());
+    auto images = apps::ImageViewer::seedImages(*env().kernel, 2);
+    apps::ImageViewer viewer(*runtime);
+    viewer.setup();
+    for (const std::string &image : images)
+        viewer.openImage(image);
+    ASSERT_FALSE(viewer.recentNames().empty());
+
+    AttackDriver driver(*runtime, env().registry);
+    AttackSpec spec;
+    spec.cve = "CVE-2020-10378";
+    spec.goal = AttackGoal::Exfiltrate;
+    spec.targetPid = runtime->hostPid();
+    spec.targetAddr = viewer.recentListAddr();
+    spec.targetLen = 40;
+    AttackOutcome outcome = driver.launch(spec);
+    EXPECT_FALSE(outcome.dataLeaked);
+    EXPECT_TRUE(outcome.mitigated(spec.goal));
+    // Nothing about the albums reached the network.
+    for (const osim::NetSendEvent &send :
+         env().kernel->network().sends()) {
+        std::string head(send.head.begin(), send.head.end());
+        EXPECT_EQ(head.find("secret_album"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace freepart::attacks

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Baseline-technique tests: the Table 1 qualitative ordering must
+ * reproduce — FreePart prevents all three attack classes with low
+ * overhead, while each existing technique fails where the paper says
+ * it fails (code-based API fails M, whole-library fails M/C,
+ * memory-based fails D, per-API is slow).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/evaluator.hh"
+
+namespace freepart::baselines {
+namespace {
+
+TechniqueEvaluator &
+evaluator()
+{
+    static TechniqueEvaluator instance([] {
+        TechniqueEvaluator::Config config;
+        config.submissions = 1;
+        config.imageRows = 96;
+        config.imageCols = 96;
+        config.questions = 4;
+        return config;
+    }());
+    return instance;
+}
+
+TEST(Techniques, Names)
+{
+    EXPECT_STREQ(techniqueName(Technique::FreePart), "FreePart");
+    EXPECT_STREQ(techniqueName(Technique::MemoryBased),
+                 "Memory-based");
+}
+
+TEST(Techniques, SetupShapes)
+{
+    std::vector<std::string> apis = {"cv2.imread", "cv2.imshow",
+                                     "cv2.erode", "cv2.imwrite"};
+    EXPECT_EQ(makeTechniqueSetup(Technique::CodeApi, apis)
+                  .plan.partitionCount(),
+              3u);
+    EXPECT_EQ(makeTechniqueSetup(Technique::CodeApiData, apis)
+                  .plan.partitionCount(),
+              5u);
+    EXPECT_EQ(makeTechniqueSetup(Technique::LibEntire, apis)
+                  .plan.partitionCount(),
+              1u);
+    EXPECT_EQ(makeTechniqueSetup(Technique::LibPerApi, apis)
+                  .plan.partitionCount(),
+              4u);
+    EXPECT_EQ(makeTechniqueSetup(Technique::MemoryBased, apis)
+                  .plan.partitionCount(),
+              0u);
+    EXPECT_EQ(makeTechniqueSetup(Technique::FreePart, apis)
+                  .plan.partitionCount(),
+              4u);
+}
+
+TEST(Techniques, FreePartPreventsAllAttackClasses)
+{
+    TechniqueReport report =
+        evaluator().evaluate(Technique::FreePart);
+    EXPECT_TRUE(report.preventsMemCorruption);
+    EXPECT_TRUE(report.preventsCodeManip);
+    EXPECT_TRUE(report.preventsDos);
+    EXPECT_EQ(report.isolatedCveApis, 2u);
+    EXPECT_EQ(report.processCount, 5u);
+    EXPECT_STREQ(report.checks.dataLevel(), "Highly");
+}
+
+TEST(Techniques, NoIsolationPreventsNothing)
+{
+    TechniqueReport report =
+        evaluator().evaluate(Technique::NoIsolation);
+    EXPECT_FALSE(report.preventsMemCorruption);
+    EXPECT_FALSE(report.preventsCodeManip);
+    EXPECT_FALSE(report.preventsDos);
+    EXPECT_EQ(report.processCount, 1u);
+}
+
+TEST(Techniques, CodeApiFailsTemplateCorruption)
+{
+    // Fig. 2-(a): the process running imread also holds template.
+    TechniqueReport report =
+        evaluator().evaluate(Technique::CodeApi);
+    EXPECT_FALSE(report.checks.templateCorruptionMitigated);
+    EXPECT_TRUE(report.checks.omrCropCorruptionMitigated);
+    EXPECT_FALSE(report.preventsMemCorruption);
+    EXPECT_TRUE(report.preventsDos); // crashes stay in a partition
+}
+
+TEST(Techniques, CodeApiDataProtectsDataButIsSlow)
+{
+    TechniqueReport report =
+        evaluator().evaluate(Technique::CodeApiData);
+    EXPECT_TRUE(report.preventsMemCorruption);
+    EXPECT_EQ(report.isolatedCveApis, 2u);
+    EXPECT_EQ(report.processCount, 5u);
+    // The per-input data-access IPC cost shows up (Table 9's 6,854
+    // vs 169 IPCs; scaled to this build's call counts).
+    TechniqueReport code_api =
+        evaluator().evaluate(Technique::CodeApi);
+    EXPECT_GT(report.ipcCount, code_api.ipcCount * 2);
+    EXPECT_GT(report.simTime, code_api.simTime);
+}
+
+TEST(Techniques, LibEntireSharesDataAndGroupsVulnApis)
+{
+    TechniqueReport report =
+        evaluator().evaluate(Technique::LibEntire);
+    EXPECT_FALSE(report.checks.templateNotShared);
+    EXPECT_EQ(report.isolatedCveApis, 0u); // imread+imshow together
+    EXPECT_FALSE(report.preventsCodeManip);
+    EXPECT_TRUE(report.preventsDos);
+    EXPECT_EQ(report.processCount, 2u);
+}
+
+TEST(Techniques, LibPerApiSecureButSlowest)
+{
+    TechniqueReport per_api =
+        evaluator().evaluate(Technique::LibPerApi);
+    EXPECT_TRUE(per_api.preventsMemCorruption);
+    EXPECT_TRUE(per_api.preventsDos);
+    EXPECT_EQ(per_api.isolatedCveApis, 2u);
+    EXPECT_TRUE(per_api.checks.individualProcesses);
+    EXPECT_EQ(per_api.maxApisPerProc, 1u);
+    TechniqueReport freepart =
+        evaluator().evaluate(Technique::FreePart);
+    // Full-copy-per-call makes it move far more data than FreePart.
+    EXPECT_GT(per_api.bytesTransferred,
+              freepart.bytesTransferred * 3);
+    EXPECT_GT(per_api.simTime, freepart.simTime);
+}
+
+TEST(Techniques, MemoryBasedProtectsDataButFailsDos)
+{
+    TechniqueReport report =
+        evaluator().evaluate(Technique::MemoryBased);
+    EXPECT_TRUE(report.checks.templateCorruptionMitigated);
+    EXPECT_TRUE(report.checks.templatePermsEnforced);
+    EXPECT_FALSE(report.preventsDos); // a fault kills the only process
+    EXPECT_EQ(report.processCount, 1u);
+    EXPECT_EQ(report.ipcCount, 0u);
+}
+
+TEST(Techniques, Table1OverheadOrdering)
+{
+    auto reports = evaluator().evaluateAll();
+    double base = 0, freepart = 0, per_api = 0, entire = 0,
+           code_data = 0;
+    for (const TechniqueReport &report : reports) {
+        double t = static_cast<double>(report.simTime);
+        switch (report.technique) {
+          case Technique::NoIsolation:
+            base = t;
+            break;
+          case Technique::FreePart:
+            freepart = t;
+            break;
+          case Technique::LibPerApi:
+            per_api = t;
+            break;
+          case Technique::LibEntire:
+            entire = t;
+            break;
+          case Technique::CodeApiData:
+            code_data = t;
+            break;
+          default:
+            break;
+        }
+    }
+    // Scale-robust parts of the Table 9 ordering (the full ordering,
+    // including code+data < per-API, is calibrated at the realistic
+    // image sizes the bench harness uses; see EXPERIMENTS.md).
+    EXPECT_LT(base, freepart);
+    EXPECT_LT(freepart, code_data);
+    EXPECT_LT(base, per_api);
+    EXPECT_LT(entire, code_data);
+}
+
+TEST(Rubric, ScoreToLevels)
+{
+    SecurityChecks checks;
+    EXPECT_STREQ(checks.dataLevel(), "Not");
+    checks.omrCropCorruptionMitigated = true;
+    checks.templateCorruptionMitigated = true;
+    EXPECT_STREQ(checks.dataLevel(), "Less");
+    checks.omrCropPermsEnforced = true;
+    checks.templatePermsEnforced = true;
+    EXPECT_STREQ(checks.dataLevel(), "Mostly");
+    checks.omrCropNotShared = true;
+    checks.templateNotShared = true;
+    EXPECT_STREQ(checks.dataLevel(), "Highly");
+}
+
+} // namespace
+} // namespace freepart::baselines

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Tests for the framework data layer: Mat/Tensor serialization and
+ * views, the object store, the FPIM image format (including exploit
+ * trailers), and the exploit-payload codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fw/image_format.hh"
+#include "fw/mat.hh"
+#include "fw/object_store.hh"
+#include "fw/tensor.hh"
+#include "fw/vuln.hh"
+#include "osim/kernel.hh"
+
+namespace freepart::fw {
+namespace {
+
+TEST(Mat, ByteLenAndElements)
+{
+    MatDesc m{4, 6, 3, 0x1000};
+    EXPECT_EQ(m.byteLen(), 72u);
+    EXPECT_EQ(m.elements(), 72u);
+    EXPECT_TRUE(m.valid());
+    EXPECT_FALSE(MatDesc().valid());
+}
+
+TEST(Mat, SerializationRoundTrip)
+{
+    osim::AddressSpace space(1);
+    MatDesc src;
+    src.rows = 3;
+    src.cols = 5;
+    src.channels = 2;
+    src.addr = space.alloc(src.byteLen());
+    std::vector<uint8_t> pixels = synthPixels(3, 5, 2, 42);
+    space.write(src.addr, pixels.data(), pixels.size());
+
+    std::vector<uint8_t> wire = matToBytes(space, src);
+    MatDesc back = matFromBytes(space, wire, "copy");
+    EXPECT_EQ(back.rows, 3u);
+    EXPECT_EQ(back.cols, 5u);
+    EXPECT_EQ(back.channels, 2u);
+    std::vector<uint8_t> out(back.byteLen());
+    space.read(back.addr, out.data(), out.size());
+    EXPECT_EQ(out, pixels);
+}
+
+TEST(Mat, TruncatedBytesRejected)
+{
+    osim::AddressSpace space(1);
+    std::vector<uint8_t> junk(8, 0);
+    EXPECT_ANY_THROW(matFromBytes(space, junk));
+}
+
+TEST(Mat, ViewRespectsProtection)
+{
+    osim::AddressSpace space(1);
+    MatDesc m{2, 2, 1, 0};
+    m.addr = space.alloc(m.byteLen());
+    space.protect(m.addr, m.byteLen(), osim::PermRead);
+    EXPECT_NO_THROW(MatView(space, m));
+    EXPECT_THROW(MatView(space, m, true), osim::MemFault);
+}
+
+TEST(Mat, ViewPixelAccessors)
+{
+    osim::AddressSpace space(1);
+    MatDesc m{2, 3, 2, 0};
+    m.addr = space.alloc(m.byteLen());
+    MatView view(space, m, true);
+    view.set(1, 2, 1, 99);
+    EXPECT_EQ(view.at(1, 2, 1), 99);
+    EXPECT_EQ(view.at(0, 0, 0), 0);
+}
+
+TEST(Tensor, ShapeArithmetic)
+{
+    TensorDesc t;
+    t.shape = {2, 3, 4};
+    EXPECT_EQ(t.elements(), 24u);
+    EXPECT_EQ(t.byteLen(), 96u);
+    TensorDesc empty;
+    EXPECT_EQ(empty.elements(), 0u);
+}
+
+TEST(Tensor, SerializationRoundTrip)
+{
+    osim::AddressSpace space(1);
+    TensorDesc t;
+    t.shape = {2, 5};
+    t.addr = space.alloc(t.byteLen());
+    std::vector<float> values(10);
+    for (size_t i = 0; i < 10; ++i)
+        values[i] = static_cast<float>(i) * 1.5f;
+    tensorWrite(space, t, values);
+
+    std::vector<uint8_t> wire = tensorToBytes(space, t);
+    TensorDesc back = tensorFromBytes(space, wire);
+    EXPECT_EQ(back.shape, (std::vector<uint32_t>{2, 5}));
+    EXPECT_EQ(tensorRead(space, back), values);
+}
+
+TEST(Tensor, ImplausibleRankRejected)
+{
+    osim::AddressSpace space(1);
+    std::vector<uint8_t> bad(64, 0xff);
+    EXPECT_ANY_THROW(tensorFromBytes(space, bad));
+}
+
+TEST(ObjectStore, PutGetEraseMat)
+{
+    osim::Kernel kernel;
+    osim::Process &proc = kernel.spawn("p");
+    uint64_t counter = 0;
+    ObjectStore store(kernel, proc.pid(), &counter);
+    MatDesc m{2, 2, 1, proc.space().alloc(4)};
+    uint64_t id = store.putMat(m, "m");
+    EXPECT_TRUE(store.has(id));
+    EXPECT_EQ(store.mat(id).rows, 2u);
+    EXPECT_EQ(store.get(id).kind, ObjKind::Mat);
+    EXPECT_EQ(store.count(), 1u);
+    store.erase(id);
+    EXPECT_FALSE(store.has(id));
+}
+
+TEST(ObjectStore, IdsUniqueAcrossStoresSharingCounter)
+{
+    osim::Kernel kernel;
+    osim::Process &a = kernel.spawn("a");
+    osim::Process &b = kernel.spawn("b");
+    uint64_t counter = 0;
+    ObjectStore sa(kernel, a.pid(), &counter);
+    ObjectStore sb(kernel, b.pid(), &counter);
+    uint64_t ida = sa.putBytes(a.space().alloc(8), 8);
+    uint64_t idb = sb.putBytes(b.space().alloc(8), 8);
+    EXPECT_NE(ida, idb);
+}
+
+TEST(ObjectStore, SerializeMaterializePreservesIdAndData)
+{
+    osim::Kernel kernel;
+    osim::Process &a = kernel.spawn("a");
+    osim::Process &b = kernel.spawn("b");
+    uint64_t counter = 0;
+    ObjectStore sa(kernel, a.pid(), &counter);
+    ObjectStore sb(kernel, b.pid(), &counter);
+
+    MatDesc m{2, 2, 1, a.space().alloc(4)};
+    a.space().writeValue<uint32_t>(m.addr, 0xaabbccdd);
+    uint64_t id = sa.putMat(m, "img");
+
+    std::vector<uint8_t> bytes = sa.serialize(id);
+    sb.materialize(id, ObjKind::Mat, bytes, "img");
+    EXPECT_TRUE(sb.has(id));
+    EXPECT_EQ(
+        b.space().readValue<uint32_t>(sb.mat(id).addr), 0xaabbccddu);
+}
+
+TEST(ObjectStore, WrongKindAccessPanics)
+{
+    osim::Kernel kernel;
+    osim::Process &proc = kernel.spawn("p");
+    uint64_t counter = 0;
+    ObjectStore store(kernel, proc.pid(), &counter);
+    uint64_t id = store.putBytes(proc.space().alloc(8), 8);
+    EXPECT_ANY_THROW(store.mat(id));
+    EXPECT_ANY_THROW(store.tensor(id));
+}
+
+TEST(ImageFormat, EncodeDecodeRoundTrip)
+{
+    std::vector<uint8_t> pixels = synthPixels(5, 7, 3, 9);
+    std::vector<uint8_t> file = encodeImageFile(5, 7, 3, pixels);
+    DecodedImage img = decodeImageFile(file);
+    EXPECT_EQ(img.rows, 5u);
+    EXPECT_EQ(img.cols, 7u);
+    EXPECT_EQ(img.channels, 3u);
+    EXPECT_EQ(img.pixels, pixels);
+    EXPECT_TRUE(img.trailer.empty());
+    EXPECT_TRUE(looksLikeImageFile(file));
+}
+
+TEST(ImageFormat, BadMagicRejected)
+{
+    std::vector<uint8_t> junk(32, 0x5a);
+    EXPECT_ANY_THROW(decodeImageFile(junk));
+    EXPECT_FALSE(looksLikeImageFile(junk));
+}
+
+TEST(ImageFormat, TruncatedPixelsRejected)
+{
+    std::vector<uint8_t> pixels = synthPixels(4, 4, 1, 0);
+    std::vector<uint8_t> file = encodeImageFile(4, 4, 1, pixels);
+    file.resize(file.size() - 5);
+    EXPECT_ANY_THROW(decodeImageFile(file));
+}
+
+TEST(ImageFormat, ExploitTrailerSurvivesEncode)
+{
+    ExploitPayload payload;
+    payload.kind = PayloadKind::OobWrite;
+    payload.cve = "CVE-2017-12597";
+    payload.targetAddr = 0x4000;
+    payload.writeData = {1, 2, 3};
+    std::vector<uint8_t> pixels = synthPixels(4, 4, 1, 0);
+    std::vector<uint8_t> file =
+        encodeImageFile(4, 4, 1, pixels, payload);
+    DecodedImage img = decodeImageFile(file);
+    auto decoded = decodePayload(img.trailer);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->cve, "CVE-2017-12597");
+    EXPECT_EQ(decoded->targetAddr, 0x4000u);
+    EXPECT_EQ(decoded->writeData, (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST(Payload, CodecRoundTripAllFields)
+{
+    ExploitPayload p;
+    p.kind = PayloadKind::Exfiltrate;
+    p.cve = "CVE-2020-10378";
+    p.leakAddr = 0xbeef000;
+    p.leakLen = 128;
+    p.dest = "attacker.example";
+    p.forkCount = 3;
+    auto back = decodePayload(encodePayload(p));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->kind, PayloadKind::Exfiltrate);
+    EXPECT_EQ(back->cve, p.cve);
+    EXPECT_EQ(back->leakAddr, p.leakAddr);
+    EXPECT_EQ(back->leakLen, p.leakLen);
+    EXPECT_EQ(back->dest, p.dest);
+    EXPECT_EQ(back->forkCount, p.forkCount);
+}
+
+TEST(Payload, GarbageIsNotAPayload)
+{
+    EXPECT_FALSE(decodePayload({}).has_value());
+    EXPECT_FALSE(decodePayload({1, 2, 3}).has_value());
+    std::vector<uint8_t> pixels = synthPixels(2, 2, 1, 1);
+    EXPECT_FALSE(decodePayload(pixels).has_value());
+}
+
+TEST(Payload, KindNames)
+{
+    EXPECT_STREQ(payloadKindName(PayloadKind::OobWrite), "oob-write");
+    EXPECT_STREQ(payloadKindName(PayloadKind::Dos), "dos");
+    EXPECT_STREQ(payloadKindName(PayloadKind::ForkBomb), "fork-bomb");
+}
+
+TEST(ApiTypes, ClassifyFlowOpsRules)
+{
+    using K = StorageKind;
+    EXPECT_EQ(classifyFlowOps({{K::Mem, K::File, false}}),
+              ApiType::Loading);
+    EXPECT_EQ(classifyFlowOps({{K::Mem, K::Dev, false}}),
+              ApiType::Loading);
+    EXPECT_EQ(classifyFlowOps({{K::Mem, K::Mem, false}}),
+              ApiType::Processing);
+    EXPECT_EQ(classifyFlowOps({{K::File, K::Mem, false}}),
+              ApiType::Storing);
+    EXPECT_EQ(classifyFlowOps({{K::Gui, K::Mem, false}}),
+              ApiType::Visualizing);
+    EXPECT_EQ(classifyFlowOps({{K::Mem, K::Gui, false}}),
+              ApiType::Visualizing);
+    // GUI dominates mixed op lists.
+    EXPECT_EQ(classifyFlowOps({{K::Mem, K::Mem, false},
+                               {K::Gui, K::Mem, false}}),
+              ApiType::Visualizing);
+    EXPECT_EQ(classifyFlowOps({}), ApiType::Unknown);
+}
+
+TEST(ApiTypes, Names)
+{
+    EXPECT_STREQ(apiTypeName(ApiType::Loading), "Data Loading");
+    EXPECT_STREQ(apiTypeShortName(ApiType::Storing), "ST");
+    EXPECT_STREQ(storageKindName(StorageKind::Dev), "DEV");
+    EXPECT_EQ(flowOpName({StorageKind::Mem, StorageKind::File, false}),
+              "W(MEM, R(FILE))");
+    EXPECT_STREQ(frameworkName(Framework::OpenCV), "OpenCV");
+}
+
+} // namespace
+} // namespace freepart::fw

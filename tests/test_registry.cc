@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Registry integrity tests plus a parameterized sweep: every
+ * implemented API must be invokable standalone with synthesized
+ * fixture arguments (the property the dynamic tracer relies on).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fw/api_registry.hh"
+#include "fw/invoker.hh"
+#include "osim/kernel.hh"
+
+namespace freepart::fw {
+namespace {
+
+const ApiRegistry &
+registry()
+{
+    static ApiRegistry reg = buildFullRegistry();
+    return reg;
+}
+
+TEST(Registry, HasSubstantialApiSurface)
+{
+    EXPECT_GE(registry().size(), 60u);
+}
+
+TEST(Registry, LookupByNameAndId)
+{
+    const ApiDescriptor &imread = registry().require("cv2.imread");
+    EXPECT_EQ(imread.declaredType, ApiType::Loading);
+    EXPECT_EQ(&registry().byId(imread.id), &imread);
+    EXPECT_EQ(registry().byName("cv2.noSuchApi"), nullptr);
+    EXPECT_ANY_THROW(registry().require("cv2.noSuchApi"));
+}
+
+TEST(Registry, DuplicateNameRejected)
+{
+    ApiRegistry reg;
+    ApiDescriptor api;
+    api.name = "x";
+    reg.add(api);
+    ApiDescriptor dup;
+    dup.name = "x";
+    EXPECT_ANY_THROW(reg.add(dup));
+}
+
+TEST(Registry, AllFourTypesPresent)
+{
+    size_t counts[4] = {};
+    for (const ApiDescriptor &api : registry().all())
+        if (api.declaredType != ApiType::Neutral &&
+            api.declaredType != ApiType::Unknown)
+            ++counts[static_cast<size_t>(api.declaredType)];
+    EXPECT_GT(counts[0], 5u);  // loading
+    EXPECT_GT(counts[1], 20u); // processing
+    EXPECT_GT(counts[2], 5u);  // visualizing
+    EXPECT_GT(counts[3], 5u);  // storing
+}
+
+TEST(Registry, EveryApiHasIrAndSyscalls)
+{
+    for (const ApiDescriptor &api : registry().all()) {
+        EXPECT_FALSE(api.ir.empty()) << api.name;
+        EXPECT_FALSE(api.syscalls.empty()) << api.name;
+    }
+}
+
+TEST(Registry, DeclaredIrClassifiesToDeclaredType)
+{
+    // The ground-truth IR must be consistent with the ground-truth
+    // type, except get_file whose IR needs the file-copy reduction.
+    for (const ApiDescriptor &api : registry().all()) {
+        if (api.name == "tf.keras.utils.get_file")
+            continue;
+        EXPECT_EQ(classifyFlowOps(api.ir), api.declaredType)
+            << api.name;
+    }
+}
+
+TEST(Registry, VulnerableApisCoverTable5Cves)
+{
+    std::set<std::string> cves;
+    for (const ApiDescriptor *api : registry().vulnerable())
+        for (const std::string &cve : api->cves)
+            cves.insert(cve);
+    for (const char *expected :
+         {"CVE-2017-12604", "CVE-2017-12605", "CVE-2017-12606",
+          "CVE-2017-12597", "CVE-2017-17760", "CVE-2019-5063",
+          "CVE-2019-5064", "CVE-2017-14136", "CVE-2018-5269",
+          "CVE-2019-14491", "CVE-2019-14492", "CVE-2019-14493",
+          "CVE-2021-29513", "CVE-2021-29618", "CVE-2021-37661",
+          "CVE-2021-41198"})
+        EXPECT_TRUE(cves.count(expected)) << expected;
+}
+
+TEST(Registry, FrameworkFilters)
+{
+    EXPECT_GE(registry().byFramework(Framework::OpenCV).size(), 30u);
+    EXPECT_GE(registry().byFramework(Framework::PyTorch).size(), 10u);
+    EXPECT_GE(registry().byFramework(Framework::TensorFlow).size(),
+              8u);
+    EXPECT_GE(registry().byFramework(Framework::Caffe).size(), 5u);
+}
+
+TEST(Registry, TypeNeutralApisMarked)
+{
+    EXPECT_TRUE(registry().require("cv2.cvtColor").typeNeutral);
+    EXPECT_TRUE(
+        registry().require("cv2.createMemStorage").typeNeutral);
+    EXPECT_FALSE(registry().require("cv2.GaussianBlur").typeNeutral);
+}
+
+TEST(Registry, StatefulApisMarked)
+{
+    EXPECT_TRUE(registry().require("caffe.Net.Backward").stateful);
+    EXPECT_TRUE(registry()
+                    .require("tf.estimator.DNNClassifier.train")
+                    .stateful);
+    EXPECT_FALSE(registry().require("cv2.GaussianBlur").stateful);
+}
+
+/**
+ * Parameterized sweep: every implemented API executes successfully
+ * in a scratch process with invoker-synthesized arguments.
+ */
+class ApiInvocation : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ApiInvocation, ExecutesWithFixtureArgs)
+{
+    const ApiDescriptor &api = registry().require(GetParam());
+    ASSERT_TRUE(api.implemented());
+
+    osim::Kernel kernel;
+    osim::Process &proc = kernel.spawn("sweep");
+    seedFixtureFiles(kernel);
+    uint64_t counter = 0;
+    ObjectStore store(kernel, proc.pid(), &counter);
+    DeviceFds devices;
+    Invoker invoker(kernel, store, 0);
+
+    ExecContext ctx(kernel, proc, store, devices, 0);
+    ipc::ValueList args = invoker.prepareArgs(api, 1);
+    ipc::ValueList results;
+    ASSERT_NO_THROW(results = api.fn(ctx, api, args)) << api.name;
+
+    // Any returned refs must resolve in the local store.
+    for (const ipc::Value &value : results) {
+        if (value.kind() == ipc::Value::Kind::Ref) {
+            EXPECT_TRUE(store.has(value.asRef().objectId));
+        }
+    }
+
+    // The process must have survived a benign invocation.
+    EXPECT_TRUE(proc.alive()) << api.name;
+}
+
+std::vector<std::string>
+allApiNames()
+{
+    std::vector<std::string> names;
+    for (const ApiDescriptor &api : registry().all())
+        if (api.implemented())
+            names.push_back(api.name);
+    return names;
+}
+
+std::string
+paramName(const ::testing::TestParamInfo<std::string> &info)
+{
+    std::string name = info.param;
+    for (char &c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApis, ApiInvocation,
+                         ::testing::ValuesIn(allApiNames()),
+                         paramName);
+
+/**
+ * Parameterized property: benign invocations never trip declared
+ * syscall profiles — every syscall an API issues is in its profile.
+ */
+class SyscallProfile : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SyscallProfile, ObservedSyscallsWithinDeclaredProfile)
+{
+    const ApiDescriptor &api = registry().require(GetParam());
+    osim::Kernel kernel;
+    osim::Process &proc = kernel.spawn("profile");
+    seedFixtureFiles(kernel);
+    uint64_t counter = 0;
+    ObjectStore store(kernel, proc.pid(), &counter);
+    DeviceFds devices;
+    Invoker invoker(kernel, store, 0);
+    ExecContext ctx(kernel, proc, store, devices, 0);
+    ipc::ValueList args = invoker.prepareArgs(api, 1);
+    ASSERT_NO_THROW(api.fn(ctx, api, args));
+    for (size_t i = 0; i < osim::kNumSyscalls; ++i) {
+        if (proc.syscallCounts[i] == 0)
+            continue;
+        auto call = static_cast<osim::Syscall>(i);
+        EXPECT_TRUE(api.syscalls.count(call))
+            << api.name << " issued undeclared syscall "
+            << osim::syscallName(call);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApis, SyscallProfile,
+                         ::testing::ValuesIn(allApiNames()),
+                         paramName);
+
+} // namespace
+} // namespace freepart::fw

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Edge-case and failure-injection tests for the runtime: dead hosts,
+ * neutral APIs under non-default plans, protection of agent-resident
+ * data, oversized messages, checkpoint cadence, restart home
+ * reassignment, and the at-least-once / exactly-once seams.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.hh"
+#include "util/logging.hh"
+
+namespace freepart::core {
+namespace {
+
+
+struct EdgeEnv {
+    EdgeEnv() : registry(fw::buildFullRegistry())
+    {
+        analysis::HybridCategorizer categorizer(registry);
+        cats = categorizer.categorizeAll();
+    }
+
+    std::unique_ptr<FreePartRuntime>
+    makeRuntime(PartitionPlan plan, RuntimeConfig config = {})
+    {
+        kernel = std::make_unique<osim::Kernel>();
+        fw::seedFixtureFiles(*kernel);
+        return std::make_unique<FreePartRuntime>(
+            *kernel, registry, cats, std::move(plan), config);
+    }
+
+    fw::ApiRegistry registry;
+    analysis::Categorization cats;
+    std::unique_ptr<osim::Kernel> kernel;
+};
+
+EdgeEnv &
+env()
+{
+    static EdgeEnv instance;
+    return instance;
+}
+
+TEST(RuntimeEdge, InvokeOnCrashedHostFailsGracefully)
+{
+    auto runtime = env().makeRuntime(PartitionPlan::freePartDefault());
+    env().kernel->faultProcess(runtime->hostProcess(), "test");
+    ApiResult result = runtime->invoke(
+        "cv2.imread", {ipc::Value(std::string("/data/test.fpim"))});
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("crashed"), std::string::npos);
+}
+
+TEST(RuntimeEdge, NeutralApiFollowsContextOnlyUnderTypePlans)
+{
+    // Under a ByApi plan the neutral override must not apply (the
+    // custom map is authoritative).
+    std::map<std::string, uint32_t> map = {{"cv2.imread", 0},
+                                           {"cv2.cvtColor", 1}};
+    auto runtime =
+        env().makeRuntime(PartitionPlan::custom(map, 2));
+    ApiResult img = runtime->invoke(
+        "cv2.imread", {ipc::Value(std::string("/data/test.fpim"))});
+    ASSERT_TRUE(img.ok);
+    ApiResult gray = runtime->invoke("cv2.cvtColor",
+                                     {img.values[0]});
+    ASSERT_TRUE(gray.ok);
+    EXPECT_EQ(runtime->homeOf(gray.values[0].asRef().objectId), 1u);
+}
+
+TEST(RuntimeEdge, NeutralApiBeforeAnyConcreteCallUsesTypePartition)
+{
+    auto runtime = env().makeRuntime(PartitionPlan::freePartDefault());
+    // cvtColor as the very first call: no context yet, so it lands
+    // in the processing agent (its static type).
+    uint64_t id = runtime->createHostMat(8, 8, 3, 1, "m");
+    ApiResult gray = runtime->invoke(
+        "cv2.cvtColor",
+        {ipc::Value(ipc::ObjectRef{kHostPartition, id})});
+    ASSERT_TRUE(gray.ok);
+    EXPECT_EQ(runtime->homeOf(gray.values[0].asRef().objectId), 1u);
+}
+
+TEST(RuntimeEdge, PartitionDataIsAnnotatedAndProtected)
+{
+    auto runtime = env().makeRuntime(PartitionPlan::freePartDefault());
+    osim::Addr addr = runtime->allocInPartition(1, "agent-data", 64);
+    // Transitioning out of Initialization protects it, wherever it
+    // lives.
+    runtime->invoke("cv2.imread",
+                    {ipc::Value(std::string("/data/test.fpim"))});
+    osim::Process &agent =
+        env().kernel->process(runtime->agentPid(1));
+    EXPECT_THROW(agent.space().writeValue<uint8_t>(addr, 1),
+                 osim::MemFault);
+}
+
+TEST(RuntimeEdge, SameStateDataStaysWritableUntilTransition)
+{
+    auto runtime = env().makeRuntime(PartitionPlan::freePartDefault());
+    runtime->invoke("cv2.imread",
+                    {ipc::Value(std::string("/data/test.fpim"))});
+    // Data defined DURING the Loading state...
+    osim::Addr addr = runtime->allocHostData("loading-data", 32);
+    runtime->invoke("cv2.VideoCapture.read", {});
+    // ...stays writable while still in Loading...
+    EXPECT_NO_THROW(
+        runtime->hostProcess().space().writeValue<uint8_t>(addr, 1));
+    // ...and becomes read-only on the next transition.
+    uint64_t id = runtime->createHostMat(8, 8, 1, 0, "m");
+    runtime->invoke("cv2.GaussianBlur",
+                    {ipc::Value(ipc::ObjectRef{kHostPartition, id})});
+    EXPECT_THROW(
+        runtime->hostProcess().space().writeValue<uint8_t>(addr, 2),
+        osim::MemFault);
+}
+
+TEST(RuntimeEdge, RepeatedStateCycleReprotectsNewData)
+{
+    auto runtime = env().makeRuntime(PartitionPlan::freePartDefault());
+    // Video loop: load -> process -> load -> process; each round's
+    // loading-defined data is protected at the next transition.
+    for (int round = 0; round < 3; ++round) {
+        ApiResult frame = runtime->invoke("cv2.VideoCapture.read",
+                                          {});
+        ASSERT_TRUE(frame.ok);
+        runtime->fetchToHost(frame.values[0].asRef());
+        ApiResult blurred = runtime->invoke("cv2.GaussianBlur",
+                                            {frame.values[0]});
+        ASSERT_TRUE(blurred.ok);
+        const fw::MatDesc &host_copy = runtime->hostStore().mat(
+            frame.values[0].asRef().objectId);
+        EXPECT_THROW(runtime->hostProcess().space().writeValue(
+                         host_copy.addr, uint8_t{1}),
+                     osim::MemFault)
+            << "round " << round;
+    }
+    EXPECT_GE(runtime->stats().stateChanges, 6u);
+}
+
+TEST(RuntimeEdge, CheckpointIntervalControlsCadence)
+{
+    RuntimeConfig config;
+    config.checkpointInterval = 2;
+    auto runtime = env().makeRuntime(PartitionPlan::freePartDefault(),
+                                     config);
+    // Load a model (loading agent) then mutate it in place twice so
+    // a checkpoint lands after the 2nd processing call.
+    ApiResult model = runtime->invoke(
+        "torch.load", {ipc::Value(std::string("/data/model.fpt"))});
+    ASSERT_TRUE(model.ok);
+    ApiResult data = runtime->invoke(
+        "torch.load", {ipc::Value(std::string("/data/model.fpt"))});
+    for (int i = 0; i < 2; ++i)
+        ASSERT_TRUE(runtime
+                        ->invoke("tf.estimator.DNNClassifier.train",
+                                 {model.values[0], data.values[0]})
+                        .ok);
+    uint32_t p = runtime->homeOf(model.values[0].asRef().objectId);
+    // Crash + restart: the checkpointed (twice-trained) weights come
+    // back.
+    env().kernel->faultProcess(
+        env().kernel->process(runtime->agentPid(p)), "induced");
+    ASSERT_TRUE(runtime->restartAgent(p));
+    EXPECT_TRUE(runtime->storeOf(p).has(
+        model.values[0].asRef().objectId));
+}
+
+TEST(RuntimeEdge, RestartReassignsLostObjectHomesToHostCopies)
+{
+    auto runtime = env().makeRuntime(PartitionPlan::freePartDefault());
+    ApiResult img = runtime->invoke(
+        "cv2.imread", {ipc::Value(std::string("/data/test.fpim"))});
+    ipc::ObjectRef ref = img.values[0].asRef();
+    // Host keeps a copy, then the object moves onward to processing.
+    runtime->fetchToHost(ref);
+    ApiResult blurred = runtime->invoke("cv2.GaussianBlur",
+                                        {img.values[0]});
+    ASSERT_TRUE(blurred.ok);
+    uint32_t p = runtime->homeOf(ref.objectId);
+    ASSERT_EQ(p, 1u);
+    // Crash the processing agent; the home falls back to the host
+    // copy, so the object stays usable.
+    env().kernel->faultProcess(
+        env().kernel->process(runtime->agentPid(1)), "induced");
+    ASSERT_TRUE(runtime->restartAgent(1));
+    EXPECT_EQ(runtime->homeOf(ref.objectId), kHostPartition);
+    ApiResult again = runtime->invoke("cv2.GaussianBlur",
+                                      {ipc::Value(ref)});
+    EXPECT_TRUE(again.ok) << again.error;
+}
+
+TEST(RuntimeEdge, OversizedMessageIsAnExplicitError)
+{
+    RuntimeConfig config;
+    config.ringBytes = 4096;
+    auto runtime = env().makeRuntime(PartitionPlan::freePartDefault(),
+                                     config);
+    // imdecode carries the whole file as a blob inside the message.
+    std::vector<uint8_t> blob = fw::encodeImageFile(
+        64, 64, 3, fw::synthPixels(64, 64, 3, 0));
+    ipc::ValueList args;
+    args.emplace_back(std::move(blob));
+    EXPECT_THROW(runtime->invoke("cv2.imdecode", std::move(args)),
+                 util::FatalError);
+}
+
+TEST(RuntimeEdge, StatsLazyFractionBounds)
+{
+    RunStats stats;
+    EXPECT_EQ(stats.lazyFraction(), 0.0);
+    stats.lazyCopies = 95;
+    stats.eagerCopies = 5;
+    EXPECT_DOUBLE_EQ(stats.lazyFraction(), 0.95);
+    EXPECT_EQ(stats.copyOps(), 100u);
+}
+
+TEST(RuntimeEdge, PartitionNamesAreDescriptive)
+{
+    PartitionPlan plan = PartitionPlan::freePartDefault();
+    EXPECT_EQ(plan.partitionName(0), "agent:loading");
+    EXPECT_EQ(plan.partitionName(2), "agent:visualizing");
+    EXPECT_EQ(plan.partitionName(kHostPartition), "host");
+    PartitionPlan custom = PartitionPlan::custom({{"a", 0}}, 1);
+    EXPECT_EQ(custom.partitionName(0), "agent:0");
+}
+
+TEST(RuntimeEdge, GetFileWorksAfterLockdown)
+{
+    // The download socket is cached on first use, so the loading
+    // agent can keep "downloading" after connect is dropped.
+    auto runtime = env().makeRuntime(PartitionPlan::freePartDefault());
+    ApiResult first = runtime->invoke(
+        "tf.keras.utils.get_file",
+        {ipc::Value(std::string("http://example.com/w"))});
+    ASSERT_TRUE(first.ok) << first.error;
+    runtime->lockdownAll();
+    EXPECT_FALSE(
+        runtime->agentFilter(0).permits(osim::Syscall::Connect));
+    ApiResult second = runtime->invoke(
+        "tf.keras.utils.get_file",
+        {ipc::Value(std::string("http://example.com/w"))});
+    EXPECT_TRUE(second.ok) << second.error;
+}
+
+TEST(RuntimeEdge, LockedAgentRejectsFreshMprotect)
+{
+    auto runtime = env().makeRuntime(PartitionPlan::freePartDefault());
+    runtime->lockdownAll();
+    osim::Process &agent =
+        env().kernel->process(runtime->agentPid(1));
+    osim::Addr addr = agent.space().alloc(64);
+    EXPECT_THROW(env().kernel->sysMprotect(agent, addr, 64,
+                                           osim::PermRWX),
+                 osim::SyscallViolation);
+}
+
+TEST(RuntimeEdge, TrustedProtectStillWorksAfterLockdown)
+{
+    // The runtime's own mprotect path is kernel-trusted: locking the
+    // agents must not break temporal protection.
+    auto runtime = env().makeRuntime(PartitionPlan::freePartDefault());
+    runtime->lockdownAll();
+    osim::Addr addr = runtime->allocHostData("late-data", 64);
+    runtime->invoke("cv2.imread",
+                    {ipc::Value(std::string("/data/test.fpim"))});
+    runtime->invoke("cv2.VideoCapture.read", {});
+    uint64_t id = runtime->createHostMat(8, 8, 1, 0, "m");
+    runtime->invoke("cv2.GaussianBlur",
+                    {ipc::Value(ipc::ObjectRef{kHostPartition, id})});
+    EXPECT_THROW(
+        runtime->hostProcess().space().writeValue<uint8_t>(addr, 1),
+        osim::MemFault);
+}
+
+TEST(RuntimeEdge, StoreOfHostReturnsHostStore)
+{
+    auto runtime = env().makeRuntime(PartitionPlan::freePartDefault());
+    EXPECT_EQ(&runtime->storeOf(kHostPartition),
+              &runtime->hostStore());
+}
+
+TEST(RuntimeEdge, HomeOfUnknownObjectPanics)
+{
+    auto runtime = env().makeRuntime(PartitionPlan::freePartDefault());
+    EXPECT_ANY_THROW(runtime->homeOf(0xdeadbeefull));
+}
+
+} // namespace
+} // namespace freepart::core

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the design-study datasets: the 56-app census must
+ * reproduce Table 3's aggregates exactly, every app must follow the
+ * Fig. 6 pipeline, and the CVE census must sum to the reported
+ * per-framework totals (241 CVEs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/studies.hh"
+
+namespace freepart::apps {
+namespace {
+
+using fw::ApiType;
+
+TEST(Study1, FiftySixApps)
+{
+    EXPECT_EQ(studyApps().size(), 56u);
+}
+
+TEST(Study1, AllAppsFollowPipelinePattern)
+{
+    // §4.1: "all the analyzed applications follow the data loading,
+    // data processing, and visualizing or storing workflow."
+    for (const StudyApp &app : studyApps())
+        EXPECT_TRUE(followsPipelinePattern(app)) << app.id;
+}
+
+TEST(Study1, EveryAppHasASink)
+{
+    for (const StudyApp &app : studyApps())
+        EXPECT_TRUE(app.hasVisualizing || app.hasStoring) << app.id;
+}
+
+TEST(Study1, Table3PerFrameworkAggregates)
+{
+    auto usage = computeVulnUsage();
+    auto cell = [&](StudyFramework fw, ApiType type) {
+        return usage.at({fw, type});
+    };
+
+    // OpenCV row: 0.6/1/1 loading, 0.2/1/1 processing.
+    EXPECT_NEAR(cell(StudyFramework::OpenCV, ApiType::Loading).avg,
+                0.6, 0.05);
+    EXPECT_EQ(cell(StudyFramework::OpenCV, ApiType::Loading).max, 1u);
+    EXPECT_EQ(cell(StudyFramework::OpenCV, ApiType::Loading).total,
+              1u);
+    EXPECT_NEAR(
+        cell(StudyFramework::OpenCV, ApiType::Processing).avg, 0.2,
+        0.05);
+
+    // TensorFlow row: 0.3/2/2 loading, 2.3/12/24 processing.
+    EXPECT_NEAR(
+        cell(StudyFramework::TensorFlow, ApiType::Loading).avg, 0.3,
+        0.05);
+    EXPECT_EQ(cell(StudyFramework::TensorFlow, ApiType::Loading).max,
+              2u);
+    EXPECT_EQ(
+        cell(StudyFramework::TensorFlow, ApiType::Loading).total, 2u);
+    EXPECT_NEAR(
+        cell(StudyFramework::TensorFlow, ApiType::Processing).avg,
+        2.3, 0.05);
+    EXPECT_EQ(
+        cell(StudyFramework::TensorFlow, ApiType::Processing).max,
+        12u);
+    EXPECT_EQ(
+        cell(StudyFramework::TensorFlow, ApiType::Processing).total,
+        24u);
+
+    // Pillow row: 0.4/2/2 loading, 0.5/1/1 visualizing.
+    EXPECT_NEAR(cell(StudyFramework::Pillow, ApiType::Loading).avg,
+                0.4, 0.05);
+    EXPECT_EQ(cell(StudyFramework::Pillow, ApiType::Loading).total,
+              2u);
+    EXPECT_NEAR(
+        cell(StudyFramework::Pillow, ApiType::Visualizing).avg, 0.5,
+        0.05);
+
+    // NumPy row: 0.1/1/1 loading, 0.4/1/1 processing.
+    EXPECT_NEAR(cell(StudyFramework::NumPy, ApiType::Loading).avg,
+                0.1, 0.05);
+    EXPECT_NEAR(cell(StudyFramework::NumPy, ApiType::Processing).avg,
+                0.4, 0.05);
+
+    // No storing-type vulnerable APIs anywhere.
+    for (size_t f = 0; f < kNumStudyFrameworks; ++f)
+        EXPECT_EQ(cell(static_cast<StudyFramework>(f),
+                       ApiType::Storing)
+                      .total,
+                  0u);
+}
+
+TEST(Study1, Table3TotalsRow)
+{
+    auto totals = computeVulnUsageTotals();
+    // Loading: 1.4 / 5 / 6.
+    EXPECT_NEAR(totals[0].avg, 1.4, 0.05);
+    EXPECT_EQ(totals[0].max, 5u);
+    EXPECT_EQ(totals[0].total, 6u);
+    // Processing: 2.9 / 14 / 26.
+    EXPECT_NEAR(totals[1].avg, 2.9, 0.05);
+    EXPECT_EQ(totals[1].max, 14u);
+    EXPECT_EQ(totals[1].total, 26u);
+    // Visualizing: 0.5 / 1 / 1.
+    EXPECT_NEAR(totals[2].avg, 0.5, 0.05);
+    EXPECT_EQ(totals[2].max, 1u);
+    EXPECT_EQ(totals[2].total, 1u);
+    // Storing: all zero.
+    EXPECT_EQ(totals[3].total, 0u);
+}
+
+TEST(Study2, TwoHundredFortyOneCves)
+{
+    uint32_t total = 0;
+    for (const CveBucket &bucket : cveStudyBuckets())
+        total += bucket.count;
+    EXPECT_EQ(total, 241u);
+}
+
+TEST(Study2, PerFrameworkTotalsMatchPaper)
+{
+    auto totals = cveTotalsByFramework();
+    EXPECT_EQ(totals[StudyFramework::TensorFlow], 172u);
+    EXPECT_EQ(totals[StudyFramework::Pillow], 44u);
+    EXPECT_EQ(totals[StudyFramework::OpenCV], 22u);
+    EXPECT_EQ(totals[StudyFramework::NumPy], 3u);
+}
+
+TEST(Study2, LoadingAndProcessingDominate)
+{
+    // Fig. 7: "the majority of them are in the data loading and data
+    // processing APIs."
+    auto totals = cveTotalsByType();
+    uint32_t major = totals[ApiType::Loading] +
+                     totals[ApiType::Processing];
+    uint32_t minor = totals[ApiType::Storing] +
+                     totals[ApiType::Visualizing];
+    EXPECT_GT(major, 200u);
+    EXPECT_LT(minor, 30u);
+}
+
+TEST(Study2, VulnerabilitiesExistAcrossAllTypes)
+{
+    // §4.1: "vulnerabilities are all across the four types of APIs."
+    auto totals = cveTotalsByType();
+    EXPECT_GT(totals[ApiType::Loading], 0u);
+    EXPECT_GT(totals[ApiType::Processing], 0u);
+    EXPECT_GT(totals[ApiType::Visualizing], 0u);
+    EXPECT_GT(totals[ApiType::Storing], 0u);
+}
+
+TEST(StatefulCensusTest, A24Breakdown)
+{
+    StatefulCensus census = statefulCensus();
+    EXPECT_EQ(census.total(), 1841u);
+    EXPECT_EQ(census.dataProcessing, 1056u);
+}
+
+TEST(StudyNames, Render)
+{
+    EXPECT_STREQ(studyFrameworkName(StudyFramework::OpenCV),
+                 "OpenCV");
+    EXPECT_STREQ(vulnClassName(VulnClass::DenialOfService),
+                 "DoS (Denial of Service)");
+}
+
+} // namespace
+} // namespace freepart::apps

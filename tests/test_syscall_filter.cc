@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the seccomp-style SyscallFilter: allowlists,
+ * fd-argument restrictions, and NO_NEW_PRIVS locking semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "osim/syscall_filter.hh"
+
+namespace freepart::osim {
+namespace {
+
+TEST(SyscallFilter, PermissiveByDefault)
+{
+    SyscallFilter filter;
+    EXPECT_FALSE(filter.installed());
+    for (Syscall call : allSyscalls())
+        EXPECT_TRUE(filter.permits(call));
+    EXPECT_EQ(filter.allowedCount(), kNumSyscalls);
+}
+
+TEST(SyscallFilter, InstallDeniesEverythingElse)
+{
+    SyscallFilter filter;
+    filter.install({Syscall::Read, Syscall::Openat});
+    EXPECT_TRUE(filter.permits(Syscall::Read));
+    EXPECT_TRUE(filter.permits(Syscall::Openat));
+    EXPECT_FALSE(filter.permits(Syscall::Send));
+    EXPECT_FALSE(filter.permits(Syscall::Mprotect));
+    EXPECT_EQ(filter.allowedCount(), 2u);
+}
+
+TEST(SyscallFilter, AllowAndDenyAdjustList)
+{
+    SyscallFilter filter;
+    filter.install({Syscall::Read});
+    filter.allow(Syscall::Write);
+    EXPECT_TRUE(filter.permits(Syscall::Write));
+    filter.deny(Syscall::Read);
+    EXPECT_FALSE(filter.permits(Syscall::Read));
+}
+
+TEST(SyscallFilter, LockPreventsRelaxing)
+{
+    SyscallFilter filter;
+    filter.install({Syscall::Read});
+    filter.lock();
+    EXPECT_TRUE(filter.locked());
+    EXPECT_THROW(filter.allow(Syscall::Send), SyscallViolation);
+    EXPECT_THROW(filter.install({Syscall::Send}), SyscallViolation);
+}
+
+TEST(SyscallFilter, LockStillAllowsTightening)
+{
+    SyscallFilter filter;
+    filter.install({Syscall::Read, Syscall::Mprotect});
+    filter.lock();
+    EXPECT_NO_THROW(filter.deny(Syscall::Mprotect));
+    EXPECT_FALSE(filter.permits(Syscall::Mprotect));
+    EXPECT_TRUE(filter.permits(Syscall::Read));
+}
+
+TEST(SyscallFilter, FdRestrictionOnlyForFdSensitiveSyscalls)
+{
+    SyscallFilter filter;
+    EXPECT_NO_THROW(filter.restrictFds(Syscall::Ioctl, {3}));
+    EXPECT_ANY_THROW(filter.restrictFds(Syscall::Read, {3}));
+}
+
+TEST(SyscallFilter, FdRestrictionEnforced)
+{
+    SyscallFilter filter;
+    filter.install({Syscall::Ioctl, Syscall::Connect});
+    filter.restrictFds(Syscall::Ioctl, {4, 5});
+    EXPECT_TRUE(filter.permitsFd(Syscall::Ioctl, 4));
+    EXPECT_TRUE(filter.permitsFd(Syscall::Ioctl, 5));
+    EXPECT_FALSE(filter.permitsFd(Syscall::Ioctl, 7));
+    // Connect has no fd restriction registered: any fd passes.
+    EXPECT_TRUE(filter.permitsFd(Syscall::Connect, 99));
+}
+
+TEST(SyscallFilter, EmptyFdSetDeniesAllFds)
+{
+    SyscallFilter filter;
+    filter.install({Syscall::Select});
+    filter.restrictFds(Syscall::Select, {});
+    EXPECT_FALSE(filter.permitsFd(Syscall::Select, 3));
+}
+
+TEST(SyscallFilter, DeniedSyscallFailsFdCheckToo)
+{
+    SyscallFilter filter;
+    filter.install({Syscall::Read});
+    EXPECT_FALSE(filter.permitsFd(Syscall::Ioctl, 3));
+}
+
+TEST(SyscallFilter, AllowedNamesSorted)
+{
+    SyscallFilter filter;
+    filter.install({Syscall::Write, Syscall::Brk});
+    auto names = filter.allowedNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "brk");
+    EXPECT_EQ(names[1], "write");
+}
+
+TEST(Syscalls, NameRoundTrip)
+{
+    for (Syscall call : allSyscalls())
+        EXPECT_EQ(syscallFromName(syscallName(call)), call);
+}
+
+TEST(Syscalls, InitOnlyAndFdSensitiveSets)
+{
+    EXPECT_TRUE(isInitOnlySyscall(Syscall::Mprotect));
+    EXPECT_TRUE(isInitOnlySyscall(Syscall::Connect));
+    EXPECT_FALSE(isInitOnlySyscall(Syscall::Read));
+    EXPECT_TRUE(needsFdRestriction(Syscall::Ioctl));
+    EXPECT_TRUE(needsFdRestriction(Syscall::Select));
+    EXPECT_TRUE(needsFdRestriction(Syscall::Fcntl));
+    EXPECT_TRUE(needsFdRestriction(Syscall::Connect));
+    EXPECT_FALSE(needsFdRestriction(Syscall::Openat));
+}
+
+} // namespace
+} // namespace freepart::osim

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the util module: logging levels/errors, the
+ * deterministic RNG, table rendering, and running statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace freepart::util {
+namespace {
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("boom %d", 42), PanicError);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config '%s'", "x"), FatalError);
+}
+
+TEST(Logging, FatalMessageContainsFormattedText)
+{
+    try {
+        fatal("value=%d name=%s", 7, "seven");
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("value=7"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("name=seven"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, LevelRoundTrips)
+{
+    LogLevel old = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(old);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 50; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(13);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<int> orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Table, RendersHeadersAndRows)
+{
+    TextTable t({"Name", "Value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("Name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, ShortRowsPadded)
+{
+    TextTable t({"A", "B", "C"});
+    t.addRow({"only"});
+    EXPECT_NO_THROW(t.render());
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtPercent(0.0368), "3.68%");
+    EXPECT_EQ(fmtCount(12411), "12,411");
+    EXPECT_EQ(fmtCount(7), "7");
+    EXPECT_EQ(fmtCount(1234567), "1,234,567");
+}
+
+TEST(RunningStat, MeanMinMaxStddev)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.stddev(), 2.138, 0.01);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+} // namespace
+} // namespace freepart::util

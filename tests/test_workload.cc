@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Workload-generator tests: generated traces follow the pipeline
+ * pattern and the model's API mix; replays succeed under both
+ * partitioned and unpartitioned runtimes; LDC dominates the copy
+ * operations (the Table 12 property).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/workload.hh"
+
+namespace freepart::apps {
+namespace {
+
+struct WlEnv {
+    WlEnv() : registry(fw::buildFullRegistry())
+    {
+        analysis::HybridCategorizer categorizer(registry);
+        cats = categorizer.categorizeAll();
+    }
+
+    fw::ApiRegistry registry;
+    analysis::Categorization cats;
+};
+
+WlEnv &
+env()
+{
+    static WlEnv instance;
+    return instance;
+}
+
+WorkloadGenerator::Config
+smallConfig()
+{
+    WorkloadGenerator::Config config;
+    config.imageRows = 96;
+    config.imageCols = 96;
+    config.maxRounds = 2;
+    config.maxCallsPerRound = 10;
+    return config;
+}
+
+TEST(Workload, TraceStartsEveryRoundWithLoading)
+{
+    WorkloadGenerator generator(env().registry, smallConfig());
+    for (const AppModel &model : appModels()) {
+        auto calls = generator.trace(model);
+        ASSERT_FALSE(calls.empty()) << model.name;
+        EXPECT_TRUE(calls.front().startsRound);
+        for (const WorkloadCall &call : calls) {
+            const fw::ApiDescriptor &api =
+                env().registry.require(call.api);
+            if (call.startsRound) {
+                EXPECT_EQ(api.declaredType, fw::ApiType::Loading)
+                    << call.api;
+            }
+        }
+    }
+}
+
+TEST(Workload, TraceRespectsModelTypeMix)
+{
+    WorkloadGenerator generator(env().registry, smallConfig());
+    const AppModel &headless = appModel(14); // FAIRSEQ: no GUI
+    for (const WorkloadCall &call : generator.trace(headless))
+        EXPECT_NE(env().registry.require(call.api).declaredType,
+                  fw::ApiType::Visualizing)
+            << call.api;
+    const AppModel &omr = appModel(8);
+    bool has_vis = false;
+    for (const WorkloadCall &call : generator.trace(omr))
+        has_vis |= env().registry.require(call.api).declaredType ==
+                   fw::ApiType::Visualizing;
+    EXPECT_TRUE(has_vis);
+}
+
+TEST(Workload, ApisForMatchesFrameworkPreference)
+{
+    WorkloadGenerator generator(env().registry, smallConfig());
+    const AppModel &torch_app = appModel(16); // YOLO-V3, PyTorch
+    auto apis = generator.apisFor(torch_app);
+    int torch_count = 0;
+    for (const std::string &api : apis)
+        if (env().registry.require(api).framework ==
+            fw::Framework::PyTorch)
+            ++torch_count;
+    EXPECT_GT(torch_count, 3);
+}
+
+/** Parameterized replay over all 23 app models. */
+class WorkloadReplay : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(WorkloadReplay, RunsCleanlyUnderFreePart)
+{
+    const AppModel &model = appModel(GetParam());
+    WorkloadGenerator generator(env().registry, smallConfig());
+    osim::Kernel kernel;
+    generator.seedInputs(kernel);
+    core::FreePartRuntime runtime(
+        kernel, env().registry, env().cats,
+        core::PartitionPlan::freePartDefault());
+    WorkloadResult result = generator.run(runtime, model);
+    EXPECT_EQ(result.callsFailed, 0u) << model.name;
+    EXPECT_GT(result.callsOk, 0u);
+    EXPECT_GT(result.stats.ipcMessages, 0u);
+    EXPECT_TRUE(runtime.hostAlive());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, WorkloadReplay,
+    ::testing::Range(1, 24),
+    [](const ::testing::TestParamInfo<int> &info) {
+        return "app_" + std::to_string(info.param);
+    });
+
+TEST(Workload, LdcDominatesCopyOperations)
+{
+    // Table 12: ~95% of copy operations are lazy.
+    WorkloadGenerator generator(env().registry, smallConfig());
+    double total_lazy = 0, total_ops = 0;
+    for (int id : {1, 8, 16, 21}) {
+        osim::Kernel kernel;
+        generator.seedInputs(kernel);
+        core::FreePartRuntime runtime(
+            kernel, env().registry, env().cats,
+            core::PartitionPlan::freePartDefault());
+        WorkloadResult result =
+            generator.run(runtime, appModel(id));
+        total_lazy += static_cast<double>(
+            result.stats.lazyCopies + result.stats.directCopies);
+        total_ops += static_cast<double>(result.stats.copyOps());
+    }
+    ASSERT_GT(total_ops, 0);
+    EXPECT_GT(total_lazy / total_ops, 0.85);
+}
+
+TEST(Workload, FreePartOverheadIsSmall)
+{
+    // The Fig. 13 property at test scale: partitioned execution costs
+    // only a few percent over native.
+    WorkloadGenerator::Config config;
+    config.imageRows = 256;
+    config.imageCols = 256;
+    config.maxRounds = 2;
+    config.maxCallsPerRound = 16;
+    WorkloadGenerator generator(env().registry, config);
+    const AppModel &model = appModel(8);
+
+    auto elapsed = [&](core::PartitionPlan plan) {
+        osim::Kernel kernel;
+        generator.seedInputs(kernel);
+        core::FreePartRuntime runtime(kernel, env().registry,
+                                      env().cats, std::move(plan));
+        return static_cast<double>(
+            generator.run(runtime, model).stats.elapsed());
+    };
+    double base = elapsed(core::PartitionPlan::inHost());
+    double freepart = elapsed(core::PartitionPlan::freePartDefault());
+    EXPECT_GT(freepart, base);
+    EXPECT_LT((freepart - base) / base, 0.5);
+}
+
+} // namespace
+} // namespace freepart::apps
