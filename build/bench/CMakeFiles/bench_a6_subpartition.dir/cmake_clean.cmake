@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a6_subpartition.dir/bench_a6_subpartition.cc.o"
+  "CMakeFiles/bench_a6_subpartition.dir/bench_a6_subpartition.cc.o.d"
+  "bench_a6_subpartition"
+  "bench_a6_subpartition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_subpartition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

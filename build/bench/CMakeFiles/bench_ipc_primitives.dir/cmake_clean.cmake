@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ipc_primitives.dir/bench_ipc_primitives.cc.o"
+  "CMakeFiles/bench_ipc_primitives.dir/bench_ipc_primitives.cc.o.d"
+  "bench_ipc_primitives"
+  "bench_ipc_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ipc_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

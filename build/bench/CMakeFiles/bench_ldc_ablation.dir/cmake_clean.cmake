@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ldc_ablation.dir/bench_ldc_ablation.cc.o"
+  "CMakeFiles/bench_ldc_ablation.dir/bench_ldc_ablation.cc.o.d"
+  "bench_ldc_ablation"
+  "bench_ldc_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ldc_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

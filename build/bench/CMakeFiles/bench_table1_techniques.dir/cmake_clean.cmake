@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_techniques.dir/bench_table1_techniques.cc.o"
+  "CMakeFiles/bench_table1_techniques.dir/bench_table1_techniques.cc.o.d"
+  "bench_table1_techniques"
+  "bench_table1_techniques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

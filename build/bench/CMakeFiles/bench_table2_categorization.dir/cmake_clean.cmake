@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_categorization.dir/bench_table2_categorization.cc.o"
+  "CMakeFiles/bench_table2_categorization.dir/bench_table2_categorization.cc.o.d"
+  "bench_table2_categorization"
+  "bench_table2_categorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_categorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

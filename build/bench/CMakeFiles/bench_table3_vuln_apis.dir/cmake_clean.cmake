@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_vuln_apis.dir/bench_table3_vuln_apis.cc.o"
+  "CMakeFiles/bench_table3_vuln_apis.dir/bench_table3_vuln_apis.cc.o.d"
+  "bench_table3_vuln_apis"
+  "bench_table3_vuln_apis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_vuln_apis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_syscalls.dir/bench_table7_syscalls.cc.o"
+  "CMakeFiles/bench_table7_syscalls.dir/bench_table7_syscalls.cc.o.d"
+  "bench_table7_syscalls"
+  "bench_table7_syscalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_syscalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_overhead.dir/bench_table9_overhead.cc.o"
+  "CMakeFiles/bench_table9_overhead.dir/bench_table9_overhead.cc.o.d"
+  "bench_table9_overhead"
+  "bench_table9_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

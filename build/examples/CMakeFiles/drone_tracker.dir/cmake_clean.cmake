@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drone_tracker.dir/drone_tracker.cc.o"
+  "CMakeFiles/drone_tracker.dir/drone_tracker.cc.o.d"
+  "drone_tracker"
+  "drone_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drone_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

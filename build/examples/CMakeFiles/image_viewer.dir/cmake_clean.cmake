@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_viewer.dir/image_viewer.cc.o"
+  "CMakeFiles/image_viewer.dir/image_viewer.cc.o.d"
+  "image_viewer"
+  "image_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

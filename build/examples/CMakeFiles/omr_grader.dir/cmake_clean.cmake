@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omr_grader.dir/omr_grader.cc.o"
+  "CMakeFiles/omr_grader.dir/omr_grader.cc.o.d"
+  "omr_grader"
+  "omr_grader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omr_grader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cc" "examples/CMakeFiles/quickstart.dir/quickstart.cc.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/fp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/fp_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/fp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/fp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/fw/CMakeFiles/fp_fw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/fp_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/osim/CMakeFiles/fp_osim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

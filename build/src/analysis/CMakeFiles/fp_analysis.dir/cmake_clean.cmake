@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_analysis.dir/dynamic_tracer.cc.o"
+  "CMakeFiles/fp_analysis.dir/dynamic_tracer.cc.o.d"
+  "CMakeFiles/fp_analysis.dir/hybrid_categorizer.cc.o"
+  "CMakeFiles/fp_analysis.dir/hybrid_categorizer.cc.o.d"
+  "CMakeFiles/fp_analysis.dir/static_analyzer.cc.o"
+  "CMakeFiles/fp_analysis.dir/static_analyzer.cc.o.d"
+  "libfp_analysis.a"
+  "libfp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

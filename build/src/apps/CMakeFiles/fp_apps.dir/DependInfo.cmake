@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app_models.cc" "src/apps/CMakeFiles/fp_apps.dir/app_models.cc.o" "gcc" "src/apps/CMakeFiles/fp_apps.dir/app_models.cc.o.d"
+  "/root/repo/src/apps/drone.cc" "src/apps/CMakeFiles/fp_apps.dir/drone.cc.o" "gcc" "src/apps/CMakeFiles/fp_apps.dir/drone.cc.o.d"
+  "/root/repo/src/apps/image_viewer.cc" "src/apps/CMakeFiles/fp_apps.dir/image_viewer.cc.o" "gcc" "src/apps/CMakeFiles/fp_apps.dir/image_viewer.cc.o.d"
+  "/root/repo/src/apps/omr_checker.cc" "src/apps/CMakeFiles/fp_apps.dir/omr_checker.cc.o" "gcc" "src/apps/CMakeFiles/fp_apps.dir/omr_checker.cc.o.d"
+  "/root/repo/src/apps/studies.cc" "src/apps/CMakeFiles/fp_apps.dir/studies.cc.o" "gcc" "src/apps/CMakeFiles/fp_apps.dir/studies.cc.o.d"
+  "/root/repo/src/apps/workload.cc" "src/apps/CMakeFiles/fp_apps.dir/workload.cc.o" "gcc" "src/apps/CMakeFiles/fp_apps.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/fp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/fw/CMakeFiles/fp_fw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/fp_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/osim/CMakeFiles/fp_osim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_apps.dir/app_models.cc.o"
+  "CMakeFiles/fp_apps.dir/app_models.cc.o.d"
+  "CMakeFiles/fp_apps.dir/drone.cc.o"
+  "CMakeFiles/fp_apps.dir/drone.cc.o.d"
+  "CMakeFiles/fp_apps.dir/image_viewer.cc.o"
+  "CMakeFiles/fp_apps.dir/image_viewer.cc.o.d"
+  "CMakeFiles/fp_apps.dir/omr_checker.cc.o"
+  "CMakeFiles/fp_apps.dir/omr_checker.cc.o.d"
+  "CMakeFiles/fp_apps.dir/studies.cc.o"
+  "CMakeFiles/fp_apps.dir/studies.cc.o.d"
+  "CMakeFiles/fp_apps.dir/workload.cc.o"
+  "CMakeFiles/fp_apps.dir/workload.cc.o.d"
+  "libfp_apps.a"
+  "libfp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

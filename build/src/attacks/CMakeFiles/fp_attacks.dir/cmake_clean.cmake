@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_attacks.dir/attack_driver.cc.o"
+  "CMakeFiles/fp_attacks.dir/attack_driver.cc.o.d"
+  "CMakeFiles/fp_attacks.dir/cve_corpus.cc.o"
+  "CMakeFiles/fp_attacks.dir/cve_corpus.cc.o.d"
+  "libfp_attacks.a"
+  "libfp_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_baselines.dir/evaluator.cc.o"
+  "CMakeFiles/fp_baselines.dir/evaluator.cc.o.d"
+  "CMakeFiles/fp_baselines.dir/technique.cc.o"
+  "CMakeFiles/fp_baselines.dir/technique.cc.o.d"
+  "libfp_baselines.a"
+  "libfp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_core.dir/partition_plan.cc.o"
+  "CMakeFiles/fp_core.dir/partition_plan.cc.o.d"
+  "CMakeFiles/fp_core.dir/runtime.cc.o"
+  "CMakeFiles/fp_core.dir/runtime.cc.o.d"
+  "libfp_core.a"
+  "libfp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

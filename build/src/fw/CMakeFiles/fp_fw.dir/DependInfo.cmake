@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fw/api_registry.cc" "src/fw/CMakeFiles/fp_fw.dir/api_registry.cc.o" "gcc" "src/fw/CMakeFiles/fp_fw.dir/api_registry.cc.o.d"
+  "/root/repo/src/fw/api_types.cc" "src/fw/CMakeFiles/fp_fw.dir/api_types.cc.o" "gcc" "src/fw/CMakeFiles/fp_fw.dir/api_types.cc.o.d"
+  "/root/repo/src/fw/exec_context.cc" "src/fw/CMakeFiles/fp_fw.dir/exec_context.cc.o" "gcc" "src/fw/CMakeFiles/fp_fw.dir/exec_context.cc.o.d"
+  "/root/repo/src/fw/image_format.cc" "src/fw/CMakeFiles/fp_fw.dir/image_format.cc.o" "gcc" "src/fw/CMakeFiles/fp_fw.dir/image_format.cc.o.d"
+  "/root/repo/src/fw/invoker.cc" "src/fw/CMakeFiles/fp_fw.dir/invoker.cc.o" "gcc" "src/fw/CMakeFiles/fp_fw.dir/invoker.cc.o.d"
+  "/root/repo/src/fw/mat.cc" "src/fw/CMakeFiles/fp_fw.dir/mat.cc.o" "gcc" "src/fw/CMakeFiles/fp_fw.dir/mat.cc.o.d"
+  "/root/repo/src/fw/minicv.cc" "src/fw/CMakeFiles/fp_fw.dir/minicv.cc.o" "gcc" "src/fw/CMakeFiles/fp_fw.dir/minicv.cc.o.d"
+  "/root/repo/src/fw/minicv_ops.cc" "src/fw/CMakeFiles/fp_fw.dir/minicv_ops.cc.o" "gcc" "src/fw/CMakeFiles/fp_fw.dir/minicv_ops.cc.o.d"
+  "/root/repo/src/fw/minidnn.cc" "src/fw/CMakeFiles/fp_fw.dir/minidnn.cc.o" "gcc" "src/fw/CMakeFiles/fp_fw.dir/minidnn.cc.o.d"
+  "/root/repo/src/fw/object_store.cc" "src/fw/CMakeFiles/fp_fw.dir/object_store.cc.o" "gcc" "src/fw/CMakeFiles/fp_fw.dir/object_store.cc.o.d"
+  "/root/repo/src/fw/tensor.cc" "src/fw/CMakeFiles/fp_fw.dir/tensor.cc.o" "gcc" "src/fw/CMakeFiles/fp_fw.dir/tensor.cc.o.d"
+  "/root/repo/src/fw/vuln.cc" "src/fw/CMakeFiles/fp_fw.dir/vuln.cc.o" "gcc" "src/fw/CMakeFiles/fp_fw.dir/vuln.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ipc/CMakeFiles/fp_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/osim/CMakeFiles/fp_osim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_fw.dir/api_registry.cc.o"
+  "CMakeFiles/fp_fw.dir/api_registry.cc.o.d"
+  "CMakeFiles/fp_fw.dir/api_types.cc.o"
+  "CMakeFiles/fp_fw.dir/api_types.cc.o.d"
+  "CMakeFiles/fp_fw.dir/exec_context.cc.o"
+  "CMakeFiles/fp_fw.dir/exec_context.cc.o.d"
+  "CMakeFiles/fp_fw.dir/image_format.cc.o"
+  "CMakeFiles/fp_fw.dir/image_format.cc.o.d"
+  "CMakeFiles/fp_fw.dir/invoker.cc.o"
+  "CMakeFiles/fp_fw.dir/invoker.cc.o.d"
+  "CMakeFiles/fp_fw.dir/mat.cc.o"
+  "CMakeFiles/fp_fw.dir/mat.cc.o.d"
+  "CMakeFiles/fp_fw.dir/minicv.cc.o"
+  "CMakeFiles/fp_fw.dir/minicv.cc.o.d"
+  "CMakeFiles/fp_fw.dir/minicv_ops.cc.o"
+  "CMakeFiles/fp_fw.dir/minicv_ops.cc.o.d"
+  "CMakeFiles/fp_fw.dir/minidnn.cc.o"
+  "CMakeFiles/fp_fw.dir/minidnn.cc.o.d"
+  "CMakeFiles/fp_fw.dir/object_store.cc.o"
+  "CMakeFiles/fp_fw.dir/object_store.cc.o.d"
+  "CMakeFiles/fp_fw.dir/tensor.cc.o"
+  "CMakeFiles/fp_fw.dir/tensor.cc.o.d"
+  "CMakeFiles/fp_fw.dir/vuln.cc.o"
+  "CMakeFiles/fp_fw.dir/vuln.cc.o.d"
+  "libfp_fw.a"
+  "libfp_fw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_fw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

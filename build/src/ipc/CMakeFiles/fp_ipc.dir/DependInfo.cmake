@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipc/channel.cc" "src/ipc/CMakeFiles/fp_ipc.dir/channel.cc.o" "gcc" "src/ipc/CMakeFiles/fp_ipc.dir/channel.cc.o.d"
+  "/root/repo/src/ipc/codec.cc" "src/ipc/CMakeFiles/fp_ipc.dir/codec.cc.o" "gcc" "src/ipc/CMakeFiles/fp_ipc.dir/codec.cc.o.d"
+  "/root/repo/src/ipc/spsc_ring.cc" "src/ipc/CMakeFiles/fp_ipc.dir/spsc_ring.cc.o" "gcc" "src/ipc/CMakeFiles/fp_ipc.dir/spsc_ring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/osim/CMakeFiles/fp_osim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_ipc.dir/channel.cc.o"
+  "CMakeFiles/fp_ipc.dir/channel.cc.o.d"
+  "CMakeFiles/fp_ipc.dir/codec.cc.o"
+  "CMakeFiles/fp_ipc.dir/codec.cc.o.d"
+  "CMakeFiles/fp_ipc.dir/spsc_ring.cc.o"
+  "CMakeFiles/fp_ipc.dir/spsc_ring.cc.o.d"
+  "libfp_ipc.a"
+  "libfp_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

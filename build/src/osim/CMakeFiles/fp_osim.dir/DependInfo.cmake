@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/osim/address_space.cc" "src/osim/CMakeFiles/fp_osim.dir/address_space.cc.o" "gcc" "src/osim/CMakeFiles/fp_osim.dir/address_space.cc.o.d"
+  "/root/repo/src/osim/devices.cc" "src/osim/CMakeFiles/fp_osim.dir/devices.cc.o" "gcc" "src/osim/CMakeFiles/fp_osim.dir/devices.cc.o.d"
+  "/root/repo/src/osim/kernel.cc" "src/osim/CMakeFiles/fp_osim.dir/kernel.cc.o" "gcc" "src/osim/CMakeFiles/fp_osim.dir/kernel.cc.o.d"
+  "/root/repo/src/osim/syscall_filter.cc" "src/osim/CMakeFiles/fp_osim.dir/syscall_filter.cc.o" "gcc" "src/osim/CMakeFiles/fp_osim.dir/syscall_filter.cc.o.d"
+  "/root/repo/src/osim/syscalls.cc" "src/osim/CMakeFiles/fp_osim.dir/syscalls.cc.o" "gcc" "src/osim/CMakeFiles/fp_osim.dir/syscalls.cc.o.d"
+  "/root/repo/src/osim/vfs.cc" "src/osim/CMakeFiles/fp_osim.dir/vfs.cc.o" "gcc" "src/osim/CMakeFiles/fp_osim.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

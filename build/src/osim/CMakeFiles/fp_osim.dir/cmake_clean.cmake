@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_osim.dir/address_space.cc.o"
+  "CMakeFiles/fp_osim.dir/address_space.cc.o.d"
+  "CMakeFiles/fp_osim.dir/devices.cc.o"
+  "CMakeFiles/fp_osim.dir/devices.cc.o.d"
+  "CMakeFiles/fp_osim.dir/kernel.cc.o"
+  "CMakeFiles/fp_osim.dir/kernel.cc.o.d"
+  "CMakeFiles/fp_osim.dir/syscall_filter.cc.o"
+  "CMakeFiles/fp_osim.dir/syscall_filter.cc.o.d"
+  "CMakeFiles/fp_osim.dir/syscalls.cc.o"
+  "CMakeFiles/fp_osim.dir/syscalls.cc.o.d"
+  "CMakeFiles/fp_osim.dir/vfs.cc.o"
+  "CMakeFiles/fp_osim.dir/vfs.cc.o.d"
+  "libfp_osim.a"
+  "libfp_osim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_osim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

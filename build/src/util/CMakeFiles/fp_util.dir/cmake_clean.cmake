@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_util.dir/logging.cc.o"
+  "CMakeFiles/fp_util.dir/logging.cc.o.d"
+  "CMakeFiles/fp_util.dir/table.cc.o"
+  "CMakeFiles/fp_util.dir/table.cc.o.d"
+  "libfp_util.a"
+  "libfp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

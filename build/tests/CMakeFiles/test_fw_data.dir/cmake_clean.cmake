@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fw_data.dir/test_fw_data.cc.o"
+  "CMakeFiles/test_fw_data.dir/test_fw_data.cc.o.d"
+  "test_fw_data"
+  "test_fw_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fw_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ipc.dir/test_ipc.cc.o"
+  "CMakeFiles/test_ipc.dir/test_ipc.cc.o.d"
+  "test_ipc"
+  "test_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minicv_ops.dir/test_minicv_ops.cc.o"
+  "CMakeFiles/test_minicv_ops.dir/test_minicv_ops.cc.o.d"
+  "test_minicv_ops"
+  "test_minicv_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minicv_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

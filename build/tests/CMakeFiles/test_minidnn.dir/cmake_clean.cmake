@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minidnn.dir/test_minidnn.cc.o"
+  "CMakeFiles/test_minidnn.dir/test_minidnn.cc.o.d"
+  "test_minidnn"
+  "test_minidnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minidnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

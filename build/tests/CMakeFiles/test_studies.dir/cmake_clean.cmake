@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_studies.dir/test_studies.cc.o"
+  "CMakeFiles/test_studies.dir/test_studies.cc.o.d"
+  "test_studies"
+  "test_studies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_studies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_syscall_filter.dir/test_syscall_filter.cc.o"
+  "CMakeFiles/test_syscall_filter.dir/test_syscall_filter.cc.o.d"
+  "test_syscall_filter"
+  "test_syscall_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_syscall_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
