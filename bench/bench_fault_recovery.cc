@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Fault-recovery evaluation: availability and mean-time-to-recover of
+ * FreePart's agent supervision across injected crash rates, for the
+ * 23 Table 6 application models. Each workload is replayed with
+ * crashes injected into a fraction of agent API executions; the
+ * supervision layer (retries + checkpointed restarts + backoff +
+ * quarantine with host fallback) keeps the application running, while
+ * the restart-off ablation shows the workload dying with its first
+ * crashed agent. All faults come from a seeded deterministic plan:
+ * the same seed reproduces this table bit-for-bit.
+ */
+
+#include "apps/workload.hh"
+#include "bench/bench_common.hh"
+#include "osim/fault_injection.hh"
+#include "util/stats.hh"
+
+using namespace freepart;
+
+namespace {
+
+constexpr double kCrashRates[] = {0.01, 0.05, 0.10};
+constexpr uint64_t kSeed = 0xfa175eedull;
+
+struct RunOutcome {
+    double availability = 0.0; //!< fraction of workload calls ok
+    core::RunStats stats;
+    uint64_t injected = 0; //!< faults fired by the injector
+};
+
+RunOutcome
+runOne(const apps::WorkloadGenerator &generator,
+       const apps::AppModel &model, double crash_rate, bool restarts)
+{
+    osim::FaultInjector injector(kSeed + model.id);
+    osim::Kernel kernel;
+    kernel.setFaultInjector(&injector);
+    generator.seedInputs(kernel);
+    core::RuntimeConfig config;
+    config.restartAgents = restarts;
+    core::FreePartRuntime runtime(kernel, bench::registry(),
+                                  bench::categorization(),
+                                  core::PartitionPlan::freePartDefault(),
+                                  config);
+    if (crash_rate > 0.0) {
+        osim::FaultSpec spec;
+        spec.point = osim::FaultPoint::AgentCall;
+        spec.action = osim::FaultAction::Crash;
+        spec.count = 0; // unlimited
+        spec.probability = crash_rate;
+        spec.tag = "crash@" + std::to_string(crash_rate);
+        injector.schedule(spec);
+    }
+    apps::WorkloadResult result = generator.run(runtime, model);
+    RunOutcome outcome;
+    uint64_t total = result.callsOk + result.callsFailed;
+    outcome.availability =
+        total ? static_cast<double>(result.callsOk) /
+                    static_cast<double>(total)
+              : 1.0;
+    outcome.stats = result.stats;
+    outcome.injected = injector.injectedCount();
+    return outcome;
+}
+
+std::string
+pct(double fraction)
+{
+    return util::fmtDouble(fraction * 100.0, 1) + "%";
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fault recovery",
+                  "Availability and MTTR under injected agent crashes "
+                  "(supervision vs restart-off ablation)");
+
+    apps::WorkloadGenerator::Config wconfig;
+    wconfig.imageRows = 256;
+    wconfig.imageCols = 256;
+    wconfig.maxRounds = 2;
+    wconfig.maxCallsPerRound = 24;
+    apps::WorkloadGenerator generator(bench::registry(), wconfig);
+
+    util::TextTable table({"ID", "Name", "avail@1%", "avail@5%",
+                           "avail@10%", "restarts", "MTTR(us)",
+                           "quar", "no-restart@10%"});
+    util::RunningStat avail10, noRestart10, mttr;
+    uint64_t total_restarts = 0, total_quarantines = 0;
+    uint64_t total_retries_exhausted = 0, total_injected = 0;
+    for (const apps::AppModel &model : apps::appModels()) {
+        RunOutcome r1 = runOne(generator, model, 0.01, true);
+        RunOutcome r5 = runOne(generator, model, 0.05, true);
+        RunOutcome r10 = runOne(generator, model, 0.10, true);
+        RunOutcome off = runOne(generator, model, 0.10, false);
+        avail10.add(r10.availability);
+        noRestart10.add(off.availability);
+        double mttr_us =
+            static_cast<double>(r10.stats.meanTimeToRecover()) / 1e3;
+        if (r10.stats.recoveries)
+            mttr.add(mttr_us);
+        total_restarts += r10.stats.agentRestarts;
+        total_quarantines += r10.stats.quarantines;
+        total_retries_exhausted += r10.stats.retriesExhausted;
+        total_injected += r10.injected;
+        table.addRow({std::to_string(model.id), model.name,
+                      pct(r1.availability), pct(r5.availability),
+                      pct(r10.availability),
+                      std::to_string(r10.stats.agentRestarts),
+                      util::fmtDouble(mttr_us, 1),
+                      std::to_string(r10.stats.quarantines),
+                      pct(off.availability)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nmean availability at 10%% crash rate: %s with "
+                "supervision vs %s with restarts off\n",
+                pct(avail10.mean()).c_str(),
+                pct(noRestart10.mean()).c_str());
+    std::printf("totals at 10%%: %llu faults injected, %llu restarts, "
+                "%llu quarantines, %llu calls out of retries, mean "
+                "MTTR %.1f us\n",
+                static_cast<unsigned long long>(total_injected),
+                static_cast<unsigned long long>(total_restarts),
+                static_cast<unsigned long long>(total_quarantines),
+                static_cast<unsigned long long>(
+                    total_retries_exhausted),
+                mttr.mean());
+
+    // Determinism spot-check: replaying one configuration must give
+    // the identical trace (same seed -> same crashes -> same table).
+    const apps::AppModel &probe = apps::appModels().front();
+    RunOutcome a = runOne(generator, probe, 0.10, true);
+    RunOutcome b = runOne(generator, probe, 0.10, true);
+    bool identical = a.availability == b.availability &&
+                     a.injected == b.injected &&
+                     a.stats.agentRestarts == b.stats.agentRestarts &&
+                     a.stats.recoveryTime == b.stats.recoveryTime &&
+                     a.stats.elapsed() == b.stats.elapsed();
+    std::printf("deterministic replay: %s\n",
+                identical ? "yes" : "NO (bug)");
+
+    bench::note("crash faults target agent API executions; the "
+                "supervision policy is the default (retry budget 3, "
+                "4 respawns/outage, 0.2 ms base backoff, quarantine "
+                "at 5 crashes/100 ms with host fallback)");
+    return identical ? 0 : 1;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Fault drill: a guided tour of the fault-injection framework and the
+ * agent supervision layer.
+ *
+ *  1. Attach a seeded FaultInjector to the kernel and schedule a
+ *     deterministic fault plan: a transient device-read error, a
+ *     crash on the Nth syscall of the processing agent, and a burst
+ *     of repeated crashes that drives one partition into quarantine.
+ *  2. Run an image pipeline through it and watch every call complete
+ *     anyway — retries, checkpointed restarts with simulated-time
+ *     backoff, and finally host-fallback degradation.
+ *  3. Print the recovery ledger: restarts, backoff time, mean
+ *     time-to-recover, and the injector's fault log.
+ */
+
+#include <cstdio>
+
+#include "core/runtime.hh"
+#include "fw/invoker.hh"
+#include "osim/fault_injection.hh"
+
+using namespace freepart;
+
+namespace {
+
+core::ApiResult
+call(core::FreePartRuntime &runtime, const char *api,
+     ipc::ValueList args)
+{
+    core::ApiResult res = runtime.invoke(api, std::move(args));
+    std::printf("  %-18s -> %s%s%s\n", api, res.ok ? "ok" : "FAILED",
+                res.agentCrashed ? " (agent crashed, recovered)" : "",
+                res.quarantined ? " (quarantined path)" : "");
+    return res;
+}
+
+} // namespace
+
+int
+main()
+{
+    fw::ApiRegistry registry = fw::buildFullRegistry();
+    analysis::HybridCategorizer categorizer(registry);
+    analysis::Categorization cats = categorizer.categorizeAll();
+
+    osim::FaultInjector injector(/*seed=*/2026);
+    osim::Kernel kernel;
+    kernel.setFaultInjector(&injector);
+    fw::seedFixtureFiles(kernel);
+    core::FreePartRuntime runtime(
+        kernel, registry, cats, core::PartitionPlan::freePartDefault());
+
+    // ---- The fault plan (deterministic: same seed, same trace) -----
+    osim::FaultSpec device_blip;
+    device_blip.point = osim::FaultPoint::DeviceRead;
+    device_blip.action = osim::FaultAction::Transient;
+    device_blip.pid = runtime.agentPid(0);
+    device_blip.tag = "camera EIO";
+    injector.schedule(device_blip);
+
+    osim::FaultSpec nth_syscall;
+    nth_syscall.point = osim::FaultPoint::SyscallEntry;
+    nth_syscall.action = osim::FaultAction::Crash;
+    nth_syscall.pid = runtime.agentPid(3);
+    nth_syscall.after = 1; // the 2nd syscall of the storing agent
+    nth_syscall.tag = "segfault mid-imwrite";
+    injector.schedule(nth_syscall);
+
+    std::printf("pipeline with a transient device fault and one "
+                "mid-API crash:\n");
+    core::ApiResult frame = call(runtime, "cv2.VideoCapture.read", {});
+    core::ApiResult gray =
+        call(runtime, "cv2.cvtColor", {frame.values[0]});
+    core::ApiResult blur =
+        call(runtime, "cv2.GaussianBlur", {gray.values[0]});
+    call(runtime, "cv2.imwrite",
+         {ipc::Value(std::string("/out/frame.fpim")), blur.values[0]});
+
+    // ---- Crash loop: repeated faults quarantine the partition ------
+    osim::FaultSpec crash_loop;
+    crash_loop.point = osim::FaultPoint::AgentCall;
+    crash_loop.action = osim::FaultAction::Crash;
+    crash_loop.pid = runtime.agentPid(1);
+    crash_loop.count = 0; // every call, until quarantined
+    crash_loop.tag = "crash loop";
+    injector.schedule(crash_loop);
+
+    std::printf("\nnow every processing call crashes the agent:\n");
+    for (int i = 0; i < 3; ++i) {
+        uint64_t id = runtime.createHostMat(64, 64, 1, i, "frame");
+        call(runtime, "cv2.GaussianBlur",
+             {ipc::Value(ipc::ObjectRef{core::kHostPartition, id})});
+    }
+    std::printf("processing partition health: %s\n",
+                core::agentHealthName(
+                    runtime.supervisor().health(1)));
+
+    // ---- The recovery ledger ---------------------------------------
+    const core::RunStats &stats = runtime.stats();
+    std::printf("\nrecovery ledger:\n");
+    std::printf("  faults injected      %llu\n",
+                static_cast<unsigned long long>(
+                    injector.injectedCount()));
+    std::printf("  agent crashes        %llu\n",
+                static_cast<unsigned long long>(stats.agentCrashes));
+    std::printf("  restarts             %llu\n",
+                static_cast<unsigned long long>(stats.agentRestarts));
+    std::printf("  transient retries    %llu\n",
+                static_cast<unsigned long long>(
+                    stats.transientFaults));
+    std::printf("  quarantines          %llu\n",
+                static_cast<unsigned long long>(stats.quarantines));
+    std::printf("  host-fallback calls  %llu\n",
+                static_cast<unsigned long long>(
+                    stats.hostFallbackCalls));
+    std::printf("  backoff time         %.2f ms (simulated)\n",
+                static_cast<double>(stats.backoffTime) / 1e6);
+    std::printf("  mean time-to-recover %.2f ms (simulated)\n",
+                static_cast<double>(stats.meanTimeToRecover()) / 1e6);
+    std::printf("\nfault log:\n");
+    for (const osim::FaultRecord &record : injector.log())
+        std::printf("  hit %-4llu %-13s %-9s pid=%u  %s\n",
+                    static_cast<unsigned long long>(record.hit),
+                    osim::faultPointName(record.point),
+                    osim::faultActionName(record.action), record.pid,
+                    record.tag.c_str());
+    return 0;
+}

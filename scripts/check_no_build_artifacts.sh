@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Fail if build output is tracked in git. The build tree is generated
+# locally (see ROADMAP.md tier-1 verify line) and must never be
+# committed; .gitignore covers it, but this guard catches force-adds.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+bad=$(git ls-files -- 'build/' '*.o' '*.a' '*.so' || true)
+if [[ -n "$bad" ]]; then
+    echo "error: build artifacts are tracked in git:" >&2
+    echo "$bad" | head -20 >&2
+    echo "(run: git rm -r --cached build/ and commit)" >&2
+    exit 1
+fi
+echo "ok: no build artifacts tracked"

@@ -210,6 +210,12 @@ WorkloadGenerator::run(core::FreePartRuntime &runtime,
 
     uint64_t seed = static_cast<uint64_t>(model.id) * 1000;
     for (const WorkloadCall &call : trace(model)) {
+        // The pipeline object can be lost outright when the agent
+        // holding it crashes between checkpoints; the app drops the
+        // dangling reference and rebuilds from the next load call
+        // (the paper's accepted state discrepancy, §4.4.2).
+        if (have_chain && !runtime.hasObject(chain.objectId))
+            have_chain = false;
         // At each round boundary the host program inspects the
         // previous round's result (reading scores, writing logs):
         // a genuine dereference, i.e. a non-lazy copy (Table 12's
@@ -282,7 +288,7 @@ WorkloadGenerator::run(core::FreePartRuntime &runtime,
         }
     }
     // The host consumes the final result.
-    if (have_chain)
+    if (have_chain && runtime.hasObject(chain.objectId))
         runtime.fetchToHost(chain);
     result.stats = runtime.stats();
     return result;

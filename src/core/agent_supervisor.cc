@@ -1,0 +1,153 @@
+#include "core/agent_supervisor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace freepart::core {
+
+const char *
+agentHealthName(AgentHealth health)
+{
+    switch (health) {
+      case AgentHealth::Healthy:
+        return "healthy";
+      case AgentHealth::Restarting:
+        return "restarting";
+      case AgentHealth::Backoff:
+        return "backoff";
+      case AgentHealth::Quarantined:
+        return "quarantined";
+    }
+    return "?";
+}
+
+AgentSupervisor::AgentSupervisor(osim::Kernel &kernel,
+                                 SupervisionPolicy policy,
+                                 uint32_t partition_count)
+    : kernel(kernel), policy_(policy), parts(partition_count)
+{
+}
+
+AgentHealth
+AgentSupervisor::health(uint32_t partition) const
+{
+    return parts.at(partition).health;
+}
+
+bool
+AgentSupervisor::quarantined(uint32_t partition) const
+{
+    return health(partition) == AgentHealth::Quarantined;
+}
+
+void
+AgentSupervisor::pruneWindow(PartitionState &state) const
+{
+    osim::SimTime now = kernel.now();
+    osim::SimTime horizon =
+        now > policy_.crashLoopSpan ? now - policy_.crashLoopSpan : 0;
+    while (!state.crashTimes.empty() &&
+           state.crashTimes.front() < horizon)
+        state.crashTimes.pop_front();
+}
+
+size_t
+AgentSupervisor::windowCrashes(uint32_t partition) const
+{
+    PartitionState state = parts.at(partition); // copy: prune is const
+    pruneWindow(state);
+    return state.crashTimes.size();
+}
+
+bool
+AgentSupervisor::onCrash(uint32_t partition)
+{
+    PartitionState &state = parts.at(partition);
+    ++stats_.crashesObserved;
+    if (state.health == AgentHealth::Quarantined)
+        return false;
+    if (!state.inOutage) {
+        state.inOutage = true;
+        state.downSince = kernel.now();
+        state.attemptsThisOutage = 0;
+    }
+    state.crashTimes.push_back(kernel.now());
+    pruneWindow(state);
+    bool looping =
+        state.crashTimes.size() >= policy_.crashLoopThreshold;
+    bool exhausted =
+        state.attemptsThisOutage >= policy_.maxRestartAttempts;
+    if (looping || exhausted) {
+        quarantine(partition);
+        return false;
+    }
+    state.health = AgentHealth::Restarting;
+    ++state.attemptsThisOutage;
+    ++stats_.restartsAllowed;
+    return true;
+}
+
+void
+AgentSupervisor::chargeBackoff(uint32_t partition)
+{
+    PartitionState &state = parts.at(partition);
+    // The first attempt of an outage restarts immediately; attempt n
+    // waits base * factor^(n-2), capped.
+    if (state.attemptsThisOutage <= 1)
+        return;
+    state.health = AgentHealth::Backoff;
+    double scaled =
+        static_cast<double>(policy_.backoffBase) *
+        std::pow(policy_.backoffFactor,
+                 static_cast<double>(state.attemptsThisOutage - 2));
+    osim::SimTime delay = static_cast<osim::SimTime>(std::min(
+        scaled, static_cast<double>(policy_.backoffMax)));
+    kernel.advance(delay);
+    stats_.backoffTime += delay;
+    state.health = AgentHealth::Restarting;
+}
+
+void
+AgentSupervisor::onRestartAttempt(uint32_t partition, bool success)
+{
+    PartitionState &state = parts.at(partition);
+    if (!success) {
+        ++stats_.restartsFailed;
+        return;
+    }
+    // The agent is up again; the outage closes when a call succeeds.
+    state.health = AgentHealth::Healthy;
+}
+
+void
+AgentSupervisor::onCallSucceeded(uint32_t partition)
+{
+    PartitionState &state = parts.at(partition);
+    if (!state.inOutage)
+        return;
+    state.inOutage = false;
+    state.attemptsThisOutage = 0;
+    state.health = AgentHealth::Healthy;
+    ++stats_.recoveries;
+    stats_.outageTime += kernel.now() - state.downSince;
+}
+
+void
+AgentSupervisor::quarantine(uint32_t partition)
+{
+    PartitionState &state = parts.at(partition);
+    if (state.health == AgentHealth::Quarantined)
+        return;
+    state.health = AgentHealth::Quarantined;
+    ++stats_.quarantines;
+    util::inform("supervisor: partition %u quarantined after %zu "
+                 "crashes in window",
+                 partition, state.crashTimes.size());
+    kernel.logEvent(0, osim::EventKind::Custom,
+                    "quarantine partition=" +
+                        std::to_string(partition));
+}
+
+} // namespace freepart::core

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Agent supervision: the recovery *policy* layered over the paper's
+ * bare restart mechanism (§4.4.2). The runtime reports crashes and
+ * outcomes here; the supervisor decides whether another restart is
+ * allowed, how long (in simulated time) to back off before it, and
+ * when a flapping partition must be quarantined instead of retried
+ * forever. It also keeps the per-partition health state machine
+ *
+ *   Healthy -> Restarting -> Backoff -> (Healthy | Quarantined)
+ *
+ * and the recovery accounting (outage spans, time-to-recover).
+ */
+
+#ifndef FREEPART_CORE_AGENT_SUPERVISOR_HH
+#define FREEPART_CORE_AGENT_SUPERVISOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "osim/kernel.hh"
+
+namespace freepart::core {
+
+/** Health of one supervised partition. */
+enum class AgentHealth : uint8_t {
+    Healthy,     //!< serving calls normally
+    Restarting,  //!< crashed; a respawn attempt is in progress
+    Backoff,     //!< respawn failed; waiting out the backoff delay
+    Quarantined, //!< crash-looping; no further restarts attempted
+};
+
+/** Display name of a health state. */
+const char *agentHealthName(AgentHealth health);
+
+/** Tunable supervision policy (per runtime; applies to every agent). */
+struct SupervisionPolicy {
+    /** Re-delivery attempts per API call before giving up. */
+    uint32_t retryBudget = 3;
+
+    /** Respawn attempts per outage before quarantining. */
+    uint32_t maxRestartAttempts = 4;
+
+    /** Simulated backoff before the 2nd, 3rd, ... respawn attempt. */
+    osim::SimTime backoffBase = 200'000; // 0.2 ms
+    double backoffFactor = 2.0;
+    osim::SimTime backoffMax = 20'000'000; // 20 ms
+
+    /** Crash-loop detection: this many crashes inside the sliding
+     *  window span quarantines the partition. */
+    uint32_t crashLoopThreshold = 5;
+    osim::SimTime crashLoopSpan = 100'000'000; // 100 ms
+
+    /** Route non-stateful APIs of a quarantined partition to host
+     *  execution (graceful degradation; stateful APIs fail fast). */
+    bool hostFallback = true;
+};
+
+/** Aggregated recovery accounting across all partitions. */
+struct SupervisionStats {
+    uint64_t crashesObserved = 0;  //!< crashes reported to the supervisor
+    uint64_t restartsAllowed = 0;  //!< respawn attempts granted
+    uint64_t restartsFailed = 0;   //!< respawns that died immediately
+    uint64_t quarantines = 0;      //!< partitions taken out of service
+    uint64_t recoveries = 0;       //!< outages closed by a success
+    osim::SimTime backoffTime = 0; //!< simulated time spent backing off
+    osim::SimTime outageTime = 0;  //!< summed outage spans (closed ones)
+
+    /** Mean simulated time from first crash to next success. */
+    osim::SimTime
+    meanTimeToRecover() const
+    {
+        return recoveries ? outageTime / recoveries : 0;
+    }
+};
+
+/**
+ * The supervisor. Owned by the runtime; one instance covers all of a
+ * plan's partitions. Time comes from the simulated kernel clock, so
+ * backoff and window arithmetic is exactly reproducible.
+ */
+class AgentSupervisor
+{
+  public:
+    AgentSupervisor(osim::Kernel &kernel, SupervisionPolicy policy,
+                    uint32_t partition_count);
+
+    const SupervisionPolicy &policy() const { return policy_; }
+
+    AgentHealth health(uint32_t partition) const;
+    bool quarantined(uint32_t partition) const;
+
+    /**
+     * Report a crash of a partition's agent. Records it in the
+     * sliding window and opens an outage if none is open. Returns
+     * true if a restart attempt is allowed, false if the partition is
+     * (now) quarantined — either because the crash count within the
+     * window crossed the threshold, or because this outage already
+     * used up maxRestartAttempts respawns.
+     */
+    bool onCrash(uint32_t partition);
+
+    /**
+     * Charge the exponential-backoff delay for the upcoming respawn
+     * attempt to the simulated clock (first attempt of an outage is
+     * immediate) and mark the partition Restarting.
+     */
+    void chargeBackoff(uint32_t partition);
+
+    /** Record the outcome of a respawn attempt. */
+    void onRestartAttempt(uint32_t partition, bool success);
+
+    /** A call on the partition completed: close any open outage. */
+    void onCallSucceeded(uint32_t partition);
+
+    /**
+     * Force a partition into quarantine (used when restarts are
+     * disabled by config but the caller still wants degradation).
+     */
+    void quarantine(uint32_t partition);
+
+    const SupervisionStats &stats() const { return stats_; }
+
+    /** Crashes currently inside the partition's sliding window. */
+    size_t windowCrashes(uint32_t partition) const;
+
+  private:
+    struct PartitionState {
+        AgentHealth health = AgentHealth::Healthy;
+        std::deque<osim::SimTime> crashTimes; //!< sliding window
+        uint32_t attemptsThisOutage = 0;
+        bool inOutage = false;
+        osim::SimTime downSince = 0;
+    };
+
+    void pruneWindow(PartitionState &state) const;
+
+    osim::Kernel &kernel;
+    SupervisionPolicy policy_;
+    std::vector<PartitionState> parts;
+    SupervisionStats stats_;
+};
+
+} // namespace freepart::core
+
+#endif // FREEPART_CORE_AGENT_SUPERVISOR_HH

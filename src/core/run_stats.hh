@@ -30,6 +30,23 @@ struct RunStats {
     uint64_t retriedCalls = 0;    //!< at-least-once re-executions
     uint64_t memFaults = 0;       //!< blocked memory accesses
     uint64_t syscallDenials = 0;  //!< seccomp SIGSYS deliveries
+
+    // Recovery metrics (supervision layer).
+    uint64_t transientFaults = 0;   //!< retryable injected op failures
+    uint64_t channelLosses = 0;     //!< RPC messages lost or corrupted
+    uint64_t dedupHits = 0;         //!< duplicate requests served from cache
+    uint64_t retriesExhausted = 0;  //!< calls that used the whole budget
+    uint64_t quarantines = 0;       //!< partitions taken out of service
+    uint64_t hostFallbackCalls = 0; //!< quarantined calls run in host
+    uint64_t statefulFastFails = 0; //!< quarantined stateful calls failed
+    uint64_t checkpointsTaken = 0;      //!< checkpoint generations saved
+    uint64_t checkpointBytesSaved = 0;  //!< serialized checkpoint bytes
+    uint64_t checkpointBytesRestored = 0; //!< bytes restored on respawn
+    uint64_t checkpointFallbacks = 0;   //!< corrupt gens skipped at restore
+    uint64_t recoveries = 0;        //!< outages closed by a success
+    osim::SimTime recoveryTime = 0; //!< summed outage spans (sim ns)
+    osim::SimTime backoffTime = 0;  //!< simulated backoff waited
+
     osim::SimTime startTime = 0;  //!< sim clock at runtime creation
     osim::SimTime endTime = 0;    //!< sim clock at last snapshot
 
@@ -55,6 +72,13 @@ struct RunStats {
         return total ? static_cast<double>(lazyCopies + directCopies) /
                            static_cast<double>(total)
                      : 0.0;
+    }
+
+    /** Mean simulated time from first crash to next success. */
+    osim::SimTime
+    meanTimeToRecover() const
+    {
+        return recoveries ? recoveryTime / recoveries : 0;
     }
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/checksum.hh"
 #include "util/logging.hh"
 
 namespace freepart::core {
@@ -65,7 +66,8 @@ FreePartRuntime::FreePartRuntime(osim::Kernel &kernel,
                                  RuntimeConfig config)
     : kernel_(kernel), registry(registry),
       cats(std::move(categorization)), plan_(std::move(plan)),
-      config(config)
+      config(config),
+      supervisor_(kernel, config.supervision, plan_.partitionCount())
 {
     osim::Process &host = kernel_.spawn("host-program");
     hostPid_ = host.pid();
@@ -314,6 +316,11 @@ const RunStats &
 FreePartRuntime::stats()
 {
     stats_.endTime = kernel_.now();
+    const SupervisionStats &sup = supervisor_.stats();
+    stats_.quarantines = sup.quarantines;
+    stats_.recoveries = sup.recoveries;
+    stats_.recoveryTime = sup.outageTime;
+    stats_.backoffTime = sup.backoffTime;
     return stats_;
 }
 
@@ -448,6 +455,21 @@ FreePartRuntime::invoke(const std::string &api_name,
     }
     ++stats_.apiCalls;
 
+    // An argument object can be gone entirely — lost with a crashed
+    // agent that had neither a checkpoint of it nor a host copy. That
+    // is a typed per-call failure, never a host panic.
+    for (const ipc::Value &value : args) {
+        if (value.kind() != ipc::Value::Kind::Ref)
+            continue;
+        uint64_t id = value.asRef().objectId;
+        if (!objectHome.count(id) && !hostStore_->has(id)) {
+            ApiResult res;
+            res.error = "argument object " + std::to_string(id) +
+                        " was lost in an agent crash";
+            return res;
+        }
+    }
+
     auto it = cats.find(api_name);
     fw::ApiType type =
         it != cats.end() ? it->second.type : desc->declaredType;
@@ -468,8 +490,7 @@ FreePartRuntime::invoke(const std::string &api_name,
     if (partition == kHostPartition) {
         result = executeInHost(*desc, args);
     } else {
-        result = executeOnAgent(partition, *desc, args,
-                                /*is_retry=*/false);
+        result = executeOnAgent(partition, *desc, args);
         lastPartition = partition;
     }
     return result;
@@ -505,6 +526,10 @@ FreePartRuntime::executeInHost(const fw::ApiDescriptor &desc,
         ++stats_.syscallDenials;
         result.error = violation.what();
         result.agentCrashed = true;
+    } catch (const osim::TransientFault &fault) {
+        // Retryable by the caller; the host process survives.
+        ++stats_.transientFaults;
+        result.error = fault.what();
     } catch (const osim::ProcessCrash &crash) {
         if (host.alive())
             kernel_.faultProcess(host, crash.what());
@@ -519,26 +544,105 @@ FreePartRuntime::executeInHost(const fw::ApiDescriptor &desc,
 ApiResult
 FreePartRuntime::executeOnAgent(uint32_t partition,
                                 const fw::ApiDescriptor &desc,
-                                const ipc::ValueList &args,
-                                bool is_retry)
+                                const ipc::ValueList &args)
 {
-    ApiResult result;
-    Agent &agent = agents.at(partition);
+    if (supervisor_.quarantined(partition))
+        return quarantinedCall(partition, desc, args);
 
-    if (!agentAlive(partition)) {
-        if (!config.restartAgents || !restartAgent(partition)) {
+    // One sequence number per logical call; every re-delivery reuses
+    // it so the dedup cache recognizes duplicates (§4.3, §4.4.2).
+    uint64_t seq = nextSeq++;
+    ApiResult result;
+    bool crashed_once = false;
+    uint32_t budget = supervisor_.policy().retryBudget;
+    for (uint32_t attempt = 0; attempt <= budget; ++attempt) {
+        if (attempt)
+            ++stats_.retriedCalls;
+        if (!agentAlive(partition) && !recoverAgent(partition)) {
+            if (supervisor_.quarantined(partition)) {
+                // When this very call's attempts crashed the agent,
+                // its input is treated as hostile (a poisoned frame
+                // crashing the loader is the paper's DoS case) and
+                // must never fall back into the host process. Only
+                // calls arriving after the quarantine degrade.
+                if (crashed_once) {
+                    result.ok = false;
+                    result.agentCrashed = true;
+                    result.quarantined = true;
+                    result.error =
+                        "partition " + plan_.partitionName(partition) +
+                        " quarantined while executing " + desc.name +
+                        "; suspect input not re-executed in host";
+                    return result;
+                }
+                result = quarantinedCall(partition, desc, args);
+                result.agentCrashed = crashed_once;
+                return result;
+            }
+            result.ok = false;
             result.error = "agent " + plan_.partitionName(partition) +
                            " is dead";
+            result.agentCrashed = crashed_once;
             return result;
         }
+        // A crash on an earlier attempt may have destroyed an
+        // argument object outright (no checkpoint, no host copy);
+        // re-delivery cannot succeed, so fail the call typed.
+        for (const ipc::Value &value : args) {
+            if (value.kind() != ipc::Value::Kind::Ref ||
+                hasObject(value.asRef().objectId))
+                continue;
+            result.ok = false;
+            result.agentCrashed = crashed_once;
+            result.error =
+                "argument object " +
+                std::to_string(value.asRef().objectId) +
+                " was lost in an agent crash";
+            return result;
+        }
+        switch (attemptOnAgent(partition, desc, args, seq, result)) {
+          case Attempt::Ok:
+            supervisor_.onCallSucceeded(partition);
+            result.agentCrashed = crashed_once;
+            return result;
+          case Attempt::AppError:
+            // The agent survives an application-level failure; a
+            // retry would deterministically fail the same way.
+            result.agentCrashed = crashed_once;
+            return result;
+          case Attempt::Transient:
+            ++stats_.transientFaults;
+            continue;
+          case Attempt::ChannelLost:
+            ++stats_.channelLosses;
+            continue;
+          case Attempt::Crashed:
+            ++stats_.agentCrashes;
+            crashed_once = true;
+            continue; // recoverAgent runs at the top of the loop
+        }
     }
+    ++stats_.retriesExhausted;
+    result.ok = false;
+    result.agentCrashed = crashed_once;
+    result.error = "retry budget (" + std::to_string(budget) +
+                   ") exhausted for " + desc.name +
+                   (result.error.empty() ? "" : ": " + result.error);
+    return result;
+}
+
+FreePartRuntime::Attempt
+FreePartRuntime::attemptOnAgent(uint32_t partition,
+                                const fw::ApiDescriptor &desc,
+                                const ipc::ValueList &args,
+                                uint64_t seq, ApiResult &result)
+{
+    Agent &agent = agents.at(partition);
+    result = ApiResult();
 
     ensureArgsMaterialized(partition, args);
 
-    // Host -> agent request over the shared-memory channel. Retries
-    // re-deliver under the original sequence number so the dedup
-    // cache can recognize duplicates.
-    uint64_t seq = is_retry ? nextSeq - 1 : nextSeq++;
+    // Host -> agent request over the shared-memory channel.
     ipc::Message request;
     request.kind = ipc::MsgKind::Request;
     request.seq = seq;
@@ -548,96 +652,90 @@ FreePartRuntime::executeOnAgent(uint32_t partition,
     ++stats_.ipcMessages;
 
     ipc::Message incoming;
-    if (!agent.channel->receiveRequest(incoming))
-        util::panic("runtime: request lost on channel");
+    if (!agent.channel->receiveRequest(incoming)) {
+        result.error = "request lost on channel to " +
+                       plan_.partitionName(partition);
+        return Attempt::ChannelLost;
+    }
     stats_.bytesTransferred += ipc::encodeMessage(incoming).size();
 
-    // Exactly-once: a duplicate sequence number returns the cached
-    // response without re-executing the API (§4.3 "FreePart as RPC").
+    // At-least-once dedup: a duplicate sequence number returns the
+    // cached response without re-executing the API (§4.3 "FreePart as
+    // RPC"). A re-delivered request that is NOT in the cache (the
+    // crash interrupted its first execution) re-executes — for
+    // stateful APIs this is the paper's accepted double-execution.
     auto cached = agent.seqCache.find(incoming.seq);
-    if (cached != agent.seqCache.end()) {
-        result.ok = true;
+    bool from_cache = cached != agent.seqCache.end();
+    if (from_cache) {
+        ++stats_.dedupHits;
         result.values = cached->second;
-        ipc::Message response;
-        response.kind = ipc::MsgKind::Response;
-        response.seq = incoming.seq;
-        response.values = result.values;
-        agent.channel->sendResponse(response);
-        ++stats_.ipcMessages;
-        ipc::Message done;
-        agent.channel->receiveResponse(done);
-        return result;
-    }
-
-    osim::Process &proc = kernel_.process(agent.pid);
-    fw::ExecContext ctx(kernel_, proc, *agent.store, agent.devices,
-                        partition);
-    bool crashed = false;
-    try {
-        result.values = desc.fn(ctx, desc, incoming.values);
         result.ok = true;
-    } catch (const osim::MemFault &fault) {
-        ++stats_.memFaults;
-        kernel_.faultProcess(proc, fault.what());
-        result.error = fault.what();
-        crashed = true;
-    } catch (const osim::SyscallViolation &violation) {
-        ++stats_.syscallDenials;
-        result.error = violation.what();
-        crashed = true;
-    } catch (const osim::ProcessCrash &crash) {
-        if (proc.alive())
-            kernel_.faultProcess(proc, crash.what());
-        result.error = crash.what();
-        crashed = true;
-    } catch (const util::FatalError &error) {
-        // Application-level failure (bad input, shape mismatch):
-        // the agent survives.
-        result.error = error.what();
-    }
-
-    if (crashed) {
-        ++stats_.agentCrashes;
-        result.agentCrashed = true;
-        if (config.restartAgents && !is_retry &&
-            restartAgent(partition)) {
-            // At-least-once: re-deliver the request once to the
-            // fresh incarnation (§4.4.2).
-            ++stats_.retriedCalls;
-            ApiResult retry =
-                executeOnAgent(partition, desc, args, true);
-            retry.agentCrashed = true; // surface that a crash happened
-            return retry;
+    } else {
+        osim::Process &proc = kernel_.process(agent.pid);
+        if (kernel_.queryFault(osim::FaultPoint::AgentCall,
+                               agent.pid) ==
+            osim::FaultAction::Crash) {
+            kernel_.faultProcess(proc,
+                                 "injected: crash during " + desc.name);
+            result.error = "injected: crash during " + desc.name;
+            return Attempt::Crashed;
         }
-        return result;
-    }
+        fw::ExecContext ctx(kernel_, proc, *agent.store,
+                            agent.devices, partition);
+        try {
+            result.values = desc.fn(ctx, desc, incoming.values);
+            result.ok = true;
+        } catch (const osim::MemFault &fault) {
+            ++stats_.memFaults;
+            kernel_.faultProcess(proc, fault.what());
+            result.error = fault.what();
+            return Attempt::Crashed;
+        } catch (const osim::SyscallViolation &violation) {
+            ++stats_.syscallDenials;
+            result.error = violation.what();
+            return Attempt::Crashed;
+        } catch (const osim::TransientFault &fault) {
+            result.error = fault.what();
+            return Attempt::Transient;
+        } catch (const osim::ProcessCrash &crash) {
+            if (proc.alive())
+                kernel_.faultProcess(proc, crash.what());
+            result.error = crash.what();
+            return Attempt::Crashed;
+        } catch (const util::FatalError &error) {
+            // Application-level failure (bad input, shape mismatch):
+            // the agent survives.
+            result.error = error.what();
+        }
 
-    if (result.ok) {
-        agent.executedApis.insert(desc.name);
-        registerResultHomes(partition, result.values);
-        if (!config.lazyDataCopy) {
-            // Without LDC every result object is copied back through
-            // the host immediately (Fig. 11-(b) steps 2/5).
-            for (const ipc::Value &value : result.values) {
-                if (value.kind() != ipc::Value::Kind::Ref)
-                    continue;
-                uint64_t id = value.asRef().objectId;
-                if (homeOf(id) != kHostPartition)
-                    transferObject(partition, kHostPartition, id,
-                                   true);
+        if (result.ok) {
+            agent.executedApis.insert(desc.name);
+            registerResultHomes(partition, result.values);
+            if (!config.lazyDataCopy) {
+                // Without LDC every result object is copied back
+                // through the host immediately (Fig. 11-(b)).
+                for (const ipc::Value &value : result.values) {
+                    if (value.kind() != ipc::Value::Kind::Ref)
+                        continue;
+                    uint64_t id = value.asRef().objectId;
+                    if (homeOf(id) != kHostPartition)
+                        transferObject(partition, kHostPartition, id,
+                                       true);
+                }
+            } else {
+                // LDC: results stay put; the host gets references.
+                for (const ipc::Value &value : result.values)
+                    if (value.kind() == ipc::Value::Kind::Ref)
+                        ++stats_.lazyCopies;
             }
-        } else {
-            // LDC: results stay put; the host receives references.
-            for (const ipc::Value &value : result.values)
-                if (value.kind() == ipc::Value::Kind::Ref)
-                    ++stats_.lazyCopies;
+            agent.seqCache.emplace(incoming.seq, result.values);
+            if (agent.seqCache.size() > 64)
+                agent.seqCache.erase(agent.seqCache.begin());
         }
-        agent.seqCache.emplace(incoming.seq, result.values);
-        if (agent.seqCache.size() > 64)
-            agent.seqCache.erase(agent.seqCache.begin());
     }
 
-    // Agent -> host response.
+    // Agent -> host response. One shared path for cached and fresh
+    // executions, so loss handling and byte accounting never diverge.
     ipc::Message response;
     response.kind = ipc::MsgKind::Response;
     response.seq = incoming.seq;
@@ -646,17 +744,80 @@ FreePartRuntime::executeOnAgent(uint32_t partition,
     agent.channel->sendResponse(response);
     ++stats_.ipcMessages;
     ipc::Message done;
-    if (!agent.channel->receiveResponse(done))
-        util::panic("runtime: response lost on channel");
+    if (!agent.channel->receiveResponse(done)) {
+        // The API may have executed; the cached seq makes the retry a
+        // dedup hit instead of a re-execution.
+        result.error = "response lost on channel from " +
+                       plan_.partitionName(partition);
+        return Attempt::ChannelLost;
+    }
     stats_.bytesTransferred += ipc::encodeMessage(done).size();
 
-    // Checkpoint stateful state periodically (A.2.4).
-    if (++agent.callsSinceCheckpoint >= config.checkpointInterval) {
-        checkpointAgent(partition);
-        agent.callsSinceCheckpoint = 0;
+    if (!from_cache) {
+        // Checkpoint stateful state periodically (A.2.4).
+        if (++agent.callsSinceCheckpoint >= config.checkpointInterval) {
+            checkpointAgent(partition);
+            agent.callsSinceCheckpoint = 0;
+        }
+        maybeAutoLockdown(agent);
     }
+    return result.ok ? Attempt::Ok : Attempt::AppError;
+}
 
-    maybeAutoLockdown(agent);
+bool
+FreePartRuntime::recoverAgent(uint32_t partition)
+{
+    if (!config.restartAgents)
+        return false;
+    // Each failed respawn is itself a crash: it lands in the sliding
+    // window and consumes a restart attempt, so a flapping partition
+    // converges to quarantine instead of retrying forever.
+    while (supervisor_.onCrash(partition)) {
+        supervisor_.chargeBackoff(partition);
+        bool up = restartAgent(partition);
+        supervisor_.onRestartAttempt(partition, up);
+        if (up)
+            return true;
+    }
+    return false;
+}
+
+ApiResult
+FreePartRuntime::quarantinedCall(uint32_t partition,
+                                 const fw::ApiDescriptor &desc,
+                                 const ipc::ValueList &args)
+{
+    if (supervisor_.policy().hostFallback && !desc.stateful) {
+        // Graceful degradation: run the API in the host process, the
+        // baseline no-isolation path. Protection is reduced for this
+        // call, but the application keeps making progress. Arguments
+        // that died with the quarantined agent fail the call typed.
+        for (const ipc::Value &value : args) {
+            if (value.kind() != ipc::Value::Kind::Ref ||
+                hasObject(value.asRef().objectId))
+                continue;
+            ApiResult result;
+            result.quarantined = true;
+            result.error =
+                "argument object " +
+                std::to_string(value.asRef().objectId) +
+                " was lost in an agent crash";
+            return result;
+        }
+        ++stats_.hostFallbackCalls;
+        ApiResult result = executeInHost(desc, args);
+        result.quarantined = true;
+        return result;
+    }
+    // Stateful APIs cannot fall back (their agent-side state is the
+    // whole point); fail fast with a typed error.
+    ++stats_.statefulFastFails;
+    ApiResult result;
+    result.quarantined = true;
+    result.error = "partition " + plan_.partitionName(partition) +
+                   " is quarantined; " +
+                   (desc.stateful ? "stateful API " : "API ") +
+                   desc.name + " fails fast";
     return result;
 }
 
@@ -666,12 +827,37 @@ FreePartRuntime::checkpointAgent(uint32_t partition)
     Agent &agent = agents.at(partition);
     if (!agentAlive(partition))
         return;
-    agent.checkpoint.clear();
+
+    osim::FaultAction action =
+        kernel_.queryFault(osim::FaultPoint::Checkpoint, agent.pid);
+    if (action == osim::FaultAction::Crash) {
+        kernel_.faultProcess(kernel_.process(agent.pid),
+                             "injected: crash during checkpoint");
+        return;
+    }
+    if (action == osim::FaultAction::Transient)
+        return; // this checkpoint is skipped; the old ones remain
+
+    CheckpointGen gen;
     for (uint64_t id : agent.store->ids()) {
         const fw::StoredObject &obj = agent.store->get(id);
-        agent.checkpoint.emplace(
-            id, std::make_pair(obj.kind, agent.store->serialize(id)));
+        CheckpointEntry entry;
+        entry.kind = obj.kind;
+        entry.bytes = agent.store->serialize(id);
+        entry.label = obj.label;
+        // Checksum before any corruption: bit-rot after the write is
+        // exactly what the restore-time verification must catch.
+        entry.checksum = util::fnv1a64(entry.bytes);
+        stats_.checkpointBytesSaved += entry.bytes.size();
+        if (action == osim::FaultAction::Corrupt &&
+            kernel_.faultInjector() && !entry.bytes.empty())
+            kernel_.faultInjector()->corrupt(entry.bytes);
+        gen.objects.emplace(id, std::move(entry));
     }
+    agent.checkpoints.push_front(std::move(gen));
+    while (agent.checkpoints.size() > kCheckpointGenerations)
+        agent.checkpoints.pop_back();
+    ++stats_.checkpointsTaken;
 }
 
 bool
@@ -689,32 +875,110 @@ FreePartRuntime::restartAgent(uint32_t partition)
     agent.devices = fw::DeviceFds();
     agent.channel->remapInto(agent.pid);
     agent.executedApis.clear();
-    agent.seqCache.clear();
+    agent.callsSinceCheckpoint = 0;
     if (config.restrictSyscalls)
         installPolicy(agent);
-    // Restore the checkpointed stateful objects. Values of the
-    // crashed incarnation are intentionally NOT restored (§6
-    // "Restoring States of Crashed Process") — only the last
-    // checkpoint is.
-    for (const auto &[id, snap] : agent.checkpoint) {
-        agent.store->materialize(id, snap.first, snap.second);
-        objectHome[id] = {partition, snap.first};
+    osim::Process &proc = kernel_.process(agent.pid);
+    // An injected respawn fault leaves the incarnation stillborn.
+    bool up = proc.alive();
+    if (up && kernel_.queryFault(osim::FaultPoint::Restore,
+                                 agent.pid) ==
+                  osim::FaultAction::Crash) {
+        kernel_.faultProcess(
+            proc, "injected: crash during checkpoint restore");
+        up = false;
+    }
+    if (up) {
+        // Restore from the newest checkpoint generation whose
+        // checksums all verify; a corrupted generation is skipped in
+        // favor of the previous good one. Values newer than the
+        // chosen checkpoint are intentionally NOT restored (§6
+        // "Restoring States of Crashed Process").
+        const CheckpointGen *chosen = nullptr;
+        for (const CheckpointGen &gen : agent.checkpoints) {
+            bool intact = true;
+            for (const auto &[id, entry] : gen.objects) {
+                if (util::fnv1a64(entry.bytes) != entry.checksum) {
+                    intact = false;
+                    break;
+                }
+            }
+            if (intact) {
+                chosen = &gen;
+                break;
+            }
+            ++stats_.checkpointFallbacks;
+            util::inform("runtime: corrupt checkpoint generation for "
+                         "partition %u skipped at restore",
+                         partition);
+        }
+        if (chosen) {
+            for (const auto &[id, entry] : chosen->objects) {
+                agent.store->materialize(id, entry.kind, entry.bytes,
+                                         entry.label);
+                objectHome[id] = {partition, entry.kind};
+                stats_.checkpointBytesRestored += entry.bytes.size();
+            }
+        }
     }
     // Objects whose authoritative copy died with the old incarnation
-    // fall back to their stale host copy when one exists; otherwise
-    // they are gone (the paper's accepted state discrepancy).
+    // fall back to a stale copy elsewhere — the host's if it has one,
+    // else any live agent still holding one from an earlier LDC
+    // transfer. Only an object with no copy anywhere is gone (the
+    // paper's accepted state discrepancy). This runs even when the
+    // fresh incarnation is itself dead, so the home map never points
+    // at a cleared store.
     std::vector<uint64_t> lost;
     for (auto &[id, home] : objectHome) {
         if (home.first != partition || agent.store->has(id))
             continue;
-        if (hostStore_->has(id))
+        if (hostStore_->has(id)) {
             home.first = kHostPartition;
-        else
+            continue;
+        }
+        bool found = false;
+        for (const Agent &other : agents) {
+            if (other.partition == partition ||
+                !other.store->has(id) || !agentAlive(other.partition))
+                continue;
+            home.first = other.partition;
+            found = true;
+            break;
+        }
+        if (!found)
             lost.push_back(id);
     }
     for (uint64_t id : lost)
         objectHome.erase(id);
-    return true;
+    // The dedup cache is host-side state and survives the restart
+    // (the at-least-once contract needs it to), but cached responses
+    // whose object refs no longer resolve are dropped.
+    pruneSeqCache(agent);
+    return up && proc.alive();
+}
+
+size_t
+FreePartRuntime::seqCacheSize(uint32_t partition) const
+{
+    return agents.at(partition).seqCache.size();
+}
+
+void
+FreePartRuntime::pruneSeqCache(Agent &agent)
+{
+    for (auto it = agent.seqCache.begin();
+         it != agent.seqCache.end();) {
+        bool resolvable = true;
+        for (const ipc::Value &value : it->second) {
+            if (value.kind() != ipc::Value::Kind::Ref)
+                continue;
+            if (!objectHome.count(value.asRef().objectId)) {
+                resolvable = false;
+                break;
+            }
+        }
+        it = resolvable ? std::next(it) : agent.seqCache.erase(it);
+    }
 }
 
 } // namespace freepart::core

@@ -19,6 +19,7 @@
 #ifndef FREEPART_CORE_RUNTIME_HH
 #define FREEPART_CORE_RUNTIME_HH
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
@@ -26,6 +27,7 @@
 #include <vector>
 
 #include "analysis/hybrid_categorizer.hh"
+#include "core/agent_supervisor.hh"
 #include "core/partition_plan.hh"
 #include "core/run_stats.hh"
 #include "fw/api_registry.hh"
@@ -60,6 +62,7 @@ struct RuntimeConfig {
     bool lockAfterInit = true;      //!< drop init-only syscalls + lock
     uint32_t checkpointInterval = 8; //!< calls between checkpoints
     size_t ringBytes = 8 << 20;     //!< per-direction ring capacity
+    SupervisionPolicy supervision;  //!< recovery policy (§4.4.2 +)
 };
 
 /** Result of one framework API invocation. */
@@ -67,6 +70,8 @@ struct ApiResult {
     bool ok = false;
     std::string error;       //!< failure description when !ok
     bool agentCrashed = false; //!< the executing process died
+    bool quarantined = false;  //!< partition was quarantined (typed
+                               //!< fail-fast for stateful APIs)
     ipc::ValueList values;   //!< return values when ok
 };
 
@@ -166,8 +171,27 @@ class FreePartRuntime
     /** Partition currently holding an object's data. */
     uint32_t homeOf(uint64_t object_id) const;
 
-    /** Snapshot stats (sets endTime to the current sim clock). */
+    /** Whether an object still resolves anywhere. False means it was
+     *  lost with a crashed agent (no checkpoint, no host copy) —
+     *  homeOf() would panic on it. */
+    bool
+    hasObject(uint64_t object_id) const
+    {
+        return objectHome.count(object_id) > 0 ||
+               hostStore_->has(object_id);
+    }
+
+    /** Snapshot stats (sets endTime to the current sim clock and
+     *  mirrors the supervisor's recovery accounting). */
     const RunStats &stats();
+
+    /** The supervision layer (health states, recovery policy). */
+    const AgentSupervisor &supervisor() const { return supervisor_; }
+    AgentSupervisor &supervisor() { return supervisor_; }
+
+    /** Entries in a partition's at-least-once dedup cache. The cache
+     *  is host-side state, so it must survive agent restarts. */
+    size_t seqCacheSize(uint32_t partition) const;
 
     /** The annotated/protected variables and their status. */
     const std::vector<ProtectedVar> &protectedVars() const
@@ -185,13 +209,38 @@ class FreePartRuntime
      */
     void lockdownAll();
 
-    /** Respawn one crashed agent (policy + checkpointed state). */
+    /**
+     * Respawn one crashed agent (policy + checkpointed state).
+     * Returns false when the fresh incarnation is itself dead (an
+     * injected respawn/restore fault — the crash-loop case).
+     */
     bool restartAgent(uint32_t partition);
 
-    /** Snapshot an agent's object store (stateful-API checkpoint). */
+    /**
+     * Snapshot an agent's object store (stateful-API checkpoint).
+     * Each serialized object carries a checksum; the last
+     * kCheckpointGenerations generations are kept so a corrupted
+     * checkpoint falls back to the previous good one at restore.
+     */
     void checkpointAgent(uint32_t partition);
 
+    /** Checkpoint generations retained per agent. */
+    static constexpr size_t kCheckpointGenerations = 2;
+
   private:
+    /** One checksummed serialized object inside a checkpoint. */
+    struct CheckpointEntry {
+        fw::ObjKind kind = fw::ObjKind::Bytes;
+        std::vector<uint8_t> bytes;
+        uint64_t checksum = 0;
+        std::string label;
+    };
+
+    /** One checkpoint generation: object id -> entry. */
+    struct CheckpointGen {
+        std::map<uint64_t, CheckpointEntry> objects;
+    };
+
     struct Agent {
         uint32_t partition = 0;
         osim::Pid pid = 0;
@@ -203,12 +252,24 @@ class FreePartRuntime
         std::set<std::string> executedApis; //!< first-exec tracking
         std::set<std::string> assignedApis; //!< APIs routed here
         uint64_t callsSinceCheckpoint = 0;
-        /** Exactly-once dedup cache: seq -> response values. */
+        /**
+         * At-least-once dedup cache: seq -> response values. Lives on
+         * the host side of the RPC boundary, so it survives agent
+         * restarts — a re-delivered request whose response was lost
+         * is recognized as a duplicate even across a respawn.
+         */
         std::map<uint64_t, ipc::ValueList> seqCache;
-        /** Checkpoint: object id -> (kind, serialized bytes). */
-        std::map<uint64_t,
-                 std::pair<fw::ObjKind, std::vector<uint8_t>>>
-            checkpoint;
+        /** Checkpoint generations, newest first (≤ 2 kept). */
+        std::deque<CheckpointGen> checkpoints;
+    };
+
+    /** Outcome of one RPC delivery attempt. */
+    enum class Attempt {
+        Ok,          //!< API executed (or deduplicated) successfully
+        AppError,    //!< application-level failure; agent survives
+        Transient,   //!< injected retryable fault; agent survives
+        ChannelLost, //!< request/response lost or corrupt on the ring
+        Crashed,     //!< the agent process died
     };
 
     void setupAgents();
@@ -227,16 +288,30 @@ class FreePartRuntime
                                 const ipc::ValueList &args);
     ApiResult executeInHost(const fw::ApiDescriptor &desc,
                             const ipc::ValueList &args);
+    /** Supervision loop: attempts, retries, restarts, degradation. */
     ApiResult executeOnAgent(uint32_t partition,
                              const fw::ApiDescriptor &desc,
-                             const ipc::ValueList &args,
-                             bool is_retry);
+                             const ipc::ValueList &args);
+    /** One request/execute/response cycle under a fixed seq. */
+    Attempt attemptOnAgent(uint32_t partition,
+                           const fw::ApiDescriptor &desc,
+                           const ipc::ValueList &args, uint64_t seq,
+                           ApiResult &result);
+    /** Restart (with backoff) until up, quarantined, or disallowed. */
+    bool recoverAgent(uint32_t partition);
+    /** Graceful degradation for calls on a quarantined partition. */
+    ApiResult quarantinedCall(uint32_t partition,
+                              const fw::ApiDescriptor &desc,
+                              const ipc::ValueList &args);
+    /** Drop cached responses whose object refs no longer resolve. */
+    void pruneSeqCache(Agent &agent);
 
     osim::Kernel &kernel_;
     const fw::ApiRegistry &registry;
     analysis::Categorization cats;
     PartitionPlan plan_;
     RuntimeConfig config;
+    AgentSupervisor supervisor_;
 
     osim::Pid hostPid_ = 0;
     uint64_t idCounter = 0;

@@ -67,13 +67,39 @@ Channel::sendRequest(const Message &msg)
 }
 
 bool
-Channel::receiveRequest(Message &out)
+Channel::receiveOn(SpscRing &ring, osim::Pid receiver, Message &out)
 {
     std::vector<uint8_t> wire;
-    if (!reqRing.tryPop(wire))
+    if (!ring.tryPop(wire))
         return false;
-    out = decodeMessage(wire);
+    switch (kernel.queryFault(osim::FaultPoint::RingTransfer,
+                              receiver)) {
+      case osim::FaultAction::Transient:
+      case osim::FaultAction::Crash:
+        // The message never reaches the receiver (a lost wakeup /
+        // torn write in the real futex-synchronized ring).
+        ++stats_.dropped;
+        return false;
+      case osim::FaultAction::Corrupt:
+        kernel.faultInjector()->corrupt(wire);
+        break;
+      default:
+        break;
+    }
+    try {
+        out = decodeMessage(wire);
+    } catch (const std::exception &) {
+        // Corrupted framing: the receiver rejects the message.
+        ++stats_.corrupted;
+        return false;
+    }
     return true;
+}
+
+bool
+Channel::receiveRequest(Message &out)
+{
+    return receiveOn(reqRing, agent, out);
 }
 
 void
@@ -85,11 +111,7 @@ Channel::sendResponse(const Message &msg)
 bool
 Channel::receiveResponse(Message &out)
 {
-    std::vector<uint8_t> wire;
-    if (!respRing.tryPop(wire))
-        return false;
-    out = decodeMessage(wire);
-    return true;
+    return receiveOn(respRing, host, out);
 }
 
 } // namespace freepart::ipc

@@ -28,6 +28,8 @@ struct ChannelStats {
     uint64_t responses = 0;     //!< response messages sent
     uint64_t bytesSent = 0;     //!< total wire bytes in both directions
     uint64_t futexWakes = 0;    //!< synchronization wakeups charged
+    uint64_t dropped = 0;       //!< messages lost to injected faults
+    uint64_t corrupted = 0;     //!< messages rejected as corrupt
 };
 
 /**
@@ -77,6 +79,14 @@ class Channel
 
   private:
     void sendOn(SpscRing &ring, const Message &msg, bool is_request);
+
+    /**
+     * Pop + decode one message, applying ring-transfer faults on the
+     * receiving side: a Transient fault drops the message, a Corrupt
+     * fault flips wire bytes so decoding rejects it. Both surface as
+     * "no message" — the at-least-once layer above must retry.
+     */
+    bool receiveOn(SpscRing &ring, osim::Pid receiver, Message &out);
 
     osim::Kernel &kernel;
     osim::Pid host;

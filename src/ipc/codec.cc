@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "util/checksum.hh"
 #include "util/logging.hh"
 
 namespace freepart::ipc {
@@ -148,7 +149,11 @@ class Writer
 class Reader
 {
   public:
-    explicit Reader(const std::vector<uint8_t> &b) : buf(b) {}
+    /** Read [0, limit) of a buffer (limit excludes any trailer). */
+    Reader(const std::vector<uint8_t> &b, size_t limit)
+        : buf(b), limit(limit)
+    {
+    }
 
     uint8_t
     u8()
@@ -196,16 +201,16 @@ class Reader
     bool
     done() const
     {
-        return pos == buf.size();
+        return pos == limit;
     }
 
   private:
     void
     need(size_t n)
     {
-        if (pos + n > buf.size())
+        if (pos + n > limit)
             util::fatal("codec: truncated message (need %zu at %zu/%zu)",
-                        n, pos, buf.size());
+                        n, pos, limit);
     }
 
     void
@@ -217,6 +222,7 @@ class Reader
     }
 
     const std::vector<uint8_t> &buf;
+    size_t limit;
     size_t pos = 0;
 };
 
@@ -302,19 +308,41 @@ encodeMessage(const Message &msg)
     w.u32(static_cast<uint32_t>(msg.values.size()));
     for (const Value &v : msg.values)
         encodeValue(w, v);
-    return w.take();
+    // End-to-end integrity trailer: the receiver verifies this before
+    // acting on any field, so a message corrupted on the shared ring
+    // is rejected instead of silently mis-decoded.
+    std::vector<uint8_t> body = w.take();
+    uint64_t sum = util::fnv1a64(body);
+    Writer trailer;
+    trailer.u64(sum);
+    std::vector<uint8_t> tail = trailer.take();
+    body.insert(body.end(), tail.begin(), tail.end());
+    return body;
 }
 
 Message
 decodeMessage(const std::vector<uint8_t> &wire)
 {
-    Reader r(wire);
+    if (wire.size() < sizeof(uint64_t))
+        util::fatal("codec: message shorter than its checksum");
+    size_t body = wire.size() - sizeof(uint64_t);
+    uint64_t expected;
+    std::memcpy(&expected, wire.data() + body, sizeof(expected));
+    if (util::fnv1a64(wire.data(), body) != expected)
+        util::fatal("codec: checksum mismatch on %zu-byte message",
+                    wire.size());
+    Reader r(wire, body);
     Message msg;
     msg.kind = static_cast<MsgKind>(r.u8());
     msg.seq = r.u64();
     msg.apiId = r.u32();
     msg.status = r.u32();
     uint32_t count = r.u32();
+    // A corrupted count must not drive a giant reserve; each value
+    // needs at least one wire byte, so anything larger is malformed.
+    if (count > wire.size())
+        util::fatal("codec: value count %u exceeds wire size %zu",
+                    count, wire.size());
     msg.values.reserve(count);
     for (uint32_t i = 0; i < count; ++i)
         msg.values.push_back(decodeValue(r));

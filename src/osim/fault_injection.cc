@@ -1,0 +1,82 @@
+#include "osim/fault_injection.hh"
+
+#include <algorithm>
+
+namespace freepart::osim {
+
+const char *
+faultPointName(FaultPoint point)
+{
+    switch (point) {
+      case FaultPoint::SyscallEntry:
+        return "syscall-entry";
+      case FaultPoint::AgentCall:
+        return "agent-call";
+      case FaultPoint::DeviceRead:
+        return "device-read";
+      case FaultPoint::RingTransfer:
+        return "ring-transfer";
+      case FaultPoint::Respawn:
+        return "respawn";
+      case FaultPoint::Checkpoint:
+        return "checkpoint";
+      case FaultPoint::Restore:
+        return "restore";
+    }
+    return "?";
+}
+
+const char *
+faultActionName(FaultAction action)
+{
+    switch (action) {
+      case FaultAction::None:
+        return "none";
+      case FaultAction::Crash:
+        return "crash";
+      case FaultAction::Transient:
+        return "transient";
+      case FaultAction::Corrupt:
+        return "corrupt";
+    }
+    return "?";
+}
+
+FaultAction
+FaultInjector::query(FaultPoint point, Pid pid)
+{
+    uint64_t hit = ++hitCounts[static_cast<size_t>(point)];
+    for (Armed &a : armed) {
+        if (a.spec.point != point)
+            continue;
+        if (a.spec.pid != kAnyPid && a.spec.pid != pid)
+            continue;
+        ++a.hits;
+        if (a.hits <= a.spec.after)
+            continue;
+        if (a.spec.count != 0 && a.fired >= a.spec.count)
+            continue;
+        if (a.spec.probability < 1.0 && !rng.chance(a.spec.probability))
+            continue;
+        ++a.fired;
+        log_.push_back({point, a.spec.action, pid, hit, a.spec.tag});
+        return a.spec.action;
+    }
+    return FaultAction::None;
+}
+
+void
+FaultInjector::corrupt(std::vector<uint8_t> &bytes)
+{
+    if (bytes.empty())
+        return;
+    // Flip up to 4 bytes inside the framing-heavy prefix so decoders
+    // reject the buffer, plus one byte anywhere in the payload.
+    size_t header = std::min<size_t>(bytes.size(), 16);
+    for (int i = 0; i < 4; ++i)
+        bytes[rng.below(header)] ^= static_cast<uint8_t>(
+            0x01u << rng.below(8));
+    bytes[rng.below(bytes.size())] ^= 0xffu;
+}
+
+} // namespace freepart::osim

@@ -65,6 +65,11 @@ Kernel::respawn(Pid pid)
     logEvent(pid, EventKind::ProcRestart,
              proc.name() + " incarnation=" +
                  std::to_string(proc.incarnation()));
+    // An injected respawn fault kills the fresh incarnation before it
+    // can serve anything — the crash-loop generator. The caller is
+    // responsible for checking alive() on the returned process.
+    if (queryFault(FaultPoint::Respawn, pid) == FaultAction::Crash)
+        faultProcess(proc, "injected: crash during respawn");
     return proc;
 }
 
@@ -131,6 +136,20 @@ Kernel::enforce(Process &proc, Syscall call, Fd fd)
         throw SyscallViolation(proc.pid(), what);
     }
     advance(costModel.syscallCost(call));
+    switch (queryFault(FaultPoint::SyscallEntry, proc.pid())) {
+      case FaultAction::Crash:
+        faultProcess(proc, std::string("injected: crash at ") +
+                               syscallName(call));
+        throw ProcessCrash(proc.pid(),
+                           std::string("injected crash at ") +
+                               syscallName(call));
+      case FaultAction::Transient:
+        throw TransientFault(proc.pid(),
+                             std::string("injected EIO at ") +
+                                 syscallName(call));
+      default:
+        break;
+    }
 }
 
 OpenFile &
@@ -164,8 +183,15 @@ Kernel::sysRead(Process &proc, Fd fd, Addr dst, size_t len)
 {
     enforce(proc, Syscall::Read);
     OpenFile &file = requireFd(proc, fd);
+    FaultAction fault = FaultAction::None;
+    if (file.kind == FdKind::Camera || file.kind == FdKind::File)
+        fault = queryFault(FaultPoint::DeviceRead, proc.pid());
+    if (fault == FaultAction::Transient)
+        throw TransientFault(proc.pid(), "injected EIO: " + file.path);
     if (file.kind == FdKind::Camera) {
         std::vector<uint8_t> frame = camera_.captureFrame();
+        if (fault == FaultAction::Corrupt && injector_)
+            injector_->corrupt(frame);
         size_t n = std::min(len, frame.size());
         proc.space().write(dst, frame.data(), n);
         advance(costModel.copyCost(n));
@@ -176,7 +202,14 @@ Kernel::sysRead(Process &proc, Fd fd, Addr dst, size_t len)
         if (file.offset >= data.size())
             return 0;
         size_t n = std::min(len, data.size() - file.offset);
-        proc.space().write(dst, data.data() + file.offset, n);
+        std::vector<uint8_t> buf(data.begin() +
+                                     static_cast<ptrdiff_t>(file.offset),
+                                 data.begin() +
+                                     static_cast<ptrdiff_t>(file.offset +
+                                                            n));
+        if (fault == FaultAction::Corrupt && injector_)
+            injector_->corrupt(buf);
+        proc.space().write(dst, buf.data(), n);
         file.offset += n;
         advance(costModel.copyCost(n));
         return n;

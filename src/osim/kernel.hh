@@ -22,6 +22,7 @@
 
 #include "osim/cost_model.hh"
 #include "osim/devices.hh"
+#include "osim/fault_injection.hh"
 #include "osim/process.hh"
 #include "osim/types.hh"
 #include "osim/vfs.hh"
@@ -106,6 +107,31 @@ class Kernel
     void advance(SimTime ns) { clock += ns; }
     CostModel &costs() { return costModel; }
     const CostModel &costs() const { return costModel; }
+
+    // ---- Fault injection ----------------------------------------------
+
+    /**
+     * Attach (or detach, with nullptr) a fault injector. The kernel
+     * does not own it; the caller keeps it alive for the kernel's
+     * lifetime. With no injector attached every fault point is free.
+     */
+    void setFaultInjector(FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
+    FaultInjector *faultInjector() { return injector_; }
+
+    /**
+     * Consult the attached injector at a fault point; FaultAction::None
+     * when no injector is attached or nothing fires.
+     */
+    FaultAction
+    queryFault(FaultPoint point, Pid pid)
+    {
+        return injector_ ? injector_->query(point, pid)
+                         : FaultAction::None;
+    }
 
     // ---- Trusted runtime operations ----------------------------------
 
@@ -255,6 +281,7 @@ class Kernel
     OpenFile &requireFd(Process &proc, Fd fd);
 
     CostModel costModel;
+    FaultInjector *injector_ = nullptr;
     SimTime clock = 0;
     Pid nextPid = 100;
     std::map<Pid, std::unique_ptr<Process>> procs;

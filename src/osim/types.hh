@@ -114,6 +114,24 @@ class SyscallViolation : public std::runtime_error
 };
 
 /**
+ * Transient operation failure (injected EIO/EAGAIN-class fault): the
+ * operation did not complete but the process survives. The runtime
+ * treats it as retryable without an agent restart.
+ */
+class TransientFault : public std::runtime_error
+{
+  public:
+    TransientFault(Pid pid, const std::string &what)
+        : std::runtime_error("transient fault pid=" +
+                             std::to_string(pid) + ": " + what),
+          pid(pid)
+    {
+    }
+
+    Pid pid;
+};
+
+/**
  * Explicit process crash (e.g. a DoS payload aborting the process, or
  * an unhandled fault escalated by the kernel).
  */

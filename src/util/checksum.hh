@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Tiny deterministic checksum (FNV-1a 64-bit) used for checkpoint
+ * integrity verification and anywhere else a stable, dependency-free
+ * digest of a byte buffer is needed.
+ */
+
+#ifndef FREEPART_UTIL_CHECKSUM_HH
+#define FREEPART_UTIL_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace freepart::util {
+
+/** FNV-1a 64-bit hash of a byte range. */
+inline uint64_t
+fnv1a64(const uint8_t *data, size_t len)
+{
+    uint64_t hash = 0xcbf29ce484222325ull;
+    for (size_t i = 0; i < len; ++i) {
+        hash ^= data[i];
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+/** FNV-1a 64-bit hash of a byte vector. */
+inline uint64_t
+fnv1a64(const std::vector<uint8_t> &bytes)
+{
+    return fnv1a64(bytes.data(), bytes.size());
+}
+
+} // namespace freepart::util
+
+#endif // FREEPART_UTIL_CHECKSUM_HH

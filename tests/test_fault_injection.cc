@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Tests for the deterministic fault-injection framework: spec
+ * trigger semantics (after/count/pid/probability), replay
+ * determinism, and each instrumented fault point (syscall entry,
+ * device reads, ring transfers, respawn) observed end-to-end through
+ * the runtime's recovery machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.hh"
+#include "osim/fault_injection.hh"
+#include "util/logging.hh"
+
+namespace freepart::core {
+namespace {
+
+struct FaultEnv {
+    FaultEnv() : registry(fw::buildFullRegistry())
+    {
+        analysis::HybridCategorizer categorizer(registry);
+        cats = categorizer.categorizeAll();
+    }
+
+    std::unique_ptr<FreePartRuntime>
+    makeRuntime(uint64_t seed = 0x5eedfa17ull, RuntimeConfig config = {})
+    {
+        kernel = std::make_unique<osim::Kernel>();
+        injector = std::make_unique<osim::FaultInjector>(seed);
+        kernel->setFaultInjector(injector.get());
+        fw::seedFixtureFiles(*kernel);
+        return std::make_unique<FreePartRuntime>(
+            *kernel, registry, cats, PartitionPlan::freePartDefault(),
+            config);
+    }
+
+    fw::ApiRegistry registry;
+    analysis::Categorization cats;
+    std::unique_ptr<osim::Kernel> kernel;
+    std::unique_ptr<osim::FaultInjector> injector;
+};
+
+FaultEnv &
+shared()
+{
+    static FaultEnv instance;
+    return instance;
+}
+
+ipc::Value
+pathArg(const char *path)
+{
+    return ipc::Value(std::string(path));
+}
+
+TEST(FaultInjector, AfterAndCountGateFiring)
+{
+    osim::FaultInjector inj(1);
+    osim::FaultSpec spec;
+    spec.point = osim::FaultPoint::AgentCall;
+    spec.action = osim::FaultAction::Crash;
+    spec.after = 2;
+    spec.count = 2;
+    inj.schedule(spec);
+    EXPECT_EQ(inj.query(osim::FaultPoint::AgentCall, 3),
+              osim::FaultAction::None);
+    EXPECT_EQ(inj.query(osim::FaultPoint::AgentCall, 3),
+              osim::FaultAction::None);
+    EXPECT_EQ(inj.query(osim::FaultPoint::AgentCall, 3),
+              osim::FaultAction::Crash);
+    EXPECT_EQ(inj.query(osim::FaultPoint::AgentCall, 3),
+              osim::FaultAction::Crash);
+    EXPECT_EQ(inj.query(osim::FaultPoint::AgentCall, 3),
+              osim::FaultAction::None);
+    EXPECT_EQ(inj.injectedCount(), 2u);
+    EXPECT_EQ(inj.hits(osim::FaultPoint::AgentCall), 5u);
+}
+
+TEST(FaultInjector, PidScopingAndPointScoping)
+{
+    osim::FaultInjector inj(1);
+    osim::FaultSpec spec;
+    spec.point = osim::FaultPoint::DeviceRead;
+    spec.action = osim::FaultAction::Transient;
+    spec.pid = 7;
+    spec.count = 0; // unlimited
+    inj.schedule(spec);
+    EXPECT_EQ(inj.query(osim::FaultPoint::DeviceRead, 8),
+              osim::FaultAction::None);
+    EXPECT_EQ(inj.query(osim::FaultPoint::SyscallEntry, 7),
+              osim::FaultAction::None);
+    EXPECT_EQ(inj.query(osim::FaultPoint::DeviceRead, 7),
+              osim::FaultAction::Transient);
+    EXPECT_EQ(inj.query(osim::FaultPoint::DeviceRead, 7),
+              osim::FaultAction::Transient);
+}
+
+TEST(FaultInjector, ProbabilisticPlanReplaysIdentically)
+{
+    auto run = [](uint64_t seed) {
+        osim::FaultInjector inj(seed);
+        osim::FaultSpec spec;
+        spec.point = osim::FaultPoint::SyscallEntry;
+        spec.action = osim::FaultAction::Crash;
+        spec.count = 0;
+        spec.probability = 0.3;
+        inj.schedule(spec);
+        std::vector<uint64_t> fired;
+        for (int i = 0; i < 200; ++i)
+            if (inj.query(osim::FaultPoint::SyscallEntry, 5) !=
+                osim::FaultAction::None)
+                fired.push_back(inj.hits(osim::FaultPoint::SyscallEntry));
+        return fired;
+    };
+    std::vector<uint64_t> a = run(42), b = run(42), c = run(43);
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a.empty());
+    EXPECT_LT(a.size(), 200u);
+    EXPECT_NE(a, c); // a different seed gives a different trace
+}
+
+TEST(FaultInjector, CorruptIsDeterministicAndMutates)
+{
+    std::vector<uint8_t> original(64, 0xab);
+    std::vector<uint8_t> one = original, two = original;
+    osim::FaultInjector(9).corrupt(one);
+    osim::FaultInjector(9).corrupt(two);
+    EXPECT_EQ(one, two);
+    EXPECT_NE(one, original);
+}
+
+TEST(FaultPoints, NthSyscallCrashIsRecovered)
+{
+    FaultEnv &e = shared();
+    auto runtime = e.makeRuntime();
+    osim::FaultSpec spec;
+    spec.point = osim::FaultPoint::SyscallEntry;
+    spec.action = osim::FaultAction::Crash;
+    spec.pid = runtime->agentPid(0);
+    spec.after = 1; // the 2nd syscall of the loading agent
+    e.injector->schedule(spec);
+    ApiResult result =
+        runtime->invoke("cv2.imread", {pathArg("/data/test.fpim")});
+    EXPECT_TRUE(result.ok) << result.error;
+    EXPECT_TRUE(result.agentCrashed);
+    EXPECT_EQ(runtime->stats().agentCrashes, 1u);
+    EXPECT_GE(runtime->stats().agentRestarts, 1u);
+    EXPECT_EQ(e.injector->injectedCount(), 1u);
+}
+
+TEST(FaultPoints, TransientSyscallFaultRetriesWithoutRestart)
+{
+    FaultEnv &e = shared();
+    auto runtime = e.makeRuntime();
+    osim::FaultSpec spec;
+    spec.point = osim::FaultPoint::SyscallEntry;
+    spec.action = osim::FaultAction::Transient;
+    spec.pid = runtime->agentPid(0);
+    e.injector->schedule(spec);
+    ApiResult result =
+        runtime->invoke("cv2.imread", {pathArg("/data/test.fpim")});
+    EXPECT_TRUE(result.ok) << result.error;
+    EXPECT_FALSE(result.agentCrashed);
+    EXPECT_EQ(runtime->stats().transientFaults, 1u);
+    EXPECT_EQ(runtime->stats().agentCrashes, 0u);
+    EXPECT_EQ(runtime->stats().agentRestarts, 0u);
+    EXPECT_EQ(runtime->stats().retriedCalls, 1u);
+}
+
+TEST(FaultPoints, DeviceReadTransientIsRetried)
+{
+    FaultEnv &e = shared();
+    auto runtime = e.makeRuntime();
+    osim::FaultSpec spec;
+    spec.point = osim::FaultPoint::DeviceRead;
+    spec.action = osim::FaultAction::Transient;
+    spec.pid = runtime->agentPid(0);
+    e.injector->schedule(spec);
+    ApiResult frame = runtime->invoke("cv2.VideoCapture.read", {});
+    EXPECT_TRUE(frame.ok) << frame.error;
+    EXPECT_EQ(runtime->stats().transientFaults, 1u);
+    EXPECT_EQ(runtime->stats().agentCrashes, 0u);
+}
+
+TEST(FaultPoints, LostRequestOnRingIsRedelivered)
+{
+    FaultEnv &e = shared();
+    auto runtime = e.makeRuntime();
+    osim::FaultSpec spec;
+    spec.point = osim::FaultPoint::RingTransfer;
+    spec.action = osim::FaultAction::Transient;
+    spec.pid = runtime->agentPid(0); // request direction only
+    e.injector->schedule(spec);
+    ApiResult result =
+        runtime->invoke("cv2.imread", {pathArg("/data/test.fpim")});
+    EXPECT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(runtime->stats().channelLosses, 1u);
+    EXPECT_EQ(runtime->stats().retriedCalls, 1u);
+    // The request never executed, so the retry is a fresh execution,
+    // not a dedup hit.
+    EXPECT_EQ(runtime->stats().dedupHits, 0u);
+}
+
+TEST(FaultPoints, CorruptedRingMessageIsRejectedAndRetried)
+{
+    FaultEnv &e = shared();
+    auto runtime = e.makeRuntime();
+    osim::FaultSpec spec;
+    spec.point = osim::FaultPoint::RingTransfer;
+    spec.action = osim::FaultAction::Corrupt;
+    spec.pid = runtime->agentPid(0);
+    e.injector->schedule(spec);
+    ApiResult result =
+        runtime->invoke("cv2.imread", {pathArg("/data/test.fpim")});
+    EXPECT_TRUE(result.ok) << result.error;
+    EXPECT_GE(runtime->stats().channelLosses, 1u);
+}
+
+TEST(FaultPoints, RespawnCrashMakesRestartFail)
+{
+    FaultEnv &e = shared();
+    auto runtime = e.makeRuntime();
+    osim::FaultSpec spec;
+    spec.point = osim::FaultPoint::Respawn;
+    spec.action = osim::FaultAction::Crash;
+    spec.pid = runtime->agentPid(1);
+    e.injector->schedule(spec);
+    e.kernel->faultProcess(
+        e.kernel->process(runtime->agentPid(1)), "induced");
+    EXPECT_FALSE(runtime->restartAgent(1)); // stillborn incarnation
+    EXPECT_TRUE(runtime->restartAgent(1));  // fault spent; next works
+    EXPECT_TRUE(runtime->agentAlive(1));
+}
+
+TEST(FaultPoints, EndToEndRecoveryTraceIsDeterministic)
+{
+    auto run = [] {
+        FaultEnv e;
+        auto runtime = e.makeRuntime(1234);
+        osim::FaultSpec spec;
+        spec.point = osim::FaultPoint::AgentCall;
+        spec.action = osim::FaultAction::Crash;
+        spec.count = 0;
+        spec.probability = 0.15;
+        e.injector->schedule(spec);
+        uint64_t ok_calls = 0;
+        for (int i = 0; i < 30; ++i) {
+            uint64_t id = runtime->createHostMat(8, 8, 1, i, "m");
+            ApiResult result = runtime->invoke(
+                "cv2.GaussianBlur",
+                {ipc::Value(ipc::ObjectRef{kHostPartition, id})});
+            ok_calls += result.ok;
+        }
+        RunStats stats = runtime->stats();
+        return std::tuple<uint64_t, uint64_t, uint64_t, uint64_t,
+                          osim::SimTime>(
+            ok_calls, stats.agentCrashes, stats.agentRestarts,
+            e.injector->injectedCount(), e.kernel->now());
+    };
+    auto a = run(), b = run();
+    EXPECT_EQ(a, b);
+    EXPECT_GT(std::get<1>(a), 0u); // faults actually fired
+}
+
+} // namespace
+} // namespace freepart::core
