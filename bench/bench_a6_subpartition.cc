@@ -86,8 +86,9 @@ measure(core::PartitionPlan plan, bool split)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonOutput json("a6_subpartition", argc, argv);
     bench::banner("A.6", "Finer-grained restriction via "
                          "sub-partitioned agent processes");
 
@@ -117,6 +118,15 @@ main()
                   util::fmtDouble(
                       static_cast<double>(fine.time) / 1e6, 2)});
     std::printf("%s", table.render().c_str());
+    json.metric("coarse_allowlist",
+                static_cast<uint64_t>(coarse.fileLoaderSyscalls));
+    json.metric("fine_file_allowlist",
+                static_cast<uint64_t>(fine.fileLoaderSyscalls));
+    json.metric("fine_ioctl_blocked",
+                fine.ioctlReachableFromFileLoader ? 0 : 1);
+    json.metric("coarse_ipc", coarse.ipc);
+    json.metric("fine_ipc", fine.ipc);
+    json.flush();
     std::printf("\npaper (A.6 / Fig. 12): a compromised "
                 "CascadeClassifier::load() in the joint agent can "
                 "reach ioctl, which only VideoCapture needs; per-API "

@@ -130,8 +130,9 @@ evaluateVariant(const core::RuntimeConfig &config)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonOutput json("ablation_features", argc, argv);
     bench::banner("Ablation",
                   "What each FreePart mechanism buys (and costs)");
 
@@ -164,6 +165,24 @@ main()
         variants.push_back(
             {"no post-init lockdown", "S4.4.1", config});
     }
+    {
+        core::RuntimeConfig config;
+        config.batchedRpc = false;
+        variants.push_back(
+            {"no batched zero-copy RPC", "hot path", config});
+    }
+    {
+        core::RuntimeConfig config;
+        config.supervision.backgroundRestart = false;
+        variants.push_back(
+            {"cold (foreground) restart", "hot path", config});
+    }
+    {
+        core::RuntimeConfig config;
+        config.checkpointFullEvery = 1;
+        variants.push_back(
+            {"always-full checkpoints", "hot path", config});
+    }
 
     util::TextTable table({"Variant", "drops", "corruption",
                            "exfiltration", "DoS", "recovers",
@@ -177,8 +196,20 @@ main()
              outcome.dos_survived ? "contained" : "HOST DOWN",
              outcome.recovered ? "yes" : "NO",
              util::fmtDouble(outcome.overhead_pct, 1) + "%"});
+        std::string key = variant.name;
+        for (char &c : key)
+            if (c == ' ' || c == '-' || c == '(' || c == ')')
+                c = '_';
+        json.metric(key + "_overhead_pct", outcome.overhead_pct);
+        json.metric(key + "_all_blocked",
+                    outcome.corruption_blocked &&
+                            outcome.exfil_blocked &&
+                            outcome.dos_survived
+                        ? 1
+                        : 0);
     }
     std::printf("%s", table.render().c_str());
+    json.flush();
     bench::note("process isolation alone already blocks host-data "
                 "corruption; the filters stop exfiltration/code "
                 "rewriting; restart restores availability; LDC pays "

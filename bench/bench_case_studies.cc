@@ -27,8 +27,11 @@ vanillaConfig()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonOutput json("case_studies", argc, argv);
+    bool drone_protected = false, viewer_protected = false,
+         forkbomb_contained = false;
     bench::banner("§5.4.1 / Fig. 14", "Autonomous drone case study");
     for (bool with_freepart : {false, true}) {
         osim::Kernel kernel;
@@ -58,6 +61,8 @@ main()
         dos.goal = attacks::AttackGoal::Dos;
         driver.launch(dos);
         bool survived_dos = drone.operable();
+        if (with_freepart)
+            drone_protected = survived_dos && speed_intact;
         if (with_freepart) {
             std::printf("FreePart: survived DoS=%s, speed "
                         "intact=%s (still 0.3)\n",
@@ -93,6 +98,8 @@ main()
         spec.targetAddr = viewer.recentListAddr();
         spec.targetLen = 48;
         attacks::AttackOutcome outcome = driver.launch(spec);
+        if (with_freepart)
+            viewer_protected = !outcome.dataLeaked;
         std::printf("%-12s: recent-file names %s (network bytes: "
                     "%zu)\n",
                     with_freepart ? "FreePart" : "unprotected",
@@ -114,6 +121,8 @@ main()
         spec.cve = "SIM-STEGONET";
         spec.goal = attacks::AttackGoal::ForkBomb;
         attacks::AttackOutcome outcome = driver.launch(spec);
+        if (with_freepart)
+            forkbomb_contained = outcome.childrenSpawned == 0;
         std::printf("%-12s: torch.load of the trojaned model "
                     "spawned %u processes (%s)\n",
                     with_freepart ? "FreePart" : "unprotected",
@@ -122,6 +131,10 @@ main()
                         ? "fork denied: not in the DP/DL allowlist"
                         : "fork bomb running");
     }
+    json.metric("drone_protected", drone_protected ? 1 : 0);
+    json.metric("viewer_protected", viewer_protected ? 1 : 0);
+    json.metric("forkbomb_contained", forkbomb_contained ? 1 : 0);
+    json.flush();
     std::printf("\npaper: all three case-study attacks are contained "
                 "by FreePart; reproduced above.\n");
     return 0;

@@ -10,11 +10,15 @@
 #ifndef FREEPART_BENCH_BENCH_COMMON_HH
 #define FREEPART_BENCH_BENCH_COMMON_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "analysis/hybrid_categorizer.hh"
 #include "fw/api_registry.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 
 namespace freepart::bench {
@@ -55,6 +59,77 @@ note(const std::string &text)
 {
     std::printf("note: %s\n", text.c_str());
 }
+
+/**
+ * Machine-readable bench output. Every bench binary accepts
+ * `--json <path>`; when given, the key measured metrics are written
+ * as one flat JSON object so `scripts/bench_summary.py` can merge
+ * all benches into the checked-in BENCH_freepart.json and CI can
+ * gate on regressions. Without the flag, nothing is written.
+ */
+class JsonOutput
+{
+  public:
+    JsonOutput(std::string bench, int argc, char **argv)
+        : bench(std::move(bench))
+    {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--json" && i + 1 < argc) {
+                path = argv[++i];
+            } else {
+                util::panic("usage: %s [--json <path>]", argv[0]);
+            }
+        }
+    }
+
+    void
+    metric(const std::string &key, double value)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", value);
+        entries.emplace_back(key, buf);
+    }
+
+    void
+    metric(const std::string &key, uint64_t value)
+    {
+        entries.emplace_back(key, std::to_string(value));
+    }
+
+    void
+    metric(const std::string &key, int value)
+    {
+        metric(key, static_cast<uint64_t>(value));
+    }
+
+    /** Write the file if --json was given. Call once, at exit. */
+    void
+    flush() const
+    {
+        if (path.empty())
+            return;
+        std::FILE *file = std::fopen(path.c_str(), "w");
+        if (!file)
+            util::panic("cannot write %s", path.c_str());
+        std::fprintf(file, "{\n  \"bench\": \"%s\",\n"
+                           "  \"metrics\": {\n",
+                     bench.c_str());
+        for (size_t i = 0; i < entries.size(); ++i)
+            std::fprintf(file, "    \"%s\": %s%s\n",
+                         entries[i].first.c_str(),
+                         entries[i].second.c_str(),
+                         i + 1 < entries.size() ? "," : "");
+        std::fprintf(file, "  }\n}\n");
+        std::fclose(file);
+        std::printf("json: wrote %s\n", path.c_str());
+    }
+
+  private:
+    std::string bench;
+    std::string path;
+    std::vector<std::pair<std::string, std::string>> entries;
+};
 
 } // namespace freepart::bench
 

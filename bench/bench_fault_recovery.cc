@@ -73,8 +73,9 @@ pct(double fraction)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonOutput json("fault_recovery", argc, argv);
     bench::banner("Fault recovery",
                   "Availability and MTTR under injected agent crashes "
                   "(supervision vs restart-off ablation)");
@@ -143,9 +144,21 @@ main()
     std::printf("deterministic replay: %s\n",
                 identical ? "yes" : "NO (bug)");
 
+    json.metric("mean_availability_at_10pct", avail10.mean());
+    json.metric("mean_availability_no_restart_at_10pct",
+                noRestart10.mean());
+    json.metric("mean_mttr_us", mttr.mean());
+    json.metric("total_restarts", total_restarts);
+    json.metric("total_quarantines", total_quarantines);
+    json.metric("total_retries_exhausted", total_retries_exhausted);
+    json.metric("total_faults_injected", total_injected);
+    json.metric("deterministic_replay", identical ? 1 : 0);
+    json.flush();
+
     bench::note("crash faults target agent API executions; the "
                 "supervision policy is the default (retry budget 3, "
                 "4 respawns/outage, 0.2 ms base backoff, quarantine "
-                "at 5 crashes/100 ms with host fallback)");
+                "at 5 crashes/70 ms of application time with host "
+                "fallback; warm-standby promotion on crash)");
     return identical ? 0 : 1;
 }

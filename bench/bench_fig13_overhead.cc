@@ -22,8 +22,9 @@ const double kPaperOverheads[23] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonOutput json("fig13_overhead", argc, argv);
     bench::banner("Fig. 13",
                   "Normalized runtime overhead of FreePart per app");
 
@@ -72,6 +73,10 @@ main()
     std::printf("\nmean overhead: paper 3.68%%, measured %.2f%% "
                 "(min %.2f%%, max %.2f%%)\n",
                 overheads.mean(), overheads.min(), overheads.max());
+    json.metric("mean_overhead_pct", overheads.mean());
+    json.metric("min_overhead_pct", overheads.min());
+    json.metric("max_overhead_pct", overheads.max());
+    json.flush();
     bench::note("workloads replay ImageNet-scale frames (768x768x3) "
                 "through each model's Table 6 API mix");
     return 0;

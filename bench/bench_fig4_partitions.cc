@@ -38,8 +38,9 @@ runUnder(core::PartitionPlan plan, uint32_t dim)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonOutput json("fig4_partitions", argc, argv);
     constexpr uint32_t kDim = 256;
     constexpr int kSamples = 5; // paper: 7,750 random plans per size
 
@@ -111,6 +112,10 @@ main()
     std::printf("\noverhead jump from 4 to 5 partitions: %.1fx "
                 "(paper: 1.4x), then a plateau\n",
                 jump_ratio);
+    json.metric("baseline_ms", base);
+    json.metric("freepart_4part_ms", freepart);
+    json.metric("jump_ratio_4_to_5", jump_ratio);
+    json.flush();
     bench::note("random plans separate the hot-loop "
                 "rectangle/putText pair, forcing the shared image "
                 "across processes on every annotation call (A.1.4)");

@@ -12,8 +12,9 @@
 using namespace freepart;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonOutput json("fig6_pipeline", argc, argv);
     bench::banner("Fig. 6 / Study 1",
                   "Pipeline pattern across the 56 studied apps");
 
@@ -55,6 +56,10 @@ main()
             ++shown;
         }
     }
+    json.metric("apps_following_pipeline", static_cast<uint64_t>(follow));
+    json.metric("apps_total", static_cast<uint64_t>(
+                                  apps::studyApps().size()));
+    json.flush();
     bench::note("components only read their input, enabling the "
                 "read-only flip of the previous state's data");
     return 0;

@@ -11,8 +11,9 @@
 using namespace freepart;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonOutput json("fig7_cve_study", argc, argv);
     bench::banner("Fig. 7 / Study 2",
                   "241 CVEs categorized by API type and class");
 
@@ -67,6 +68,13 @@ main()
                 "\"majority\" observation)\n",
                 by_type[fw::ApiType::Loading] +
                     by_type[fw::ApiType::Processing]);
+    json.metric("loading_processing_cves",
+                static_cast<uint64_t>(by_type[fw::ApiType::Loading] +
+                                      by_type[fw::ApiType::Processing]));
+    json.metric("tensorflow_cves",
+                static_cast<uint64_t>(
+                    by_framework[apps::StudyFramework::TensorFlow]));
+    json.flush();
     bench::note("per-bucket counts reconstructed to the reported "
                 "framework totals and the loading/processing-heavy "
                 "shape");

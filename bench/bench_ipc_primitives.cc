@@ -121,4 +121,35 @@ BENCHMARK(BM_TemporalProtectFlip)->Arg(4096)->Arg(1 << 20);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Same CLI contract as the other bench binaries: `--json <path>` is
+ * translated into google-benchmark's native JSON reporter flags, so
+ * scripts/bench_summary.py can merge this binary too.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> storage;
+    std::vector<char *> args;
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            storage.push_back(std::string("--benchmark_out=") +
+                              argv[++i]);
+            storage.push_back("--benchmark_out_format=json");
+        } else {
+            storage.push_back(std::move(arg));
+        }
+    }
+    for (std::string &s : storage)
+        args.push_back(s.data());
+    int pass_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&pass_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(pass_argc,
+                                               args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

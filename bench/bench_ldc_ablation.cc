@@ -13,8 +13,9 @@
 using namespace freepart;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonOutput json("ldc_ablation", argc, argv);
     bench::banner("§5.2 LDC ablation",
                   "FreePart overhead with and without Lazy Data Copy");
 
@@ -78,6 +79,12 @@ main()
                                               total_nonlazy),
                       2)});
     std::printf("%s", table.render().c_str());
+    json.metric("mean_overhead_ldc_on_pct", with_ldc.mean());
+    json.metric("mean_overhead_ldc_off_pct", without_ldc.mean());
+    json.metric("lazy_share",
+                static_cast<double>(total_lazy) /
+                    static_cast<double>(total_lazy + total_nonlazy));
+    json.flush();
     bench::note("without LDC every object argument and result moves "
                 "through the host process (Fig. 11-(b))");
     return 0;

@@ -12,8 +12,9 @@
 using namespace freepart;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonOutput json("table10_granularity", argc, argv);
     bench::banner("Table 10", "API isolation granularity");
 
     // Discover the OMR app's API set.
@@ -70,6 +71,8 @@ main()
         table.addRow({baselines::techniqueName(technique), cells});
     }
     std::printf("%s", table.render().c_str());
+    json.metric("distinct_apis", static_cast<uint64_t>(apis.size()));
+    json.flush();
     bench::note("FreePart's four type-based partitions mirror the "
                 "paper's 3/75/6/2 split at this app's smaller scale");
     return 0;

@@ -11,8 +11,9 @@
 using namespace freepart;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonOutput json("table12_ldc_stats", argc, argv);
     bench::banner("Table 12", "Statistics of Lazy Data Copy "
                               "operations per application");
 
@@ -57,6 +58,12 @@ main()
                                               total_nonlazy),
                       2)});
     std::printf("%s", table.render().c_str());
+    json.metric("total_lazy_ops", total_lazy);
+    json.metric("total_nonlazy_ops", total_nonlazy);
+    json.metric("lazy_share",
+                static_cast<double>(total_lazy) /
+                    static_cast<double>(total_lazy + total_nonlazy));
+    json.flush();
     std::printf("\npaper totals: 1,170,660 lazy vs 82,789 non-lazy "
                 "(95.08%% lazy)\n");
     bench::note("absolute counts differ (the paper replays full "

@@ -13,8 +13,9 @@
 using namespace freepart;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonOutput json("table1_techniques", argc, argv);
     bench::banner("Table 1",
                   "Effectiveness of existing techniques and FreePart");
 
@@ -32,6 +33,18 @@ main()
     for (const baselines::TechniqueReport &report : reports) {
         if (report.technique == baselines::Technique::NoIsolation)
             continue;
+        if (report.technique == baselines::Technique::FreePart) {
+            json.metric("freepart_prevents_all",
+                        report.preventsMemCorruption &&
+                                report.preventsCodeManip &&
+                                report.preventsDos
+                            ? 1
+                            : 0);
+            json.metric("freepart_isolated_cve_apis",
+                        static_cast<uint64_t>(report.isolatedCveApis));
+            json.metric("freepart_process_count",
+                        static_cast<uint64_t>(report.processCount));
+        }
         table.addRow(
             {baselines::techniqueName(report.technique),
              report.checks.dataLevel(), report.checks.apiLevel(),
@@ -46,6 +59,7 @@ main()
              report.perfLevel()});
     }
     std::printf("%s", table.render().c_str());
+    json.flush();
 
     std::printf(
         "\npaper (Table 1):\n"

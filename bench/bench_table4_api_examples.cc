@@ -11,8 +11,9 @@
 using namespace freepart;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonOutput json("table4_api_examples", argc, argv);
     bench::banner("Table 4",
                   "API type categorization examples per framework");
 
@@ -56,10 +57,15 @@ main()
     // The hybrid cases the paper highlights.
     std::printf("\nhybrid-analysis cases (static pass blind, dynamic "
                 "pass decided):\n");
+    uint64_t hybrid_cases = 0;
     for (const auto &[name, entry] : cats)
-        if (entry.usedDynamic)
+        if (entry.usedDynamic) {
+            ++hybrid_cases;
             std::printf("  %-28s -> %s\n", name.c_str(),
                         fw::apiTypeName(entry.type));
+        }
+    json.metric("hybrid_analysis_cases", hybrid_cases);
+    json.flush();
     bench::note("Caffe/PyTorch/TensorFlow have no visualizing APIs, "
                 "matching the paper's footnote");
     return 0;

@@ -48,8 +48,9 @@ runAttack(const attacks::CveRecord &record, bool with_freepart,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonOutput json("table5_attack_matrix", argc, argv);
     bench::banner("Table 5 / §5.3",
                   "Attack mitigation matrix over the 18 CVEs");
 
@@ -84,6 +85,10 @@ main()
                 "succeeded\n",
                 mitigated, attacks::evaluationCves().size(),
                 succeeded_without, attacks::evaluationCves().size());
+    json.metric("attacks_mitigated", static_cast<uint64_t>(mitigated));
+    json.metric("attacks_total",
+                static_cast<uint64_t>(attacks::evaluationCves().size()));
+    json.flush();
 
     // §5.3 scenario analysis: exfiltration + corruption.
     bench::banner("§5.3", "Data exfiltration / corruption scenarios");

@@ -11,8 +11,9 @@
 using namespace freepart;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonOutput json("table6_applications", argc, argv);
     bench::banner("Table 6", "Applications used for evaluation");
 
     util::TextTable table({"ID", "Framework", "Name", "Lang", "SLOC",
@@ -68,5 +69,12 @@ main()
                  total[1] > 3 * unique[1])
                     ? "reproduced"
                     : "NOT reproduced");
+    json.metric("app_models",
+                static_cast<uint64_t>(apps::appModels().size()));
+    json.metric("shape_reproduced",
+                (unique[0] < unique[1] && total[1] > 3 * unique[1])
+                    ? 1
+                    : 0);
+    json.flush();
     return 0;
 }

@@ -6,14 +6,17 @@
  * write/send in loading and processing agents).
  */
 
+#include <cctype>
+
 #include "bench/bench_common.hh"
 #include "core/runtime.hh"
 
 using namespace freepart;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonOutput json("table7_syscalls", argc, argv);
     bench::banner("Table 7 / Fig. 12",
                   "System calls allowed per agent process");
 
@@ -39,8 +42,15 @@ main()
         table.addRow({kTypeNames[p],
                       std::to_string(kPaperCounts[p]),
                       std::to_string(filter.allowedCount()), list});
+        std::string key = kTypeNames[p];
+        for (char &c : key)
+            c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        json.metric(key + "_allowlist",
+                    static_cast<uint64_t>(filter.allowedCount()));
     }
     std::printf("%s", table.render().c_str());
+    json.flush();
 
     // The §5.3 exclusions: loading/processing cannot write or send.
     std::printf("\nexfiltration-relevant exclusions:\n");

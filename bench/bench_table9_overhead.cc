@@ -5,14 +5,17 @@
  * measurements (169..12,411 IPCs; 0.0..42.7 GB; 54.1..121.8 s).
  */
 
+#include <cctype>
+
 #include "baselines/evaluator.hh"
 #include "bench/bench_common.hh"
 
 using namespace freepart;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonOutput json("table9_overhead", argc, argv);
     bench::banner("Table 9",
                   "Overhead of existing techniques and FreePart");
 
@@ -67,8 +70,25 @@ main()
         }
     }
     std::printf("%s", table.render().c_str());
-    bench::note("shape targets: memory-based ~= baseline < code-API "
-                "< entire-lib ~= FreePart (low single digits) << "
+
+    for (const baselines::TechniqueReport &report : reports) {
+        std::string key = baselines::techniqueName(report.technique);
+        for (char &c : key)
+            c = (std::isalnum(static_cast<unsigned char>(c)))
+                    ? static_cast<char>(
+                          std::tolower(static_cast<unsigned char>(c)))
+                    : '_';
+        json.metric(key + "_overhead_pct", report.overheadPct);
+        json.metric(key + "_time_ms",
+                    static_cast<double>(report.simTime) / 1e6);
+        json.metric(key + "_ipc", report.ipcCount);
+        json.metric(key + "_bytes", report.bytesTransferred);
+    }
+    json.flush();
+
+    bench::note("shape targets: memory-based ~= baseline < FreePart "
+                "(batched zero-copy RPC) <~ entire-lib, code-API "
+                "(classic transports, low single digits) << "
                 "code-API&Data << per-API; absolute seconds are "
                 "simulated, not an i7-9750H");
     return 0;

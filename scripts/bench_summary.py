@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Run every bench binary with --json and merge the results.
+
+Usage:
+    scripts/bench_summary.py [--build-dir build] [--out BENCH_freepart.json]
+                             [--only bench_a,bench_b]
+
+Each bench binary accepts `--json <path>` and writes a flat
+{"bench": ..., "metrics": {...}} object (bench_ipc_primitives emits
+google-benchmark's native JSON instead; its per-benchmark real times
+are folded into the same shape). The merged document, keyed by bench
+name, is what gets checked in as BENCH_freepart.json and what CI
+diffs against for perf regressions (scripts/check_perf_regression.py).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+# Deterministic simulated-time benches. bench_ipc_primitives is
+# wall-clock (google-benchmark) and therefore NOT part of the
+# checked-in summary by default: its numbers vary by machine.
+DEFAULT_BENCHES = [
+    "bench_table9_overhead",
+    "bench_fault_recovery",
+    "bench_ldc_ablation",
+    "bench_table12_ldc_stats",
+    "bench_fig13_overhead",
+    "bench_ablation_features",
+    "bench_table1_techniques",
+    "bench_table2_categorization",
+    "bench_table3_vuln_apis",
+    "bench_table4_api_examples",
+    "bench_table5_attack_matrix",
+    "bench_table6_applications",
+    "bench_table7_syscalls",
+    "bench_table10_granularity",
+    "bench_table11_coverage",
+    "bench_fig4_partitions",
+    "bench_fig6_pipeline",
+    "bench_fig7_cve_study",
+    "bench_a6_subpartition",
+    "bench_case_studies",
+]
+
+
+def run_bench(build_dir, bench):
+    exe = os.path.join(build_dir, "bench", bench)
+    if not os.path.exists(exe):
+        print(f"warning: {exe} not built, skipped", file=sys.stderr)
+        return None
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        path = tmp.name
+    try:
+        proc = subprocess.run(
+            [exe, "--json", path],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        if proc.returncode != 0:
+            print(f"error: {bench} exited {proc.returncode}",
+                  file=sys.stderr)
+            return None
+        with open(path) as handle:
+            doc = json.load(handle)
+    finally:
+        os.unlink(path)
+    if "metrics" in doc:
+        return doc["metrics"]
+    # google-benchmark layout: fold real_time per benchmark.
+    metrics = {}
+    for entry in doc.get("benchmarks", []):
+        metrics[entry["name"].replace("/", "_")] = entry["real_time"]
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--out", default="BENCH_freepart.json")
+    parser.add_argument("--only",
+                        help="comma-separated subset of bench names")
+    args = parser.parse_args()
+
+    benches = (args.only.split(",") if args.only else DEFAULT_BENCHES)
+    summary = {}
+    failed = False
+    for bench in benches:
+        print(f"running {bench} ...", flush=True)
+        metrics = run_bench(args.build_dir, bench)
+        if metrics is None:
+            failed = True
+            continue
+        summary[bench.removeprefix("bench_")] = metrics
+
+    with open(args.out, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out} ({len(summary)} benches)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""CI perf gate: compare a fresh bench_table9_overhead run against
+the checked-in baseline and fail on a meaningful overhead regression.
+
+Usage:
+    scripts/check_perf_regression.py --current /tmp/t9.json \
+        [--baseline BENCH_freepart.json] [--tolerance 0.20]
+
+The gated metric is FreePart's simulated overhead over the
+no-isolation baseline (freepart_overhead_pct). The whole run is
+deterministic simulated time, so any drift is a real code change, not
+machine noise; the tolerance only absorbs intentional small cost-model
+tweaks. A >20% relative increase (e.g. 5.2% -> 6.3%) fails.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--current", required=True,
+                        help="JSON written by bench_table9_overhead --json")
+    parser.add_argument("--baseline", default="BENCH_freepart.json")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed relative increase (0.20 = +20%%)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as handle:
+        baseline_doc = json.load(handle)
+    baseline = baseline_doc["table9_overhead"]["freepart_overhead_pct"]
+
+    with open(args.current) as handle:
+        current_doc = json.load(handle)
+    current = current_doc["metrics"]["freepart_overhead_pct"]
+
+    limit = baseline * (1.0 + args.tolerance)
+    print(f"FreePart overhead: baseline {baseline:.2f}%, "
+          f"current {current:.2f}%, limit {limit:.2f}%")
+    if current > limit:
+        print("FAIL: simulated RPC/copy overhead regressed beyond "
+              "tolerance", file=sys.stderr)
+        return 1
+    print("ok: within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,6 +62,8 @@ makeTechniqueSetup(Technique technique,
         // The partitioned host code holds its data in-process, so
         // objects move only when a call crosses a code region.
         setup.config.lazyDataCopy = true;
+        // Prior technique: classic one-wake-per-message transport.
+        setup.config.batchedRpc = false;
         setup.templatePartition = 0; // lives with imread
         setup.cropPartition = 2;     // lives with the API bulk
         break;
@@ -82,6 +84,7 @@ makeTechniqueSetup(Technique technique,
         setup.config.enforceMemoryProtection = false;
         setup.config.restrictSyscalls = false;
         setup.config.lazyDataCopy = true;
+        setup.config.batchedRpc = false;
         setup.templatePartition = 3;
         setup.cropPartition = 4;
         setup.chargeDataAccessIpc = true;
@@ -96,6 +99,7 @@ makeTechniqueSetup(Technique technique,
         // The [10] optimization: variables shared with the library
         // over shared memory (fast, but exposes the data).
         setup.config.lazyDataCopy = true;
+        setup.config.batchedRpc = false;
         setup.dataSharedWithApis = true;
         break;
       }
@@ -107,6 +111,7 @@ makeTechniqueSetup(Technique technique,
         // Entire argument data transferred on every call (Fig. 2-(d),
         // "355 MB for a 1.7 MB image").
         setup.config.lazyDataCopy = false;
+        setup.config.batchedRpc = false;
         break;
       }
       case Technique::MemoryBased: {

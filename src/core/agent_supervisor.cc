@@ -45,7 +45,11 @@ AgentSupervisor::quarantined(uint32_t partition) const
 void
 AgentSupervisor::pruneWindow(PartitionState &state) const
 {
-    osim::SimTime now = kernel.now();
+    // The loop clock runs net of restart machinery: crash times are
+    // recorded with machineryTime already subtracted, so the window
+    // spans application time and detection does not tighten just
+    // because restarts got faster.
+    osim::SimTime now = kernel.now() - machineryTime;
     osim::SimTime horizon =
         now > policy_.crashLoopSpan ? now - policy_.crashLoopSpan : 0;
     while (!state.crashTimes.empty() &&
@@ -73,7 +77,7 @@ AgentSupervisor::onCrash(uint32_t partition)
         state.downSince = kernel.now();
         state.attemptsThisOutage = 0;
     }
-    state.crashTimes.push_back(kernel.now());
+    state.crashTimes.push_back(kernel.now() - machineryTime);
     pruneWindow(state);
     bool looping =
         state.crashTimes.size() >= policy_.crashLoopThreshold;
@@ -106,6 +110,7 @@ AgentSupervisor::chargeBackoff(uint32_t partition)
         scaled, static_cast<double>(policy_.backoffMax)));
     kernel.advance(delay);
     stats_.backoffTime += delay;
+    machineryTime += delay;
     state.health = AgentHealth::Restarting;
 }
 
@@ -132,6 +137,32 @@ AgentSupervisor::onCallSucceeded(uint32_t partition)
     state.health = AgentHealth::Healthy;
     ++stats_.recoveries;
     stats_.outageTime += kernel.now() - state.downSince;
+}
+
+osim::SimTime
+AgentSupervisor::standbyReadyAt(uint32_t partition) const
+{
+    return parts.at(partition).standbyReadyAt;
+}
+
+void
+AgentSupervisor::noteRestartCharge(osim::SimTime duration)
+{
+    machineryTime += duration;
+}
+
+osim::SimTime
+AgentSupervisor::consumeStandby(uint32_t partition)
+{
+    PartitionState &state = parts.at(partition);
+    osim::SimTime now = kernel.now();
+    osim::SimTime wait =
+        state.standbyReadyAt > now ? state.standbyReadyAt - now : 0;
+    // Replenishment starts the moment this standby is taken: the next
+    // one is ready a full cold-spawn span after the promotion point.
+    state.standbyReadyAt =
+        now + wait + kernel.costs().processRestart;
+    return wait;
 }
 
 void

@@ -48,13 +48,24 @@ struct SupervisionPolicy {
     osim::SimTime backoffMax = 20'000'000; // 20 ms
 
     /** Crash-loop detection: this many crashes inside the sliding
-     *  window span quarantines the partition. */
+     *  window span quarantines the partition. The span is measured in
+     *  application time (wall clock net of restart machinery — see
+     *  noteRestartCharge); 70 ms is the historical 100 ms wall-clock
+     *  span minus the machinery of a full outage cycle (4 backoffs +
+     *  5 cold spawns, ~30 ms). */
     uint32_t crashLoopThreshold = 5;
-    osim::SimTime crashLoopSpan = 100'000'000; // 100 ms
+    osim::SimTime crashLoopSpan = 70'000'000; // 70 ms app time
 
     /** Route non-stateful APIs of a quarantined partition to host
      *  execution (graceful degradation; stateful APIs fail fast). */
     bool hostFallback = true;
+
+    /** Keep a warm standby process per partition and promote it on
+     *  crash instead of forking on the critical path. The fork cost is
+     *  paid in background (simulated) time; a crash arriving before
+     *  the standby finished spawning waits out the remainder — never
+     *  longer than a cold restart would have taken. */
+    bool backgroundRestart = true;
 };
 
 /** Aggregated recovery accounting across all partitions. */
@@ -120,6 +131,29 @@ class AgentSupervisor
      */
     void quarantine(uint32_t partition);
 
+    /**
+     * Consume the partition's warm standby for a promotion. Returns
+     * the simulated time the caller must still wait before the
+     * standby is ready (0 when the background spawn already finished)
+     * and schedules the background replenishment — the next standby
+     * becomes ready one processRestart span after this promotion.
+     * Only meaningful when policy().backgroundRestart is set.
+     */
+    osim::SimTime consumeStandby(uint32_t partition);
+
+    /** When the partition's current standby becomes promotable. */
+    osim::SimTime standbyReadyAt(uint32_t partition) const;
+
+    /**
+     * Report simulated time spent on restart machinery (standby
+     * waits, promotion or respawn cost). The crash-loop window is
+     * measured net of this time, so loop detection tracks how fast
+     * the *application* re-crashes, invariant to restart latency —
+     * otherwise cheap promotions would pack the same crashes into a
+     * tighter wall-clock span and look like a crash loop.
+     */
+    void noteRestartCharge(osim::SimTime duration);
+
     const SupervisionStats &stats() const { return stats_; }
 
     /** Crashes currently inside the partition's sliding window. */
@@ -132,6 +166,10 @@ class AgentSupervisor
         uint32_t attemptsThisOutage = 0;
         bool inOutage = false;
         osim::SimTime downSince = 0;
+        /** Background-restart: when the pre-spawned standby is
+         *  promotable. The initial standby is spawned alongside the
+         *  agent, so it is ready from time 0. */
+        osim::SimTime standbyReadyAt = 0;
     };
 
     void pruneWindow(PartitionState &state) const;
@@ -140,6 +178,13 @@ class AgentSupervisor
     SupervisionPolicy policy_;
     std::vector<PartitionState> parts;
     SupervisionStats stats_;
+    /** Cumulative restart-machinery time across ALL partitions
+     *  (backoff, standby waits, spawn cost). The crash-loop clock is
+     *  kernel.now() minus this, i.e. application time: any
+     *  partition's restart stalls the whole workload, so netting
+     *  only the crashing partition's share would still let faster
+     *  restarts elsewhere tighten this partition's window. */
+    osim::SimTime machineryTime = 0;
 };
 
 } // namespace freepart::core

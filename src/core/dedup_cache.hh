@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Bounded LRU cache for at-least-once RPC deduplication. Maps a
+ * request sequence number to its cached response values so a
+ * re-delivered request (its response was lost on the ring, or the
+ * agent crashed after executing) is answered without re-executing the
+ * API (§4.3 "FreePart as RPC").
+ *
+ * The cache lives on the host side of the RPC boundary and survives
+ * agent restarts. It is bounded so a long run cannot grow host memory
+ * without limit: when full, the least-recently-used entry is evicted.
+ * A lookup counts as a use — an in-flight retry storm keeps its own
+ * sequence numbers resident.
+ */
+
+#ifndef FREEPART_CORE_DEDUP_CACHE_HH
+#define FREEPART_CORE_DEDUP_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <utility>
+
+#include "ipc/codec.hh"
+
+namespace freepart::core {
+
+/** LRU map: seq -> cached response values. */
+class DedupCache
+{
+  public:
+    DedupCache() = default;
+    explicit DedupCache(size_t capacity) : cap(capacity) {}
+
+    size_t size() const { return index.size(); }
+    size_t capacity() const { return cap; }
+
+    /** Resize the cap; evicts LRU entries if already over it. */
+    size_t
+    setCapacity(size_t capacity)
+    {
+        cap = capacity;
+        size_t evicted = 0;
+        while (index.size() > cap) {
+            index.erase(order.back().first);
+            order.pop_back();
+            ++evicted;
+        }
+        return evicted;
+    }
+
+    /**
+     * Look up a sequence number; touches the entry (marks it most
+     * recently used). Returns nullptr on miss.
+     */
+    const ipc::ValueList *
+    find(uint64_t seq)
+    {
+        auto it = index.find(seq);
+        if (it == index.end())
+            return nullptr;
+        order.splice(order.begin(), order, it->second);
+        return &it->second->second;
+    }
+
+    /**
+     * Insert (or refresh) a cached response. Returns the number of
+     * entries evicted to stay within capacity (0 or 1).
+     */
+    size_t
+    insert(uint64_t seq, ipc::ValueList values)
+    {
+        auto it = index.find(seq);
+        if (it != index.end()) {
+            it->second->second = std::move(values);
+            order.splice(order.begin(), order, it->second);
+            return 0;
+        }
+        order.emplace_front(seq, std::move(values));
+        index.emplace(seq, order.begin());
+        size_t evicted = 0;
+        while (index.size() > cap) {
+            index.erase(order.back().first);
+            order.pop_back();
+            ++evicted;
+        }
+        return evicted;
+    }
+
+    /**
+     * Drop every entry whose values fail the predicate. Iterates in
+     * LRU order (deterministic) without touching recency.
+     */
+    template <typename Pred>
+    void
+    pruneIf(Pred pred)
+    {
+        for (auto it = order.begin(); it != order.end();) {
+            if (pred(it->second)) {
+                index.erase(it->first);
+                it = order.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+  private:
+    using Entry = std::pair<uint64_t, ipc::ValueList>;
+
+    size_t cap = 64;
+    std::list<Entry> order; //!< most recently used at front
+    std::map<uint64_t, std::list<Entry>::iterator> index;
+};
+
+} // namespace freepart::core
+
+#endif // FREEPART_CORE_DEDUP_CACHE_HH

@@ -23,6 +23,8 @@ struct RunStats {
     uint64_t lazyCopies = 0;      //!< ref passes with no data motion
     uint64_t directCopies = 0;    //!< LDC agent-to-agent data fetches
     uint64_t eagerCopies = 0;     //!< host-mediated object copies
+    uint64_t piggybackedFetches = 0; //!< LDC copies ridden on a request
+    uint64_t hotSends = 0;        //!< ring sends that skipped the wake
     uint64_t protectionFlips = 0; //!< temporal mprotect applications
     uint64_t stateChanges = 0;    //!< framework state transitions
     uint64_t agentCrashes = 0;    //!< agent processes lost to faults
@@ -35,14 +37,19 @@ struct RunStats {
     uint64_t transientFaults = 0;   //!< retryable injected op failures
     uint64_t channelLosses = 0;     //!< RPC messages lost or corrupted
     uint64_t dedupHits = 0;         //!< duplicate requests served from cache
+    uint64_t dedupEvictions = 0;    //!< dedup-cache entries evicted (LRU)
     uint64_t retriesExhausted = 0;  //!< calls that used the whole budget
     uint64_t quarantines = 0;       //!< partitions taken out of service
     uint64_t hostFallbackCalls = 0; //!< quarantined calls run in host
     uint64_t statefulFastFails = 0; //!< quarantined stateful calls failed
     uint64_t checkpointsTaken = 0;      //!< checkpoint generations saved
+    uint64_t fullCheckpoints = 0;       //!< full-store generations
+    uint64_t incrementalCheckpoints = 0; //!< dirty-epoch generations
     uint64_t checkpointBytesSaved = 0;  //!< serialized checkpoint bytes
     uint64_t checkpointBytesRestored = 0; //!< bytes restored on respawn
     uint64_t checkpointFallbacks = 0;   //!< corrupt gens skipped at restore
+    uint64_t standbyPromotions = 0;     //!< restarts served by a warm standby
+    osim::SimTime standbyWaitTime = 0;  //!< waited for standby readiness
     uint64_t recoveries = 0;        //!< outages closed by a success
     osim::SimTime recoveryTime = 0; //!< summed outage spans (sim ns)
     osim::SimTime backoffTime = 0;  //!< simulated backoff waited

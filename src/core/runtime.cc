@@ -91,6 +91,7 @@ FreePartRuntime::setupAgents()
         agent.channel = std::make_unique<ipc::Channel>(
             kernel_, "ch:" + plan_.partitionName(p), hostPid_,
             agent.pid, config.ringBytes);
+        agent.seqCache.setCapacity(config.dedupCacheEntries);
     }
     // Record which APIs route to which agent (drives the per-agent
     // syscall unions and the lockdown trigger).
@@ -370,10 +371,13 @@ FreePartRuntime::transferObject(uint32_t from, uint32_t to,
     objectHome[id] = {to, kind};
     if (eager) {
         // Host-mediated copies ride their own request/response pair
-        // (Fig. 11-(b)), unlike LDC's piggybacked direct fetches.
+        // (Fig. 11-(b)), unlike LDC's piggybacked direct fetches. The
+        // detour also ends any hot window: the peer that was spinning
+        // on our ring went back to sleep while the host shuffled data.
         kernel_.advance(kernel_.costs().ipcRoundTrip);
         stats_.ipcMessages += 2;
         ++stats_.eagerCopies;
+        coolRpcWindow();
     } else {
         ++stats_.directCopies;
     }
@@ -502,6 +506,9 @@ FreePartRuntime::executeInHost(const fw::ApiDescriptor &desc,
 {
     ApiResult result;
     osim::Process &host = kernel_.process(hostPid_);
+    // Host execution means no agent is being exchanged with; any
+    // spinning peer times out back to its futex.
+    coolRpcWindow();
     // Args may reference objects living in agents (mixed plans):
     // bring them home first.
     for (const ipc::Value &value : args) {
@@ -631,6 +638,60 @@ FreePartRuntime::executeOnAgent(uint32_t partition,
     return result;
 }
 
+void
+FreePartRuntime::buildDeliverBatch(uint32_t partition,
+                                   const ipc::ValueList &args,
+                                   uint64_t seq,
+                                   std::vector<ipc::Message> &batch)
+{
+    for (const ipc::Value &value : args) {
+        if (value.kind() != ipc::Value::Kind::Ref)
+            continue;
+        uint64_t id = value.asRef().objectId;
+        uint32_t home = homeOf(id);
+        if (home == partition) {
+            // Reference pass: no data motion at all.
+            ++stats_.lazyCopies;
+            continue;
+        }
+        // LDC fetch piggybacked on the request batch (Fig. 11-(a),
+        // but riding the same round trip instead of its own): the
+        // object bytes are encoded straight into the ring frame.
+        fw::ObjectStore &src = storeOf(home);
+        ipc::Message deliver;
+        deliver.kind = ipc::MsgKind::Deliver;
+        deliver.seq = seq;
+        deliver.values.emplace_back(id);
+        deliver.values.emplace_back(
+            static_cast<uint64_t>(src.get(id).kind));
+        deliver.values.emplace_back(src.get(id).label);
+        deliver.values.emplace_back(src.serialize(id));
+        batch.push_back(std::move(deliver));
+    }
+}
+
+void
+FreePartRuntime::absorbDelivers(uint32_t partition,
+                                const std::vector<ipc::Message> &batch)
+{
+    Agent &agent = agents.at(partition);
+    for (const ipc::Message &msg : batch) {
+        if (msg.kind != ipc::MsgKind::Deliver)
+            continue;
+        uint64_t id = msg.values.at(0).asU64();
+        auto kind = static_cast<fw::ObjKind>(msg.values.at(1).asU64());
+        const std::string &label = msg.values.at(2).asStr();
+        const std::vector<uint8_t> &bytes = msg.values.at(3).asBlob();
+        agent.store->materialize(id, kind, bytes, label);
+        objectHome[id] = {partition, kind};
+        // In-place rate: the bytes were never staged outside the
+        // ring; one memcpy out of shared memory, no re-serialize.
+        kernel_.advance(kernel_.costs().copyCostInPlace(bytes.size()));
+        ++stats_.directCopies;
+        ++stats_.piggybackedFetches;
+    }
+}
+
 FreePartRuntime::Attempt
 FreePartRuntime::attemptOnAgent(uint32_t partition,
                                 const fw::ApiDescriptor &desc,
@@ -640,35 +701,61 @@ FreePartRuntime::attemptOnAgent(uint32_t partition,
     Agent &agent = agents.at(partition);
     result = ApiResult();
 
-    ensureArgsMaterialized(partition, args);
+    // Hot window: the previous ring exchange was with this same
+    // partition, so its agent is still busy-polling the request ring
+    // (and we will busy-poll the response ring) — both futex wakes
+    // are skipped for the whole exchange.
+    bool hot = config.batchedRpc && lastRpcPartition_ == partition;
 
-    // Host -> agent request over the shared-memory channel.
+    // Host -> agent request over the shared-memory channel, batched
+    // with any piggybacked LDC object deliveries.
+    std::vector<ipc::Message> batch;
+    if (config.lazyDataCopy && config.batchedRpc)
+        buildDeliverBatch(partition, args, seq, batch);
+    else
+        ensureArgsMaterialized(partition, args);
     ipc::Message request;
     request.kind = ipc::MsgKind::Request;
     request.seq = seq;
     request.apiId = desc.id;
     request.values = args;
-    agent.channel->sendRequest(request);
-    ++stats_.ipcMessages;
+    batch.push_back(std::move(request));
+    agent.channel->sendRequestBatch(batch, hot);
+    ++stats_.ipcMessages; // the Request; Delivers ride along
+    if (hot)
+        ++stats_.hotSends;
 
-    ipc::Message incoming;
-    if (!agent.channel->receiveRequest(incoming)) {
+    std::vector<ipc::Message> incomingBatch;
+    if (!agent.channel->receiveRequestBatch(incomingBatch)) {
+        // The agent never woke up; the next exchange starts cold.
+        coolRpcWindow();
         result.error = "request lost on channel to " +
                        plan_.partitionName(partition);
         return Attempt::ChannelLost;
     }
-    stats_.bytesTransferred += ipc::encodeMessage(incoming).size();
+    stats_.bytesTransferred += ipc::batchWireSize(incomingBatch);
+    absorbDelivers(partition, incomingBatch);
+    ipc::Message incoming;
+    bool have_request = false;
+    for (ipc::Message &msg : incomingBatch) {
+        if (msg.kind == ipc::MsgKind::Deliver)
+            continue;
+        incoming = std::move(msg);
+        have_request = true;
+    }
+    if (!have_request)
+        util::fatal("runtime: request batch without a Request frame");
 
     // At-least-once dedup: a duplicate sequence number returns the
     // cached response without re-executing the API (§4.3 "FreePart as
     // RPC"). A re-delivered request that is NOT in the cache (the
     // crash interrupted its first execution) re-executes — for
     // stateful APIs this is the paper's accepted double-execution.
-    auto cached = agent.seqCache.find(incoming.seq);
-    bool from_cache = cached != agent.seqCache.end();
+    const ipc::ValueList *cached = agent.seqCache.find(incoming.seq);
+    bool from_cache = cached != nullptr;
     if (from_cache) {
         ++stats_.dedupHits;
-        result.values = cached->second;
+        result.values = *cached;
         result.ok = true;
     } else {
         osim::Process &proc = kernel_.process(agent.pid);
@@ -678,6 +765,7 @@ FreePartRuntime::attemptOnAgent(uint32_t partition,
             kernel_.faultProcess(proc,
                                  "injected: crash during " + desc.name);
             result.error = "injected: crash during " + desc.name;
+            coolRpcWindow();
             return Attempt::Crashed;
         }
         fw::ExecContext ctx(kernel_, proc, *agent.store,
@@ -689,10 +777,12 @@ FreePartRuntime::attemptOnAgent(uint32_t partition,
             ++stats_.memFaults;
             kernel_.faultProcess(proc, fault.what());
             result.error = fault.what();
+            coolRpcWindow();
             return Attempt::Crashed;
         } catch (const osim::SyscallViolation &violation) {
             ++stats_.syscallDenials;
             result.error = violation.what();
+            coolRpcWindow();
             return Attempt::Crashed;
         } catch (const osim::TransientFault &fault) {
             result.error = fault.what();
@@ -701,6 +791,7 @@ FreePartRuntime::attemptOnAgent(uint32_t partition,
             if (proc.alive())
                 kernel_.faultProcess(proc, crash.what());
             result.error = crash.what();
+            coolRpcWindow();
             return Attempt::Crashed;
         } catch (const util::FatalError &error) {
             // Application-level failure (bad input, shape mismatch):
@@ -728,30 +819,35 @@ FreePartRuntime::attemptOnAgent(uint32_t partition,
                     if (value.kind() == ipc::Value::Kind::Ref)
                         ++stats_.lazyCopies;
             }
-            agent.seqCache.emplace(incoming.seq, result.values);
-            if (agent.seqCache.size() > 64)
-                agent.seqCache.erase(agent.seqCache.begin());
+            stats_.dedupEvictions +=
+                agent.seqCache.insert(incoming.seq, result.values);
         }
     }
 
     // Agent -> host response. One shared path for cached and fresh
     // executions, so loss handling and byte accounting never diverge.
+    // The host has been busy-polling the response ring since the send,
+    // so the response rides the same hot window as the request.
     ipc::Message response;
     response.kind = ipc::MsgKind::Response;
     response.seq = incoming.seq;
     response.status = result.ok ? 0 : 1;
     response.values = result.values;
-    agent.channel->sendResponse(response);
+    agent.channel->sendResponseBatch({response}, hot);
     ++stats_.ipcMessages;
-    ipc::Message done;
-    if (!agent.channel->receiveResponse(done)) {
+    std::vector<ipc::Message> doneBatch;
+    if (!agent.channel->receiveResponseBatch(doneBatch)) {
         // The API may have executed; the cached seq makes the retry a
         // dedup hit instead of a re-execution.
+        coolRpcWindow();
         result.error = "response lost on channel from " +
                        plan_.partitionName(partition);
         return Attempt::ChannelLost;
     }
-    stats_.bytesTransferred += ipc::encodeMessage(done).size();
+    stats_.bytesTransferred += ipc::batchWireSize(doneBatch);
+    // A complete exchange keeps both sides spinning briefly: the next
+    // call to this partition (if it comes right away) starts hot.
+    lastRpcPartition_ = partition;
 
     if (!from_cache) {
         // Checkpoint stateful state periodically (A.2.4).
@@ -836,11 +932,28 @@ FreePartRuntime::checkpointAgent(uint32_t partition)
         return;
     }
     if (action == osim::FaultAction::Transient)
-        return; // this checkpoint is skipped; the old ones remain
+        return; // skipped; old gens AND the epoch watermark remain
+
+    // Dirty-epoch incremental checkpoints: a full generation every
+    // checkpointFullEvery-th snapshot, incrementals (only objects
+    // whose dirtyEpoch moved past the watermark) in between. The
+    // first checkpoint of an incarnation is always full — there is
+    // no chain to extend.
+    bool full = agent.forceFullCheckpoint || agent.checkpoints.empty() ||
+                config.checkpointFullEvery <= 1 ||
+                agent.incrementalsSinceFull + 1 >=
+                    config.checkpointFullEvery;
+    // Snapshot the epoch BEFORE serializing: a write racing the
+    // checkpoint would then look dirty to the next one (safe side).
+    uint64_t snapshotEpoch = agent.store->writeEpoch();
 
     CheckpointGen gen;
-    for (uint64_t id : agent.store->ids()) {
+    gen.full = full;
+    gen.liveIds = agent.store->ids();
+    for (uint64_t id : gen.liveIds) {
         const fw::StoredObject &obj = agent.store->get(id);
+        if (!full && obj.dirtyEpoch <= agent.lastCheckpointEpoch)
+            continue; // unchanged since the watermark: skip
         CheckpointEntry entry;
         entry.kind = obj.kind;
         entry.bytes = agent.store->serialize(id);
@@ -855,8 +968,27 @@ FreePartRuntime::checkpointAgent(uint32_t partition)
         gen.objects.emplace(id, std::move(entry));
     }
     agent.checkpoints.push_front(std::move(gen));
-    while (agent.checkpoints.size() > kCheckpointGenerations)
-        agent.checkpoints.pop_back();
+    // Retain enough history for kCheckpointGenerations full chains:
+    // everything older than the kCheckpointGenerations-th full
+    // generation can never be needed by a reconstruction.
+    size_t fulls = 0;
+    for (size_t i = 0; i < agent.checkpoints.size(); ++i) {
+        if (!agent.checkpoints[i].full)
+            continue;
+        if (++fulls == kCheckpointGenerations) {
+            agent.checkpoints.resize(i + 1);
+            break;
+        }
+    }
+    if (full) {
+        agent.incrementalsSinceFull = 0;
+        agent.forceFullCheckpoint = false;
+        ++stats_.fullCheckpoints;
+    } else {
+        ++agent.incrementalsSinceFull;
+        ++stats_.incrementalCheckpoints;
+    }
+    agent.lastCheckpointEpoch = snapshotEpoch;
     ++stats_.checkpointsTaken;
 }
 
@@ -866,16 +998,41 @@ FreePartRuntime::restartAgent(uint32_t partition)
     Agent &agent = agents.at(partition);
     if (!config.restartAgents)
         return false;
-    kernel_.respawn(agent.pid);
+    if (supervisor_.policy().backgroundRestart) {
+        // Background restart: promote the pre-spawned warm standby
+        // instead of forking on the critical path. If a crash arrives
+        // before the standby finished its background spawn, wait out
+        // the remainder — by construction never longer than a cold
+        // restart. Queued callers resume when the promotion lands.
+        osim::SimTime wait = supervisor_.consumeStandby(partition);
+        if (wait) {
+            kernel_.advance(wait);
+            stats_.standbyWaitTime += wait;
+        }
+        kernel_.promote(agent.pid);
+        ++stats_.standbyPromotions;
+        supervisor_.noteRestartCharge(
+            wait + kernel_.costs().processPromote);
+    } else {
+        kernel_.respawn(agent.pid);
+        supervisor_.noteRestartCharge(
+            kernel_.costs().processRestart);
+    }
     ++stats_.agentRestarts;
-    // Fresh address space: rebuild the store binding, re-map the
-    // channel, reopen devices lazily, reinstall the policy (the new
-    // incarnation re-runs its initialization, A.2.4).
+    coolRpcWindow();
+    // Fresh address space: rebuild the store binding (including its
+    // dirty-epoch write observer), re-map the channel, reopen devices
+    // lazily, reinstall the policy (the new incarnation re-runs its
+    // initialization, A.2.4).
     agent.store->clear();
+    agent.store->bindObserver();
     agent.devices = fw::DeviceFds();
     agent.channel->remapInto(agent.pid);
     agent.executedApis.clear();
     agent.callsSinceCheckpoint = 0;
+    // The rebuilt store has no incremental lineage; the next
+    // checkpoint must re-establish a full base.
+    agent.forceFullCheckpoint = true;
     if (config.restrictSyscalls)
         installPolicy(agent);
     osim::Process &proc = kernel_.process(agent.pid);
@@ -889,36 +1046,59 @@ FreePartRuntime::restartAgent(uint32_t partition)
         up = false;
     }
     if (up) {
-        // Restore from the newest checkpoint generation whose
-        // checksums all verify; a corrupted generation is skipped in
-        // favor of the previous good one. Values newer than the
-        // chosen checkpoint are intentionally NOT restored (§6
-        // "Restoring States of Crashed Process").
-        const CheckpointGen *chosen = nullptr;
-        for (const CheckpointGen &gen : agent.checkpoints) {
-            bool intact = true;
-            for (const auto &[id, entry] : gen.objects) {
-                if (util::fnv1a64(entry.bytes) != entry.checksum) {
-                    intact = false;
-                    break;
+        // Restore from the newest restorable checkpoint. A candidate
+        // generation is restorable when its whole chain — itself,
+        // the incrementals below it, and the full generation they
+        // extend — passes checksum verification; the reconstruction
+        // overlays the chain oldest-to-newest and keeps only the ids
+        // live at the candidate's snapshot. A candidate with any
+        // corrupt link is skipped (one fallback) in favor of the next
+        // older one. Values newer than the chosen checkpoint are
+        // intentionally NOT restored (§6 "Restoring States of
+        // Crashed Process").
+        for (size_t i = 0; i < agent.checkpoints.size(); ++i) {
+            // Chain of candidate i: indices i..base where base is the
+            // nearest full generation at or below it.
+            size_t base = i;
+            while (base < agent.checkpoints.size() &&
+                   !agent.checkpoints[base].full)
+                ++base;
+            bool intact = base < agent.checkpoints.size();
+            for (size_t j = i; intact && j <= base; ++j) {
+                for (const auto &[id, entry] :
+                     agent.checkpoints[j].objects) {
+                    if (util::fnv1a64(entry.bytes) != entry.checksum) {
+                        intact = false;
+                        break;
+                    }
                 }
             }
-            if (intact) {
-                chosen = &gen;
-                break;
+            if (!intact) {
+                ++stats_.checkpointFallbacks;
+                util::inform("runtime: corrupt checkpoint chain for "
+                             "partition %u skipped at restore",
+                             partition);
+                continue;
             }
-            ++stats_.checkpointFallbacks;
-            util::inform("runtime: corrupt checkpoint generation for "
-                         "partition %u skipped at restore",
-                         partition);
-        }
-        if (chosen) {
-            for (const auto &[id, entry] : chosen->objects) {
+            // Overlay oldest-to-newest: the newest copy of each
+            // object inside the chain wins.
+            std::map<uint64_t, const CheckpointEntry *> merged;
+            for (size_t j = base + 1; j-- > i;) {
+                for (const auto &[id, entry] :
+                     agent.checkpoints[j].objects)
+                    merged[id] = &entry;
+            }
+            for (uint64_t id : agent.checkpoints[i].liveIds) {
+                auto it = merged.find(id);
+                if (it == merged.end())
+                    continue;
+                const CheckpointEntry &entry = *it->second;
                 agent.store->materialize(id, entry.kind, entry.bytes,
                                          entry.label);
                 objectHome[id] = {partition, entry.kind};
                 stats_.checkpointBytesRestored += entry.bytes.size();
             }
+            break;
         }
     }
     // Objects whose authoritative copy died with the old incarnation
@@ -966,19 +1146,15 @@ FreePartRuntime::seqCacheSize(uint32_t partition) const
 void
 FreePartRuntime::pruneSeqCache(Agent &agent)
 {
-    for (auto it = agent.seqCache.begin();
-         it != agent.seqCache.end();) {
-        bool resolvable = true;
-        for (const ipc::Value &value : it->second) {
+    agent.seqCache.pruneIf([this](const ipc::ValueList &values) {
+        for (const ipc::Value &value : values) {
             if (value.kind() != ipc::Value::Kind::Ref)
                 continue;
-            if (!objectHome.count(value.asRef().objectId)) {
-                resolvable = false;
-                break;
-            }
+            if (!objectHome.count(value.asRef().objectId))
+                return true; // dead ref: drop the cached response
         }
-        it = resolvable ? std::next(it) : agent.seqCache.erase(it);
-    }
+        return false;
+    });
 }
 
 } // namespace freepart::core

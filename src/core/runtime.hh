@@ -28,6 +28,7 @@
 
 #include "analysis/hybrid_categorizer.hh"
 #include "core/agent_supervisor.hh"
+#include "core/dedup_cache.hh"
 #include "core/partition_plan.hh"
 #include "core/run_stats.hh"
 #include "fw/api_registry.hh"
@@ -56,12 +57,24 @@ FrameworkState stateForType(fw::ApiType type);
 /** Feature switches (defaults = full FreePart). */
 struct RuntimeConfig {
     bool lazyDataCopy = true;       //!< LDC on (§4.3.2)
+    /** FreePart's batched zero-copy RPC transport: piggyback LDC
+     *  fetches on the request batch (in-place encode into ring
+     *  storage) and skip futex wakes inside a hot window of
+     *  consecutive same-partition calls. Prior-technique baselines
+     *  turn this off to keep their classic per-message transport. */
+    bool batchedRpc = true;
     bool restartAgents = true;      //!< respawn crashed agents
     bool enforceMemoryProtection = true; //!< temporal mprotect
     bool restrictSyscalls = true;   //!< install seccomp policies
     bool lockAfterInit = true;      //!< drop init-only syscalls + lock
     uint32_t checkpointInterval = 8; //!< calls between checkpoints
+    /** Every Nth checkpoint is a full-store snapshot; the ones in
+     *  between are dirty-epoch incrementals that save only objects
+     *  mutated since the last checkpoint. 1 = always full (the
+     *  pre-incremental behavior, used as the ablation baseline). */
+    uint32_t checkpointFullEvery = 4;
     size_t ringBytes = 8 << 20;     //!< per-direction ring capacity
+    size_t dedupCacheEntries = 64;  //!< at-least-once LRU cache cap
     SupervisionPolicy supervision;  //!< recovery policy (§4.4.2 +)
 };
 
@@ -236,8 +249,16 @@ class FreePartRuntime
         std::string label;
     };
 
-    /** One checkpoint generation: object id -> entry. */
+    /** One checkpoint generation: object id -> entry. A full
+     *  generation snapshots every live object; an incremental one
+     *  holds only the objects dirtied since the previous checkpoint
+     *  and must be overlaid on its chain (the nearest older full
+     *  generation plus the incrementals between) to reconstruct the
+     *  store. liveIds records the live set at snapshot time so a
+     *  reconstruction never resurrects deleted objects. */
     struct CheckpointGen {
+        bool full = false;
+        std::vector<uint64_t> liveIds;
         std::map<uint64_t, CheckpointEntry> objects;
     };
 
@@ -256,11 +277,21 @@ class FreePartRuntime
          * At-least-once dedup cache: seq -> response values. Lives on
          * the host side of the RPC boundary, so it survives agent
          * restarts — a re-delivered request whose response was lost
-         * is recognized as a duplicate even across a respawn.
+         * is recognized as a duplicate even across a respawn. Bounded
+         * (LRU) so long runs cannot grow it without limit.
          */
-        std::map<uint64_t, ipc::ValueList> seqCache;
-        /** Checkpoint generations, newest first (≤ 2 kept). */
+        DedupCache seqCache;
+        /** Checkpoint generations, newest first. Enough are kept to
+         *  reconstruct kCheckpointGenerations full chains. */
         std::deque<CheckpointGen> checkpoints;
+        /** Store write epoch covered by the newest checkpoint; an
+         *  incremental saves only objects dirtied after this. */
+        uint64_t lastCheckpointEpoch = 0;
+        /** Incremental generations taken since the last full one. */
+        uint32_t incrementalsSinceFull = 0;
+        /** Next checkpoint must be full (set after restore: the
+         *  rebuilt store has no incremental history to chain onto). */
+        bool forceFullCheckpoint = false;
     };
 
     /** Outcome of one RPC delivery attempt. */
@@ -297,6 +328,16 @@ class FreePartRuntime
                            const fw::ApiDescriptor &desc,
                            const ipc::ValueList &args, uint64_t seq,
                            ApiResult &result);
+    /** Encode LDC fetches for out-of-partition ref args as Deliver
+     *  messages riding the request batch (zero extra round trips). */
+    void buildDeliverBatch(uint32_t partition,
+                           const ipc::ValueList &args, uint64_t seq,
+                           std::vector<ipc::Message> &batch);
+    /** Agent-side intake of a request batch's Deliver messages. */
+    void absorbDelivers(uint32_t partition,
+                        const std::vector<ipc::Message> &batch);
+    /** Forget the hot send window (the peer stopped busy-polling). */
+    void coolRpcWindow() { lastRpcPartition_ = kHostPartition; }
     /** Restart (with backoff) until up, quarantined, or disallowed. */
     bool recoverAgent(uint32_t partition);
     /** Graceful degradation for calls on a quarantined partition. */
@@ -321,6 +362,10 @@ class FreePartRuntime
 
     FrameworkState state_ = FrameworkState::Initialization;
     uint32_t lastPartition = kHostPartition; //!< for neutral APIs
+    /** Partition of the previous ring exchange. A consecutive call to
+     *  the same partition finds both sides still busy-polling (the
+     *  adaptive-spin hot window) and skips the futex wakes. */
+    uint32_t lastRpcPartition_ = kHostPartition;
     std::vector<ProtectedVar> vars;
     /** object id -> (home partition, kind). Mutable so homeOf() can
      *  lazily adopt host-store objects created outside invoke(). */

@@ -10,6 +10,40 @@ ObjectStore::ObjectStore(osim::Kernel &kernel, osim::Pid pid,
 {
     if (!id_counter)
         util::panic("ObjectStore: null id counter");
+    bindObserver();
+}
+
+ObjectStore::~ObjectStore()
+{
+    // The kernel (and its processes) outlive the runtime that owns
+    // this store; leave no dangling observer behind.
+    kernel.process(pid_).space().setWriteObserver(nullptr);
+}
+
+void
+ObjectStore::bindObserver()
+{
+    kernel.process(pid_).space().setWriteObserver(
+        [this](osim::Addr addr, size_t len) { noteWrite(addr, len); });
+}
+
+void
+ObjectStore::noteWrite(osim::Addr addr, size_t len)
+{
+    // Every mutating access advances the epoch, whether or not it
+    // lands inside a registered object — the counter is a global
+    // "time" for this process's memory, not a per-object one.
+    ++writeEpoch_;
+    auto it = byAddr.upper_bound(addr);
+    if (it == byAddr.begin())
+        return;
+    --it;
+    auto obj = objects.find(it->second);
+    if (obj == objects.end())
+        return;
+    if (addr < obj->second.addr + obj->second.byteLen &&
+        addr + len > obj->second.addr)
+        obj->second.dirtyEpoch = writeEpoch_;
 }
 
 uint64_t
@@ -22,7 +56,9 @@ ObjectStore::putMat(const MatDesc &desc, const std::string &label)
     obj.addr = desc.addr;
     obj.byteLen = desc.byteLen();
     obj.label = label;
-    objects.emplace(id, std::move(obj));
+    auto [it, ok] = objects.emplace(id, std::move(obj));
+    byAddr[it->second.addr] = id;
+    markDirty(it->second); // fresh objects are dirty by definition
     return id;
 }
 
@@ -36,7 +72,9 @@ ObjectStore::putTensor(const TensorDesc &desc, const std::string &label)
     obj.addr = desc.addr;
     obj.byteLen = desc.byteLen();
     obj.label = label;
-    objects.emplace(id, std::move(obj));
+    auto [it, ok] = objects.emplace(id, std::move(obj));
+    byAddr[it->second.addr] = id;
+    markDirty(it->second);
     return id;
 }
 
@@ -50,7 +88,9 @@ ObjectStore::putBytes(osim::Addr addr, size_t len,
     obj.addr = addr;
     obj.byteLen = len;
     obj.label = label;
-    objects.emplace(id, std::move(obj));
+    auto [it, ok] = objects.emplace(id, std::move(obj));
+    byAddr[it->second.addr] = id;
+    markDirty(it->second);
     return id;
 }
 
@@ -87,7 +127,13 @@ ObjectStore::tensor(uint64_t id) const
 void
 ObjectStore::erase(uint64_t id)
 {
-    objects.erase(id);
+    auto it = objects.find(id);
+    if (it == objects.end())
+        return;
+    auto by = byAddr.find(it->second.addr);
+    if (by != byAddr.end() && by->second == id)
+        byAddr.erase(by);
+    objects.erase(it);
 }
 
 std::vector<uint8_t>
@@ -136,7 +182,17 @@ ObjectStore::materialize(uint64_t id, ObjKind kind,
         space.write(obj.addr, bytes.data(), bytes.size());
         break;
     }
-    objects[id] = std::move(obj);
+    // A re-materialize moves the object to a fresh buffer; the stale
+    // address must stop resolving to this id.
+    auto old = objects.find(id);
+    if (old != objects.end()) {
+        auto by = byAddr.find(old->second.addr);
+        if (by != byAddr.end() && by->second == id)
+            byAddr.erase(by);
+    }
+    StoredObject &stored = objects[id] = std::move(obj);
+    byAddr[stored.addr] = id;
+    markDirty(stored);
 }
 
 std::vector<uint64_t>

@@ -13,6 +13,27 @@ regionAt(const osim::Backing &backing, size_t offset)
     return backing->data() + offset;
 }
 
+/** ByteSink that streams encoder output straight into a ring
+ *  reservation — the zero-copy path (no staging vector). */
+class RingSink final : public ByteSink
+{
+  public:
+    RingSink(SpscRing &ring, SpscRing::Reservation &res)
+        : ring(ring), res(res)
+    {
+    }
+
+    void
+    append(const void *bytes, size_t len) override
+    {
+        ring.reservationWrite(res, bytes, len);
+    }
+
+  private:
+    SpscRing &ring;
+    SpscRing::Reservation &res;
+};
+
 } // namespace
 
 Channel::Channel(osim::Kernel &kernel, const std::string &name,
@@ -38,36 +59,51 @@ Channel::remapInto(osim::Pid pid)
 }
 
 void
-Channel::sendOn(SpscRing &ring, const Message &msg, bool is_request)
+Channel::sendOn(SpscRing &ring, const std::vector<Message> &msgs,
+                bool is_request, bool hot)
 {
-    std::vector<uint8_t> wire = encodeMessage(msg);
-    if (!ring.tryPush(wire.data(), wire.size())) {
+    if (msgs.empty())
+        util::fatal("channel: empty batch send");
+    size_t frame = batchWireSize(msgs);
+    SpscRing::Reservation res;
+    if (!ring.tryReserve(frame, res)) {
         // A full ring would block the real producer on a futex until
         // the consumer drains; the synchronous simulation never leaves
-        // messages queued, so this indicates a single oversized
-        // message.
-        util::fatal("channel: message of %zu bytes exceeds ring "
+        // frames queued, so this indicates a single oversized batch.
+        util::fatal("channel: batch frame of %zu bytes exceeds ring "
                     "capacity %zu",
-                    wire.size(), ring.capacity());
+                    frame, ring.capacity());
     }
-    stats_.bytesSent += wire.size();
-    ++stats_.futexWakes;
-    if (is_request)
-        ++stats_.requests;
-    else
-        ++stats_.responses;
-    // Futex wake + wait on the peer side + context switch.
-    kernel.advance(kernel.costs().ipcRoundTrip / 2);
-}
+    RingSink sink(ring, res);
+    encodeBatchTo(sink, msgs);
+    ring.commit(res);
 
-void
-Channel::sendRequest(const Message &msg)
-{
-    sendOn(reqRing, msg, true);
+    stats_.bytesSent += frame;
+    ++stats_.batches;
+    if (hot)
+        ++stats_.hotSends;
+    else
+        ++stats_.futexWakes;
+    for (const Message &msg : msgs) {
+        switch (msg.kind) {
+          case MsgKind::Deliver:
+            ++stats_.delivers;
+            break;
+          default:
+            if (is_request)
+                ++stats_.requests;
+            else
+                ++stats_.responses;
+            break;
+        }
+    }
+    // One wake (if the peer is parked) plus per-message ring work.
+    kernel.advance(kernel.costs().ipcSendCost(msgs.size(), hot));
 }
 
 bool
-Channel::receiveOn(SpscRing &ring, osim::Pid receiver, Message &out)
+Channel::receiveOn(SpscRing &ring, osim::Pid receiver,
+                   std::vector<Message> &out)
 {
     std::vector<uint8_t> wire;
     if (!ring.tryPop(wire))
@@ -76,8 +112,8 @@ Channel::receiveOn(SpscRing &ring, osim::Pid receiver, Message &out)
                               receiver)) {
       case osim::FaultAction::Transient:
       case osim::FaultAction::Crash:
-        // The message never reaches the receiver (a lost wakeup /
-        // torn write in the real futex-synchronized ring).
+        // The frame never reaches the receiver (a lost wakeup / torn
+        // write in the real futex-synchronized ring).
         ++stats_.dropped;
         return false;
       case osim::FaultAction::Corrupt:
@@ -87,31 +123,77 @@ Channel::receiveOn(SpscRing &ring, osim::Pid receiver, Message &out)
         break;
     }
     try {
-        out = decodeMessage(wire);
+        out = decodeBatch(wire);
     } catch (const std::exception &) {
-        // Corrupted framing: the receiver rejects the message.
+        // The shared trailer rejects the whole burst: batching widens
+        // the blast radius of one corrupt byte to the frame, and the
+        // at-least-once layer re-issues the whole call.
         ++stats_.corrupted;
         return false;
     }
     return true;
 }
 
+void
+Channel::sendRequestBatch(const std::vector<Message> &msgs, bool hot)
+{
+    sendOn(reqRing, msgs, true, hot);
+}
+
 bool
-Channel::receiveRequest(Message &out)
+Channel::receiveRequestBatch(std::vector<Message> &out)
 {
     return receiveOn(reqRing, agent, out);
 }
 
 void
+Channel::sendResponseBatch(const std::vector<Message> &msgs, bool hot)
+{
+    sendOn(respRing, msgs, false, hot);
+}
+
+bool
+Channel::receiveResponseBatch(std::vector<Message> &out)
+{
+    return receiveOn(respRing, host, out);
+}
+
+void
+Channel::sendRequest(const Message &msg)
+{
+    sendOn(reqRing, {msg}, true, /*hot=*/false);
+}
+
+bool
+Channel::receiveRequest(Message &out)
+{
+    std::vector<Message> msgs;
+    if (!receiveOn(reqRing, agent, msgs))
+        return false;
+    if (msgs.size() != 1)
+        util::fatal("channel: expected single-message frame, got %zu",
+                    msgs.size());
+    out = std::move(msgs.front());
+    return true;
+}
+
+void
 Channel::sendResponse(const Message &msg)
 {
-    sendOn(respRing, msg, false);
+    sendOn(respRing, {msg}, false, /*hot=*/false);
 }
 
 bool
 Channel::receiveResponse(Message &out)
 {
-    return receiveOn(respRing, host, out);
+    std::vector<Message> msgs;
+    if (!receiveOn(respRing, host, msgs))
+        return false;
+    if (msgs.size() != 1)
+        util::fatal("channel: expected single-message frame, got %zu",
+                    msgs.size());
+    out = std::move(msgs.front());
+    return true;
 }
 
 } // namespace freepart::ipc

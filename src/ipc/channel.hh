@@ -8,6 +8,14 @@
  * the message poppable on the other side; the futex/context-switch
  * latency is charged to the simulated clock via the kernel cost
  * model.
+ *
+ * All traffic is batch-framed: a send encodes one or more messages
+ * directly into ring storage (reserve/commit, no staging buffer)
+ * under a single shared FNV-1a trailer, and pays one futex wake for
+ * the whole burst — or none at all inside a hot window, when the
+ * peer is still busy-polling after the previous exchange (the
+ * adaptive-spin fast path). Single-message send/receive wrappers are
+ * batches of one.
  */
 
 #ifndef FREEPART_IPC_CHANNEL_HH
@@ -15,6 +23,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "ipc/codec.hh"
 #include "ipc/spsc_ring.hh"
@@ -26,10 +35,13 @@ namespace freepart::ipc {
 struct ChannelStats {
     uint64_t requests = 0;      //!< request messages sent
     uint64_t responses = 0;     //!< response messages sent
+    uint64_t delivers = 0;      //!< piggybacked object deliveries
+    uint64_t batches = 0;       //!< batch frames sent
+    uint64_t hotSends = 0;      //!< sends that skipped the futex wake
     uint64_t bytesSent = 0;     //!< total wire bytes in both directions
     uint64_t futexWakes = 0;    //!< synchronization wakeups charged
-    uint64_t dropped = 0;       //!< messages lost to injected faults
-    uint64_t corrupted = 0;     //!< messages rejected as corrupt
+    uint64_t dropped = 0;       //!< frames lost to injected faults
+    uint64_t corrupted = 0;     //!< frames rejected as corrupt
 };
 
 /**
@@ -53,13 +65,30 @@ class Channel
             osim::Pid host_pid, osim::Pid agent_pid,
             size_t ring_bytes = 1 << 20);
 
-    /** Send a request host->agent; charges IPC round-trip setup. */
+    /**
+     * Send a burst of messages host->agent as one batch frame. With
+     * hot=true the agent is assumed to be busy-polling (consecutive
+     * same-partition calls) and no futex wake is charged.
+     */
+    void sendRequestBatch(const std::vector<Message> &msgs, bool hot);
+
+    /** Pop the pending request-side batch on the agent side. */
+    bool receiveRequestBatch(std::vector<Message> &out);
+
+    /** Send a response burst agent->host. */
+    void sendResponseBatch(const std::vector<Message> &msgs, bool hot);
+
+    /** Pop the pending response-side batch on the host side. */
+    bool receiveResponseBatch(std::vector<Message> &out);
+
+    /** Send a request host->agent (cold batch of one). */
     void sendRequest(const Message &msg);
 
-    /** Pop the pending request on the agent side. */
+    /** Pop the pending request on the agent side; the frame must hold
+     *  exactly one message. */
     bool receiveRequest(Message &out);
 
-    /** Send a response agent->host. */
+    /** Send a response agent->host (cold batch of one). */
     void sendResponse(const Message &msg);
 
     /** Pop the pending response on the host side. */
@@ -78,15 +107,18 @@ class Channel
     osim::Pid agentPid() const { return agent; }
 
   private:
-    void sendOn(SpscRing &ring, const Message &msg, bool is_request);
+    void sendOn(SpscRing &ring, const std::vector<Message> &msgs,
+                bool is_request, bool hot);
 
     /**
-     * Pop + decode one message, applying ring-transfer faults on the
-     * receiving side: a Transient fault drops the message, a Corrupt
-     * fault flips wire bytes so decoding rejects it. Both surface as
-     * "no message" — the at-least-once layer above must retry.
+     * Pop + decode one batch frame, applying ring-transfer faults on
+     * the receiving side: a Transient fault drops the frame, a
+     * Corrupt fault flips wire bytes so the shared trailer rejects
+     * it. Both surface as "no message" — the at-least-once layer
+     * above must retry the whole call.
      */
-    bool receiveOn(SpscRing &ring, osim::Pid receiver, Message &out);
+    bool receiveOn(SpscRing &ring, osim::Pid receiver,
+                   std::vector<Message> &out);
 
     osim::Kernel &kernel;
     osim::Pid host;

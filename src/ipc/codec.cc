@@ -96,64 +96,83 @@ Value::wireSize() const
 
 namespace {
 
+/** Fixed bytes of a message body before its values. */
+constexpr size_t kMsgHeaderBytes = 1 + 8 + 4 + 4 + 4;
+
+/** Fixed bytes of a batch frame around its entries. */
+constexpr size_t kBatchCountBytes = sizeof(uint32_t);
+constexpr size_t kBatchTrailerBytes = sizeof(uint64_t);
+
+/** Typed little helpers over a ByteSink. */
 class Writer
 {
   public:
+    explicit Writer(ByteSink &sink) : sink(sink) {}
+
     void
     u8(uint8_t v)
     {
-        buf.push_back(v);
+        sink.append(&v, sizeof(v));
     }
 
     void
     u32(uint32_t v)
     {
-        append(&v, sizeof(v));
+        sink.append(&v, sizeof(v));
     }
 
     void
     u64(uint64_t v)
     {
-        append(&v, sizeof(v));
+        sink.append(&v, sizeof(v));
     }
 
     void
     f64(double v)
     {
-        append(&v, sizeof(v));
+        sink.append(&v, sizeof(v));
     }
 
     void
     bytes(const void *p, size_t n)
     {
-        append(p, n);
-    }
-
-    std::vector<uint8_t>
-    take()
-    {
-        return std::move(buf);
+        sink.append(p, n);
     }
 
   private:
+    ByteSink &sink;
+};
+
+/**
+ * Forwarding sink that folds every byte into an FNV-1a state so a
+ * batch trailer can be computed while streaming into ring storage —
+ * no second pass over (possibly wrapped) ring memory.
+ */
+class ChecksumSink final : public ByteSink
+{
+  public:
+    explicit ChecksumSink(ByteSink &inner) : inner(inner) {}
+
     void
-    append(const void *p, size_t n)
+    append(const void *bytes, size_t len) override
     {
-        const auto *b = static_cast<const uint8_t *>(p);
-        buf.insert(buf.end(), b, b + n);
+        state = util::fnv1a64Accumulate(
+            state, static_cast<const uint8_t *>(bytes), len);
+        inner.append(bytes, len);
     }
 
-    std::vector<uint8_t> buf;
+    uint64_t sum() const { return state; }
+
+  private:
+    ByteSink &inner;
+    uint64_t state = util::kFnv1a64Init;
 };
 
 class Reader
 {
   public:
-    /** Read [0, limit) of a buffer (limit excludes any trailer). */
-    Reader(const std::vector<uint8_t> &b, size_t limit)
-        : buf(b), limit(limit)
-    {
-    }
+    /** Read [0, limit) of a raw buffer. */
+    Reader(const uint8_t *b, size_t limit) : buf(b), limit(limit) {}
 
     uint8_t
     u8()
@@ -190,12 +209,16 @@ class Reader
     blob(size_t n)
     {
         need(n);
-        std::vector<uint8_t> out(buf.begin() +
-                                     static_cast<ptrdiff_t>(pos),
-                                 buf.begin() +
-                                     static_cast<ptrdiff_t>(pos + n));
+        std::vector<uint8_t> out(buf + pos, buf + pos + n);
         pos += n;
         return out;
+    }
+
+    void
+    skip(size_t n)
+    {
+        need(n);
+        pos += n;
     }
 
     bool
@@ -217,11 +240,11 @@ class Reader
     take(void *p, size_t n)
     {
         need(n);
-        std::memcpy(p, buf.data() + pos, n);
+        std::memcpy(p, buf + pos, n);
         pos += n;
     }
 
-    const std::vector<uint8_t> &buf;
+    const uint8_t *buf;
     size_t limit;
     size_t pos = 0;
 };
@@ -297,10 +320,19 @@ decodeValue(Reader &r)
 
 } // namespace
 
-std::vector<uint8_t>
-encodeMessage(const Message &msg)
+size_t
+messageBodySize(const Message &msg)
 {
-    Writer w;
+    size_t size = kMsgHeaderBytes;
+    for (const Value &v : msg.values)
+        size += v.wireSize();
+    return size;
+}
+
+void
+encodeMessageBodyTo(ByteSink &sink, const Message &msg)
+{
+    Writer w(sink);
     w.u8(static_cast<uint8_t>(msg.kind));
     w.u64(msg.seq);
     w.u32(msg.apiId);
@@ -308,16 +340,45 @@ encodeMessage(const Message &msg)
     w.u32(static_cast<uint32_t>(msg.values.size()));
     for (const Value &v : msg.values)
         encodeValue(w, v);
+}
+
+Message
+decodeMessageBody(const uint8_t *data, size_t len)
+{
+    Reader r(data, len);
+    Message msg;
+    msg.kind = static_cast<MsgKind>(r.u8());
+    msg.seq = r.u64();
+    msg.apiId = r.u32();
+    msg.status = r.u32();
+    uint32_t count = r.u32();
+    // A corrupted count must not drive a giant reserve; each value
+    // needs at least one wire byte, so anything larger is malformed.
+    if (count > len)
+        util::fatal("codec: value count %u exceeds body size %zu",
+                    count, len);
+    msg.values.reserve(count);
+    for (uint32_t i = 0; i < count; ++i)
+        msg.values.push_back(decodeValue(r));
+    if (!r.done())
+        util::fatal("codec: trailing bytes in message");
+    return msg;
+}
+
+std::vector<uint8_t>
+encodeMessage(const Message &msg)
+{
+    std::vector<uint8_t> wire;
+    wire.reserve(messageBodySize(msg) + sizeof(uint64_t));
+    VectorSink sink(wire);
+    encodeMessageBodyTo(sink, msg);
     // End-to-end integrity trailer: the receiver verifies this before
     // acting on any field, so a message corrupted on the shared ring
     // is rejected instead of silently mis-decoded.
-    std::vector<uint8_t> body = w.take();
-    uint64_t sum = util::fnv1a64(body);
-    Writer trailer;
-    trailer.u64(sum);
-    std::vector<uint8_t> tail = trailer.take();
-    body.insert(body.end(), tail.begin(), tail.end());
-    return body;
+    uint64_t sum = util::fnv1a64(wire);
+    Writer w(sink);
+    w.u64(sum);
+    return wire;
 }
 
 Message
@@ -331,24 +392,77 @@ decodeMessage(const std::vector<uint8_t> &wire)
     if (util::fnv1a64(wire.data(), body) != expected)
         util::fatal("codec: checksum mismatch on %zu-byte message",
                     wire.size());
-    Reader r(wire, body);
-    Message msg;
-    msg.kind = static_cast<MsgKind>(r.u8());
-    msg.seq = r.u64();
-    msg.apiId = r.u32();
-    msg.status = r.u32();
+    return decodeMessageBody(wire.data(), body);
+}
+
+size_t
+batchWireSize(const std::vector<Message> &msgs)
+{
+    size_t size = kBatchCountBytes + kBatchTrailerBytes;
+    for (const Message &msg : msgs)
+        size += sizeof(uint32_t) + messageBodySize(msg);
+    return size;
+}
+
+void
+encodeBatchTo(ByteSink &sink, const std::vector<Message> &msgs)
+{
+    // One shared trailer covers the count word, every length prefix,
+    // and every body — computed while the bytes stream through, so
+    // the zero-copy ring path never re-reads what it wrote.
+    ChecksumSink checked(sink);
+    Writer w(checked);
+    w.u32(static_cast<uint32_t>(msgs.size()));
+    for (const Message &msg : msgs) {
+        w.u32(static_cast<uint32_t>(messageBodySize(msg)));
+        encodeMessageBodyTo(checked, msg);
+    }
+    uint64_t sum = checked.sum();
+    Writer trailer(sink);
+    trailer.u64(sum);
+}
+
+std::vector<uint8_t>
+encodeBatch(const std::vector<Message> &msgs)
+{
+    std::vector<uint8_t> wire;
+    wire.reserve(batchWireSize(msgs));
+    VectorSink sink(wire);
+    encodeBatchTo(sink, msgs);
+    return wire;
+}
+
+std::vector<Message>
+decodeBatch(const std::vector<uint8_t> &wire)
+{
+    if (wire.size() < kBatchCountBytes + kBatchTrailerBytes)
+        util::fatal("codec: batch frame shorter than its framing");
+    size_t body = wire.size() - kBatchTrailerBytes;
+    uint64_t expected;
+    std::memcpy(&expected, wire.data() + body, sizeof(expected));
+    if (util::fnv1a64(wire.data(), body) != expected)
+        util::fatal("codec: batch checksum mismatch on %zu-byte frame",
+                    wire.size());
+    Reader r(wire.data(), body);
     uint32_t count = r.u32();
-    // A corrupted count must not drive a giant reserve; each value
-    // needs at least one wire byte, so anything larger is malformed.
     if (count > wire.size())
-        util::fatal("codec: value count %u exceeds wire size %zu",
+        util::fatal("codec: batch count %u exceeds frame size %zu",
                     count, wire.size());
-    msg.values.reserve(count);
-    for (uint32_t i = 0; i < count; ++i)
-        msg.values.push_back(decodeValue(r));
+    std::vector<Message> msgs;
+    msgs.reserve(count);
+    size_t pos = kBatchCountBytes;
+    for (uint32_t i = 0; i < count; ++i) {
+        uint32_t len = r.u32();
+        pos += sizeof(uint32_t);
+        if (pos + len > body)
+            util::fatal("codec: batch entry %u overruns frame", i);
+        msgs.push_back(decodeMessageBody(wire.data() + pos, len));
+        pos += len;
+        r.skip(len); // keep the reader in lockstep for done()
+    }
     if (!r.done())
-        util::fatal("codec: trailing bytes in message");
-    return msg;
+        util::fatal("codec: trailing bytes in batch frame");
+    return msgs;
 }
 
 } // namespace freepart::ipc

@@ -6,6 +6,15 @@
  * reference — the Lazy Data Copy optimization (§4.3.2) — consisting of
  * the owning partition and a buffer identifier, matching the paper's
  * "agent process's PID and the identifier of the buffer".
+ *
+ * Two wire framings exist:
+ *  - a standalone message: body + per-message FNV-1a trailer
+ *    (encodeMessage/decodeMessage);
+ *  - a batch frame holding several bodies under ONE shared trailer
+ *    ([u32 count][(u32 len, body)...][u64 fnv1a]), used by the
+ *    batched ring RPC so a burst of messages pays a single checksum
+ *    and a single publish. Encoding targets a ByteSink so the bytes
+ *    can stream straight into ring storage (no staging vector).
  */
 
 #ifndef FREEPART_IPC_CODEC_HH
@@ -69,7 +78,7 @@ class Value
     std::vector<uint8_t> &asBlobMutable();
     const ObjectRef &asRef() const;
 
-    /** Approximate wire size in bytes (for IPC accounting). */
+    /** Exact encoded size in bytes (tag + payload). */
     size_t wireSize() const;
 
   private:
@@ -88,6 +97,8 @@ enum class MsgKind : uint8_t {
     Fetch = 3,     //!< agent -> agent: LDC direct data fetch
     FetchReply = 4,
     Ack = 5,       //!< exactly-once delivery acknowledgement
+    Deliver = 6,   //!< object bytes piggybacked on a request batch
+                   //!< (the LDC fetch riding the same round trip)
 };
 
 /** Decoded RPC message. */
@@ -99,11 +110,66 @@ struct Message {
     ValueList values;    //!< arguments or results
 };
 
-/** Serialize a message to wire bytes. */
+/**
+ * Abstract byte output for the encoder. Lets the same encode path
+ * fill a std::vector or write straight into SpscRing storage.
+ */
+class ByteSink
+{
+  public:
+    virtual void append(const void *bytes, size_t len) = 0;
+
+  protected:
+    ~ByteSink() = default;
+};
+
+/** ByteSink over a std::vector (the staging-buffer path). */
+class VectorSink final : public ByteSink
+{
+  public:
+    explicit VectorSink(std::vector<uint8_t> &out) : out(out) {}
+
+    void
+    append(const void *bytes, size_t len) override
+    {
+        const auto *b = static_cast<const uint8_t *>(bytes);
+        out.insert(out.end(), b, b + len);
+    }
+
+  private:
+    std::vector<uint8_t> &out;
+};
+
+/** Exact encoded size of a message body (header + values, no
+ *  trailer). encodeMessageBodyTo emits exactly this many bytes. */
+size_t messageBodySize(const Message &msg);
+
+/** Stream a message body (no trailer) into a sink. */
+void encodeMessageBodyTo(ByteSink &sink, const Message &msg);
+
+/** Parse a bare message body; throws on malformed input. */
+Message decodeMessageBody(const uint8_t *data, size_t len);
+
+/** Serialize a standalone message (body + FNV-1a trailer). */
 std::vector<uint8_t> encodeMessage(const Message &msg);
 
-/** Parse wire bytes back into a message; throws on malformed input. */
+/** Parse standalone wire bytes; verifies the trailer, throws on
+ *  malformed input. */
 Message decodeMessage(const std::vector<uint8_t> &wire);
+
+/** Exact encoded size of a batch frame for these messages. */
+size_t batchWireSize(const std::vector<Message> &msgs);
+
+/** Stream a batch frame (count, bodies, shared trailer) into a
+ *  sink. */
+void encodeBatchTo(ByteSink &sink, const std::vector<Message> &msgs);
+
+/** Serialize a batch frame to a staging vector (tests, accounting). */
+std::vector<uint8_t> encodeBatch(const std::vector<Message> &msgs);
+
+/** Parse a batch frame; verifies the shared trailer first, throws on
+ *  any corruption (the whole batch is rejected as one unit). */
+std::vector<Message> decodeBatch(const std::vector<uint8_t> &wire);
 
 } // namespace freepart::ipc
 

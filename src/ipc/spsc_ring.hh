@@ -9,6 +9,13 @@
  * same implementation runs both over simulated shared-memory segments
  * (inside osim) and over real process memory (the real-time
  * google-benchmark harness exercises it with actual std::threads).
+ *
+ * Two producer APIs exist:
+ *  - tryPush / tryPushBatch copy fully formed records in;
+ *  - tryReserve / reservationWrite / commit let an encoder stream
+ *    bytes straight into ring storage (no staging buffer), publishing
+ *    the record only at commit. The consumer never observes a
+ *    partially written record because the tail index moves last.
  */
 
 #ifndef FREEPART_IPC_SPSC_RING_HH
@@ -22,18 +29,46 @@
 namespace freepart::ipc {
 
 /**
+ * Ring control block at the start of the region. head and tail live
+ * on separate cache lines so the producer's tail stores never
+ * invalidate the consumer's head line (and vice versa) — under the
+ * two-thread stress load the indices are the only contended words.
+ */
+struct alignas(64) SpscRingHeader {
+    alignas(64) std::atomic<uint64_t> head; //!< consumer-owned
+    alignas(64) std::atomic<uint64_t> tail; //!< producer-owned
+    alignas(64) uint64_t capacity;          //!< data-area length
+};
+static_assert(sizeof(SpscRingHeader) == 192,
+              "head/tail/capacity must occupy one cache line each");
+
+/**
  * Lock-free SPSC ring over a caller-owned byte region.
  *
- * Region layout: [head:u64][tail:u64][capacity:u64][data bytes...].
- * head/tail are free-running counters; the producer owns tail, the
- * consumer owns head. Records are length-prefixed (u32) so variable
- * sized messages pop out whole.
+ * Region layout: [SpscRingHeader][data bytes...]. head/tail are
+ * free-running counters; the producer owns tail, the consumer owns
+ * head. Records are length-prefixed (u32) so variable sized messages
+ * pop out whole.
  */
 class SpscRing
 {
   public:
     /** Header bytes reserved at the start of the region. */
-    static constexpr size_t kHeaderBytes = 3 * sizeof(uint64_t);
+    static constexpr size_t kHeaderBytes = sizeof(SpscRingHeader);
+
+    /** Length prefix stored before each record's payload. */
+    static constexpr size_t kRecordPrefix = sizeof(uint32_t);
+
+    /**
+     * An in-flight zero-copy record (see tryReserve). The producer
+     * streams payload bytes into it with reservationWrite and
+     * publishes with commit; until then the consumer cannot see it.
+     */
+    struct Reservation {
+        uint64_t start = 0;  //!< absolute tail position of the prefix
+        size_t length = 0;   //!< reserved payload length
+        size_t written = 0;  //!< payload bytes streamed so far
+    };
 
     /** Attach to (and zero-initialize) a region as a fresh ring. */
     static SpscRing create(uint8_t *region, size_t region_len);
@@ -57,21 +92,57 @@ class SpscRing
     bool tryPush(const uint8_t *data, size_t len);
 
     /**
+     * Enqueue several records, all-or-nothing, with a single tail
+     * publish (one producer-side release store — the batched-RPC
+     * analogue of one futex wake for the whole burst).
+     * @return false if the batch does not fit; nothing is written.
+     */
+    bool tryPushBatch(const std::vector<std::vector<uint8_t>> &batch);
+
+    /**
      * Dequeue one record into out (replacing its contents).
      * @return false if the ring is empty.
      */
     bool tryPop(std::vector<uint8_t> &out);
 
+    /**
+     * Dequeue up to max_records pending records with a single head
+     * publish. Appends to out; returns the number popped.
+     */
+    size_t tryPopBatch(std::vector<std::vector<uint8_t>> &out,
+                       size_t max_records);
+
     /** Peek the length of the next record (0 if empty). */
     size_t peekLength() const;
+
+    /**
+     * Reserve space for one record of exactly len payload bytes.
+     * The record stays invisible to the consumer until commit().
+     * @return false if there is not enough free space.
+     */
+    bool tryReserve(size_t len, Reservation &out);
+
+    /** Stream the next n payload bytes into a reservation. */
+    void reservationWrite(Reservation &res, const void *src, size_t n);
+
+    /** Publish a fully written reservation; panics if under-filled. */
+    void commit(const Reservation &res);
 
   private:
     SpscRing(uint8_t *region, size_t region_len, bool init);
 
-    std::atomic<uint64_t> &headRef() const;
-    std::atomic<uint64_t> &tailRef() const;
+    SpscRingHeader &header() const
+    {
+        return *reinterpret_cast<SpscRingHeader *>(base);
+    }
+
+    std::atomic<uint64_t> &headRef() const { return header().head; }
+    std::atomic<uint64_t> &tailRef() const { return header().tail; }
     void copyIn(uint64_t pos, const uint8_t *src, size_t len);
     void copyOut(uint64_t pos, uint8_t *dst, size_t len) const;
+    /** Pop one record assuming head/tail already loaded; returns new
+     *  head position (not stored). */
+    uint64_t popAt(uint64_t head, std::vector<uint8_t> &out) const;
 
     uint8_t *base;   //!< region start (header lives here)
     uint8_t *data;   //!< data area start

@@ -165,6 +165,7 @@ AddressSpace::write(Addr addr, const void *src, size_t len)
     checkPages(addr, len, PermWrite, true);
     std::memcpy(m->backing->data() + m->backingOff + (addr - m->base),
                 src, len);
+    notifyWrite(addr, len);
 }
 
 uint8_t *
@@ -175,6 +176,11 @@ AddressSpace::checkedSpan(Addr addr, size_t len, bool for_write)
         throw MemFault(ownerPid, addr, for_write,
                        "span outside mapping");
     checkPages(addr, len, for_write ? PermWrite : PermRead, for_write);
+    // A writable span hands out raw bytes, so the actual stores are
+    // invisible; conservatively treat the whole span as dirtied (the
+    // same over-approximation a page-granular soft-dirty bit makes).
+    if (for_write)
+        notifyWrite(addr, len);
     return m->backing->data() + m->backingOff + (addr - m->base);
 }
 

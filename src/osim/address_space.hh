@@ -13,6 +13,7 @@
 #define FREEPART_OSIM_ADDRESS_SPACE_HH
 
 #include <cstring>
+#include <functional>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -24,6 +25,15 @@ namespace freepart::osim {
 
 /** Shared backing store for a mapping (private or shm-backed). */
 using Backing = std::shared_ptr<std::vector<uint8_t>>;
+
+/**
+ * Callback fired after every successful mutating access (write() or a
+ * writable checkedSpan()). This is the simulated analogue of the
+ * soft-dirty / write-protect tracking the dirty-epoch incremental
+ * checkpoints need: the ObjectStore registers one to stamp the
+ * touched object with the current write epoch.
+ */
+using WriteObserver = std::function<void(Addr addr, size_t len)>;
 
 /** One contiguous mapping inside an AddressSpace. */
 struct Mapping {
@@ -134,16 +144,35 @@ class AddressSpace
     /** The mapping containing addr, or nullptr. */
     const Mapping *findMapping(Addr addr) const;
 
+    /**
+     * Install (or clear, with nullptr) the write observer. At most
+     * one; a respawn replaces the whole space, so the new incarnation
+     * starts unobserved until the store rebinds.
+     */
+    void
+    setWriteObserver(WriteObserver observer)
+    {
+        writeObserver = std::move(observer);
+    }
+
   private:
     Mapping *findMappingMutable(Addr addr);
     void checkPages(Addr addr, size_t len, Perms need, bool is_write)
         const;
+
+    void
+    notifyWrite(Addr addr, size_t len)
+    {
+        if (writeObserver)
+            writeObserver(addr, len);
+    }
 
     Pid ownerPid;
     Addr nextAddr;
     std::map<Addr, Mapping> mappings;  //!< keyed by base address
     std::unordered_map<uint64_t, uint8_t> pagePerms;
     size_t totalMapped = 0;
+    WriteObserver writeObserver;
 };
 
 } // namespace freepart::osim

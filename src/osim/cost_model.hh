@@ -37,6 +37,25 @@ struct CostModel {
      *  to a 54 s run, i.e. ~100 us per call pair including copies. */
     SimTime ipcRoundTrip = 40000;
 
+    /** Futex wake + context switch to a sleeping peer: the fixed part
+     *  of one directed send when the receiver is parked. Together
+     *  with ipcPerMessage this decomposes ipcRoundTrip/2, so a single
+     *  cold send costs exactly what the undecomposed model charged. */
+    SimTime ipcWake = 15000;
+
+    /** Ring enqueue/dequeue work per message. Inside a hot window
+     *  (the peer is still busy-polling after a just-completed
+     *  exchange on the same channel) a send costs only this — the
+     *  adaptive-spin fast path of the batched RPC transport. */
+    SimTime ipcPerMessage = 5000;
+
+    /** Per-byte cost of moving object bytes that are encoded straight
+     *  into ring storage (reserve/commit path): one memcpy, no
+     *  staging serialize/deserialize, ~2.8 GB/s effective. Charged
+     *  for LDC delivers piggybacked on batched requests; eager
+     *  host-mediated copies keep paying copyPerByte. */
+    double copyPerByteInPlace = 0.09;
+
     /** Cost of an mprotect permission flip, per page touched. */
     SimTime protectPerPage = 450;
 
@@ -45,6 +64,12 @@ struct CostModel {
 
     /** Cost of restarting a crashed agent (spawn + rehook). */
     SimTime processRestart = 5000000;
+
+    /** Cost of promoting a pre-spawned warm standby into a crashed
+     *  agent's slot: channel remap + policy install + role handoff,
+     *  no fork or runtime init on the critical path. The fork cost is
+     *  paid in the background while the old incarnation serves. */
+    SimTime processPromote = 500000;
 
     /** Per-element cost of compute kernels (framework APIs), used by
      *  MiniCV/MiniDNN bodies to charge simulated compute time.
@@ -80,6 +105,22 @@ struct CostModel {
     {
         return static_cast<SimTime>(copyPerByte *
                                     static_cast<double>(n));
+    }
+
+    /** Cost of moving n bytes via the zero-copy ring encode path. */
+    SimTime
+    copyCostInPlace(size_t n) const
+    {
+        return static_cast<SimTime>(copyPerByteInPlace *
+                                    static_cast<double>(n));
+    }
+
+    /** Cost of sending n messages in one directed burst. */
+    SimTime
+    ipcSendCost(size_t n, bool hot) const
+    {
+        return (hot ? 0 : ipcWake) +
+               ipcPerMessage * static_cast<SimTime>(n);
     }
 
     /** Cost of compute over n elements. */

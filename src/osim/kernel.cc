@@ -73,6 +73,23 @@ Kernel::respawn(Pid pid)
     return proc;
 }
 
+Process &
+Kernel::promote(Pid pid)
+{
+    Process &proc = process(pid);
+    proc.resetForRespawn();
+    advance(costModel.processPromote);
+    logEvent(pid, EventKind::ProcRestart,
+             proc.name() + " incarnation=" +
+                 std::to_string(proc.incarnation()) + " (promoted)");
+    // The promoted standby is subject to the same stillborn fault as
+    // a cold respawn: the injection point models "the replacement
+    // process dies before serving", however it was brought up.
+    if (queryFault(FaultPoint::Respawn, pid) == FaultAction::Crash)
+        faultProcess(proc, "injected: crash during respawn");
+    return proc;
+}
+
 void
 Kernel::faultProcess(Process &proc, const std::string &why)
 {

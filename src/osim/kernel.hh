@@ -98,6 +98,16 @@ class Kernel
      */
     Process &respawn(Pid pid);
 
+    /**
+     * Restart a crashed process by promoting a pre-spawned warm
+     * standby into its slot: same reset semantics as respawn(), but
+     * only processPromote is charged to the clock — the fork and
+     * runtime init were paid in the background while the old
+     * incarnation served. The caller is responsible for having a
+     * ready standby (see AgentSupervisor::consumeStandby).
+     */
+    Process &promote(Pid pid);
+
     /** Mark a process crashed (fault escalation) and log the event. */
     void faultProcess(Process &proc, const std::string &why);
 

@@ -14,16 +14,30 @@
 
 namespace freepart::util {
 
+/** FNV-1a 64-bit offset basis (initial accumulator state). */
+constexpr uint64_t kFnv1a64Init = 0xcbf29ce484222325ull;
+
+/**
+ * Fold a byte range into a running FNV-1a state. Streaming form for
+ * callers that produce bytes in pieces (e.g. while encoding straight
+ * into ring storage) — chaining calls is byte-for-byte equivalent to
+ * one fnv1a64() over the concatenation.
+ */
+inline uint64_t
+fnv1a64Accumulate(uint64_t state, const uint8_t *data, size_t len)
+{
+    for (size_t i = 0; i < len; ++i) {
+        state ^= data[i];
+        state *= 0x100000001b3ull;
+    }
+    return state;
+}
+
 /** FNV-1a 64-bit hash of a byte range. */
 inline uint64_t
 fnv1a64(const uint8_t *data, size_t len)
 {
-    uint64_t hash = 0xcbf29ce484222325ull;
-    for (size_t i = 0; i < len; ++i) {
-        hash ^= data[i];
-        hash *= 0x100000001b3ull;
-    }
-    return hash;
+    return fnv1a64Accumulate(kFnv1a64Init, data, len);
 }
 
 /** FNV-1a 64-bit hash of a byte vector. */

@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Hot-path regression tests for the batched zero-copy RPC transport
+ * and the dirty-epoch checkpoint machinery: ring wraparound under
+ * batched and reserve/commit producers, codec edge cases (empty
+ * payloads, slot-exact records, batch-of-one equivalence, corrupted
+ * batch trailers), incremental-checkpoint byte savings and restore
+ * fidelity, and the bounded LRU dedup cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dedup_cache.hh"
+#include "core/runtime.hh"
+#include "fw/image_format.hh"
+#include "ipc/channel.hh"
+#include "ipc/codec.hh"
+#include "ipc/spsc_ring.hh"
+#include "osim/fault_injection.hh"
+
+namespace freepart {
+namespace {
+
+// ---- Ring wraparound under the batched producers ---------------------
+
+std::vector<uint8_t>
+patternRecord(size_t len, uint8_t seed)
+{
+    std::vector<uint8_t> rec(len);
+    for (size_t i = 0; i < len; ++i)
+        rec[i] = static_cast<uint8_t>(seed + i * 7);
+    return rec;
+}
+
+TEST(RingWraparound, BatchedPushPreservesFifoAcrossManyWraps)
+{
+    // Capacity far smaller than the total traffic: every few batches
+    // the free-running indices cross the wrap boundary at a different
+    // offset, exercising the split memcpy in copyIn/copyOut.
+    std::vector<uint8_t> region(ipc::SpscRing::kHeaderBytes + 256);
+    ipc::SpscRing ring =
+        ipc::SpscRing::create(region.data(), region.size());
+
+    uint8_t produced = 0, consumed = 0;
+    std::vector<std::vector<uint8_t>> out;
+    for (int round = 0; round < 500; ++round) {
+        std::vector<std::vector<uint8_t>> batch;
+        for (size_t len : {1u + (round % 40u), 17u, 0u})
+            batch.push_back(patternRecord(len, produced++));
+        if (!ring.tryPushBatch(batch)) {
+            // Drain everything, then the batch must fit.
+            out.clear();
+            while (ring.tryPopBatch(out, 16) > 0) {
+            }
+            for (const auto &rec : out) {
+                std::vector<uint8_t> want =
+                    patternRecord(rec.size(), consumed++);
+                ASSERT_EQ(rec, want);
+            }
+            ASSERT_TRUE(ring.tryPushBatch(batch));
+        }
+    }
+    out.clear();
+    while (ring.tryPopBatch(out, 16) > 0) {
+    }
+    for (const auto &rec : out)
+        ASSERT_EQ(rec, patternRecord(rec.size(), consumed++));
+    EXPECT_EQ(consumed, produced);
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingWraparound, ReserveCommitStreamsAcrossWrapBoundary)
+{
+    std::vector<uint8_t> region(ipc::SpscRing::kHeaderBytes + 128);
+    ipc::SpscRing ring =
+        ipc::SpscRing::create(region.data(), region.size());
+
+    std::vector<uint8_t> out;
+    for (int round = 0; round < 300; ++round) {
+        size_t len = 1 + (round * 13) % 90;
+        std::vector<uint8_t> payload =
+            patternRecord(len, static_cast<uint8_t>(round));
+        ipc::SpscRing::Reservation res;
+        while (!ring.tryReserve(len, res))
+            ASSERT_TRUE(ring.tryPop(out));
+        // Stream in two unequal chunks so the reservation itself can
+        // straddle the wrap.
+        size_t first = len / 3;
+        ring.reservationWrite(res, payload.data(), first);
+        ring.reservationWrite(res, payload.data() + first,
+                              len - first);
+        // Consumer must not see the record before commit.
+        size_t pending_before = ring.size();
+        ring.commit(res);
+        EXPECT_GT(ring.size(), pending_before);
+    }
+    while (ring.tryPop(out)) {
+        ASSERT_FALSE(out.empty());
+        // Every byte follows the generator pattern of its seed byte.
+        uint8_t seed = out[0];
+        EXPECT_EQ(out, patternRecord(out.size(), seed));
+    }
+}
+
+// ---- Codec edge cases ------------------------------------------------
+
+ipc::Message
+makeRequest(uint64_t seq, ipc::ValueList values)
+{
+    ipc::Message msg;
+    msg.kind = ipc::MsgKind::Request;
+    msg.seq = seq;
+    msg.apiId = 3;
+    msg.values = std::move(values);
+    return msg;
+}
+
+TEST(CodecEdge, ZeroLengthPayloadsRoundTripInABatch)
+{
+    ipc::ValueList values;
+    values.emplace_back(std::vector<uint8_t>{}); // empty blob
+    values.emplace_back(std::string{});          // empty string
+    values.emplace_back();                       // None
+    std::vector<ipc::Message> batch = {
+        makeRequest(1, std::move(values)),
+        makeRequest(2, {}), // no values at all
+    };
+    std::vector<ipc::Message> back =
+        ipc::decodeBatch(ipc::encodeBatch(batch));
+    ASSERT_EQ(back.size(), 2u);
+    ASSERT_EQ(back[0].values.size(), 3u);
+    EXPECT_TRUE(back[0].values[0].asBlob().empty());
+    EXPECT_TRUE(back[0].values[1].asStr().empty());
+    EXPECT_TRUE(back[0].values[2].isNone());
+    EXPECT_TRUE(back[1].values.empty());
+    EXPECT_EQ(back[1].seq, 2u);
+}
+
+TEST(CodecEdge, MaxSizeRecordExactlyFillsRingSlot)
+{
+    // Size the ring so one batch frame consumes the data area to the
+    // last byte; the push must succeed, and any further record (even
+    // an empty one needs its length prefix) must be rejected.
+    std::vector<ipc::Message> batch = {makeRequest(
+        7, {ipc::Value(std::vector<uint8_t>(1000, 0x5a))})};
+    std::vector<uint8_t> wire = ipc::encodeBatch(batch);
+    ASSERT_EQ(wire.size(), ipc::batchWireSize(batch));
+
+    size_t cap = ipc::SpscRing::kRecordPrefix + wire.size();
+    std::vector<uint8_t> region(ipc::SpscRing::kHeaderBytes + cap);
+    ipc::SpscRing ring =
+        ipc::SpscRing::create(region.data(), region.size());
+    ASSERT_EQ(ring.capacity(), cap);
+    ASSERT_TRUE(ring.tryPush(wire.data(), wire.size()));
+    EXPECT_EQ(ring.size(), cap);
+    EXPECT_FALSE(ring.tryPush(nullptr, 0)); // prefix no longer fits
+
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(ring.tryPop(out));
+    std::vector<ipc::Message> back = ipc::decodeBatch(out);
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].values[0].asBlob().size(), 1000u);
+
+    // One byte more than slot-exact never fits an empty ring.
+    std::vector<ipc::Message> over = {makeRequest(
+        8, {ipc::Value(std::vector<uint8_t>(1001, 0x5a))})};
+    std::vector<uint8_t> bigger = ipc::encodeBatch(over);
+    EXPECT_FALSE(ring.tryPush(bigger.data(), bigger.size()));
+}
+
+TEST(CodecEdge, BatchOfOneMatchesStandaloneMessage)
+{
+    ipc::Message msg = makeRequest(
+        42, {ipc::Value(uint64_t{9}), ipc::Value(std::string("x")),
+             ipc::Value(ipc::ObjectRef{2, 77})});
+    ipc::Message lone = ipc::decodeMessage(ipc::encodeMessage(msg));
+    std::vector<ipc::Message> batched =
+        ipc::decodeBatch(ipc::encodeBatch({msg}));
+    ASSERT_EQ(batched.size(), 1u);
+    const ipc::Message &b = batched[0];
+    EXPECT_EQ(b.kind, lone.kind);
+    EXPECT_EQ(b.seq, lone.seq);
+    EXPECT_EQ(b.apiId, lone.apiId);
+    ASSERT_EQ(b.values.size(), lone.values.size());
+    EXPECT_EQ(b.values[0].asU64(), lone.values[0].asU64());
+    EXPECT_EQ(b.values[1].asStr(), lone.values[1].asStr());
+    EXPECT_EQ(b.values[2].asRef(), lone.values[2].asRef());
+    // Identical bodies: a batch of one only adds the count word and
+    // swaps the per-message trailer for the shared one.
+    EXPECT_EQ(ipc::batchWireSize({msg}),
+              sizeof(uint32_t) + sizeof(uint32_t) +
+                  ipc::messageBodySize(msg) + sizeof(uint64_t));
+}
+
+TEST(CodecEdge, CorruptedBatchTrailerRejectsTheWholeFrame)
+{
+    std::vector<ipc::Message> batch = {
+        makeRequest(1, {ipc::Value(uint64_t{1})}),
+        makeRequest(2, {ipc::Value(uint64_t{2})}),
+    };
+    std::vector<uint8_t> wire = ipc::encodeBatch(batch);
+    // Flip one bit in the shared trailer.
+    std::vector<uint8_t> bad = wire;
+    bad.back() ^= 0x01;
+    EXPECT_THROW(ipc::decodeBatch(bad), std::exception);
+    // Flip one bit in the FIRST message's body: the second, intact
+    // message is still rejected — the frame is one checksum unit.
+    bad = wire;
+    bad[sizeof(uint32_t) + sizeof(uint32_t)] ^= 0x80;
+    EXPECT_THROW(ipc::decodeBatch(bad), std::exception);
+    EXPECT_NO_THROW(ipc::decodeBatch(wire));
+}
+
+TEST(CodecEdge, CorruptFaultSurfacesAsTypedChannelLoss)
+{
+    osim::Kernel kernel;
+    osim::FaultInjector injector(11);
+    kernel.setFaultInjector(&injector);
+    osim::Process &host = kernel.spawn("host");
+    osim::Process &agent = kernel.spawn("agent");
+    ipc::Channel channel(kernel, "ch:corrupt", host.pid(),
+                         agent.pid());
+
+    ipc::Message request = makeRequest(1, {ipc::Value(uint64_t{5})});
+    channel.sendRequest(request);
+
+    osim::FaultSpec spec;
+    spec.point = osim::FaultPoint::RingTransfer;
+    spec.action = osim::FaultAction::Corrupt;
+    spec.pid = agent.pid();
+    injector.schedule(spec);
+
+    // The corrupted frame is not delivered as garbage — the shared
+    // trailer rejects it and the receive reports "nothing arrived",
+    // typed as a corruption loss for the at-least-once layer.
+    ipc::Message received;
+    EXPECT_FALSE(channel.receiveRequest(received));
+    EXPECT_EQ(channel.stats().corrupted, 1u);
+    EXPECT_EQ(channel.stats().dropped, 0u);
+
+    // A clean retry of the same frame goes through.
+    channel.sendRequest(request);
+    EXPECT_TRUE(channel.receiveRequest(received));
+    EXPECT_EQ(received.seq, 1u);
+}
+
+// ---- Dirty-epoch incremental checkpoints -----------------------------
+
+struct HotPathEnv {
+    HotPathEnv() : registry(fw::buildFullRegistry())
+    {
+        analysis::HybridCategorizer categorizer(registry);
+        cats = categorizer.categorizeAll();
+    }
+
+    std::unique_ptr<core::FreePartRuntime>
+    makeRuntime(core::RuntimeConfig config = {})
+    {
+        kernel = std::make_unique<osim::Kernel>();
+        fw::seedFixtureFiles(*kernel);
+        return std::make_unique<core::FreePartRuntime>(
+            *kernel, registry, cats,
+            core::PartitionPlan::freePartDefault(), config);
+    }
+
+    fw::ApiRegistry registry;
+    analysis::Categorization cats;
+    std::unique_ptr<osim::Kernel> kernel;
+};
+
+HotPathEnv &
+env()
+{
+    static HotPathEnv instance;
+    return instance;
+}
+
+/** Load a model and train it `rounds` times; every call checkpoints
+ *  (interval 1), so most generations see one dirty object among the
+ *  accumulated clean ones. Returns the weights ref. */
+ipc::ObjectRef
+trainRounds(core::FreePartRuntime &runtime, int rounds)
+{
+    core::ApiResult model = runtime.invoke(
+        "torch.load", {ipc::Value(std::string("/data/model.fpt"))});
+    EXPECT_TRUE(model.ok) << model.error;
+    ipc::ObjectRef weights = model.values[0].asRef();
+    core::ApiResult data = runtime.invoke(
+        "torch.load", {ipc::Value(std::string("/data/model.fpt"))});
+    for (int i = 0; i < rounds; ++i) {
+        core::ApiResult trained = runtime.invoke(
+            "tf.estimator.DNNClassifier.train",
+            {ipc::Value(weights), data.values[0]});
+        EXPECT_TRUE(trained.ok) << trained.error;
+    }
+    return weights;
+}
+
+TEST(DirtyEpoch, IncrementalCheckpointsSaveFewerBytes)
+{
+    // Each runtime borrows env().kernel, so the first one must be
+    // fully measured and destroyed before the second is built.
+    core::RunStats full_stats;
+    {
+        core::RuntimeConfig full;
+        full.checkpointInterval = 1;
+        full.checkpointFullEvery = 1; // every generation is full
+        auto full_rt = env().makeRuntime(full);
+        trainRounds(*full_rt, 8);
+        full_stats = full_rt->stats();
+    }
+    EXPECT_EQ(full_stats.incrementalCheckpoints, 0u);
+    EXPECT_GT(full_stats.fullCheckpoints, 0u);
+
+    core::RuntimeConfig inc;
+    inc.checkpointInterval = 1;
+    inc.checkpointFullEvery = 4; // dirty-epoch deltas in between
+    auto inc_rt = env().makeRuntime(inc);
+    trainRounds(*inc_rt, 8);
+    const core::RunStats &inc_stats = inc_rt->stats();
+    EXPECT_GT(inc_stats.incrementalCheckpoints, 0u);
+    EXPECT_GT(inc_stats.fullCheckpoints, 0u);
+
+    // Same workload, same generations taken — the dirty-epoch deltas
+    // must be strictly cheaper than always serializing the store.
+    EXPECT_EQ(inc_stats.checkpointsTaken, full_stats.checkpointsTaken);
+    EXPECT_LT(inc_stats.checkpointBytesSaved,
+              full_stats.checkpointBytesSaved);
+}
+
+TEST(DirtyEpoch, IncrementalRestoreMatchesPreCrashState)
+{
+    core::RuntimeConfig config;
+    config.checkpointInterval = 1;
+    config.checkpointFullEvery = 4;
+    auto runtime = env().makeRuntime(config);
+    // 5 training rounds: the last generation before the crash is an
+    // incremental one sitting on top of a full base.
+    ipc::ObjectRef weights = trainRounds(*runtime, 5);
+    ASSERT_GT(runtime->stats().incrementalCheckpoints, 0u);
+
+    uint32_t p = runtime->homeOf(weights.objectId);
+    runtime->fetchToHost(weights);
+    std::vector<uint8_t> before =
+        runtime->hostStore().serialize(weights.objectId);
+
+    env().kernel->faultProcess(
+        env().kernel->process(runtime->agentPid(p)), "induced");
+    ASSERT_TRUE(runtime->restartAgent(p));
+    ASSERT_TRUE(runtime->storeOf(p).has(weights.objectId));
+    EXPECT_EQ(runtime->storeOf(p).serialize(weights.objectId),
+              before);
+    EXPECT_GT(runtime->stats().checkpointBytesRestored, 0u);
+}
+
+// ---- Bounded LRU dedup cache -----------------------------------------
+
+TEST(DedupLru, EvictsLeastRecentlyUsedAndTouchOnFindProtects)
+{
+    core::DedupCache cache(2);
+    cache.insert(1, {ipc::Value(uint64_t{10})});
+    cache.insert(2, {ipc::Value(uint64_t{20})});
+    // Touch 1 so 2 becomes the LRU entry.
+    ASSERT_NE(cache.find(1), nullptr);
+    EXPECT_EQ(cache.insert(3, {ipc::Value(uint64_t{30})}), 1u);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.find(2), nullptr); // evicted
+    ASSERT_NE(cache.find(1), nullptr); // protected by the touch
+    EXPECT_EQ((*cache.find(1))[0].asU64(), 10u);
+    ASSERT_NE(cache.find(3), nullptr);
+
+    // Refreshing an existing seq evicts nothing.
+    EXPECT_EQ(cache.insert(1, {ipc::Value(uint64_t{11})}), 0u);
+    EXPECT_EQ((*cache.find(1))[0].asU64(), 11u);
+
+    // Shrinking the cap reports how many fell off the tail.
+    EXPECT_EQ(cache.setCapacity(1), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+    ASSERT_NE(cache.find(1), nullptr); // MRU survives
+}
+
+TEST(DedupLru, RuntimeCountsEvictionsUnderTightCap)
+{
+    core::RuntimeConfig config;
+    config.dedupCacheEntries = 2;
+    auto runtime = env().makeRuntime(config);
+    // More distinct calls on one partition than the cache holds.
+    for (int i = 0; i < 6; ++i) {
+        uint64_t id = runtime->createHostMat(
+            4, 4, 1, static_cast<uint64_t>(i), "m");
+        core::ApiResult res = runtime->invoke(
+            "cv2.GaussianBlur",
+            {ipc::Value(ipc::ObjectRef{core::kHostPartition, id})});
+        ASSERT_TRUE(res.ok) << res.error;
+    }
+    EXPECT_GT(runtime->stats().dedupEvictions, 0u);
+    EXPECT_LE(runtime->seqCacheSize(1), 2u);
+}
+
+} // namespace
+} // namespace freepart

@@ -48,7 +48,7 @@ TEST(SpscRing, RejectsOversizedMessage)
 
 TEST(SpscRing, FillsAndDrains)
 {
-    std::vector<uint8_t> region(256);
+    std::vector<uint8_t> region(SpscRing::kHeaderBytes + 256);
     SpscRing ring = SpscRing::create(region.data(), region.size());
     std::vector<uint8_t> msg(20, 0xab);
     int pushed = 0;
