@@ -26,6 +26,7 @@ import tempfile
 DEFAULT_BENCHES = [
     "bench_table9_overhead",
     "bench_fault_recovery",
+    "bench_shard_cluster",
     "bench_ldc_ablation",
     "bench_table12_ldc_stats",
     "bench_fig13_overhead",

@@ -1,16 +1,24 @@
 #!/usr/bin/env python3
-"""CI perf gate: compare a fresh bench_table9_overhead run against
-the checked-in baseline and fail on a meaningful overhead regression.
+"""CI perf gate: compare fresh bench runs against the checked-in
+baseline and fail on a meaningful regression.
 
 Usage:
     scripts/check_perf_regression.py --current /tmp/t9.json \
+        [--current-cluster /tmp/cluster.json] \
         [--baseline BENCH_freepart.json] [--tolerance 0.20]
 
-The gated metric is FreePart's simulated overhead over the
-no-isolation baseline (freepart_overhead_pct). The whole run is
-deterministic simulated time, so any drift is a real code change, not
-machine noise; the tolerance only absorbs intentional small cost-model
-tweaks. A >20% relative increase (e.g. 5.2% -> 6.3%) fails.
+Two gates:
+  * bench_table9_overhead (--current, required): FreePart's simulated
+    overhead over the no-isolation baseline (freepart_overhead_pct).
+    A >20% relative increase (e.g. 5.2% -> 6.3%) fails.
+  * bench_shard_cluster (--current-cluster, optional): aggregate
+    4-shard uniform-key throughput and its speedup over 1 shard. A
+    >20% relative decrease of either fails, as does any acked call
+    lost in the kill-one-shard drill.
+
+The whole run is deterministic simulated time, so any drift is a real
+code change, not machine noise; the tolerance only absorbs intentional
+small cost-model tweaks.
 """
 
 import argparse
@@ -18,29 +26,72 @@ import json
 import sys
 
 
+def check_max(name, baseline, current, tolerance):
+    """Gate a metric that must not increase beyond tolerance."""
+    limit = baseline * (1.0 + tolerance)
+    print(f"{name}: baseline {baseline:.2f}, current {current:.2f}, "
+          f"limit {limit:.2f}")
+    if current > limit:
+        print(f"FAIL: {name} regressed beyond tolerance",
+              file=sys.stderr)
+        return False
+    return True
+
+
+def check_min(name, baseline, current, tolerance):
+    """Gate a metric that must not decrease beyond tolerance."""
+    limit = baseline * (1.0 - tolerance)
+    print(f"{name}: baseline {baseline:.2f}, current {current:.2f}, "
+          f"floor {limit:.2f}")
+    if current < limit:
+        print(f"FAIL: {name} regressed beyond tolerance",
+              file=sys.stderr)
+        return False
+    return True
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("--current", required=True,
                         help="JSON written by bench_table9_overhead --json")
+    parser.add_argument("--current-cluster",
+                        help="JSON written by bench_shard_cluster --json")
     parser.add_argument("--baseline", default="BENCH_freepart.json")
     parser.add_argument("--tolerance", type=float, default=0.20,
-                        help="allowed relative increase (0.20 = +20%%)")
+                        help="allowed relative drift (0.20 = 20%%)")
     args = parser.parse_args()
 
     with open(args.baseline) as handle:
         baseline_doc = json.load(handle)
-    baseline = baseline_doc["table9_overhead"]["freepart_overhead_pct"]
 
     with open(args.current) as handle:
         current_doc = json.load(handle)
-    current = current_doc["metrics"]["freepart_overhead_pct"]
+    ok = check_max(
+        "FreePart overhead pct",
+        baseline_doc["table9_overhead"]["freepart_overhead_pct"],
+        current_doc["metrics"]["freepart_overhead_pct"],
+        args.tolerance)
 
-    limit = baseline * (1.0 + args.tolerance)
-    print(f"FreePart overhead: baseline {baseline:.2f}%, "
-          f"current {current:.2f}%, limit {limit:.2f}%")
-    if current > limit:
-        print("FAIL: simulated RPC/copy overhead regressed beyond "
-              "tolerance", file=sys.stderr)
+    if args.current_cluster:
+        cluster_base = baseline_doc["shard_cluster"]
+        with open(args.current_cluster) as handle:
+            cluster = json.load(handle)["metrics"]
+        ok &= check_min(
+            "cluster 4-shard throughput (calls/s)",
+            cluster_base["throughput_uniform_4shards"],
+            cluster["throughput_uniform_4shards"], args.tolerance)
+        ok &= check_min(
+            "cluster 4-shard speedup",
+            cluster_base["speedup_uniform_4shards"],
+            cluster["speedup_uniform_4shards"], args.tolerance)
+        lost = cluster["kill_lost_acks"]
+        print(f"kill-one-shard lost acks: {lost}")
+        if lost != 0:
+            print("FAIL: acknowledged calls lost in the kill drill",
+                  file=sys.stderr)
+            ok = False
+
+    if not ok:
         return 1
     print("ok: within tolerance")
     return 0

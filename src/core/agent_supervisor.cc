@@ -42,6 +42,16 @@ AgentSupervisor::quarantined(uint32_t partition) const
     return health(partition) == AgentHealth::Quarantined;
 }
 
+size_t
+AgentSupervisor::quarantinedCount() const
+{
+    size_t count = 0;
+    for (const PartitionState &state : parts)
+        if (state.health == AgentHealth::Quarantined)
+            ++count;
+    return count;
+}
+
 void
 AgentSupervisor::pruneWindow(PartitionState &state) const
 {

@@ -102,6 +102,11 @@ class AgentSupervisor
     AgentHealth health(uint32_t partition) const;
     bool quarantined(uint32_t partition) const;
 
+    /** Partitions currently quarantined. The shard router drains a
+     *  shard from the cluster ring when this crosses its threshold —
+     *  the cluster-level reuse of the health state machine. */
+    size_t quarantinedCount() const;
+
     /**
      * Report a crash of a partition's agent. Records it in the
      * sliding window and opens an outage if none is open. Returns

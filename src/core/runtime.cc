@@ -1,6 +1,7 @@
 #include "core/runtime.hh"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/checksum.hh"
 #include "util/logging.hh"
@@ -19,6 +20,17 @@ const std::set<osim::Syscall> kInfraSyscalls = {
     osim::Syscall::Prctl,   osim::Syscall::SchedYield,
     osim::Syscall::Getpid,
 };
+
+/** Process-unique object-id namespaces for kAutoShardId: the first
+ *  runtime in a process keeps namespace 0 (ids unchanged from the
+ *  pre-namespacing world), every later one gets the next. */
+uint32_t
+nextAutoShardId()
+{
+    static std::atomic<uint32_t> next{0};
+    return next.fetch_add(1, std::memory_order_relaxed) &
+           ((1u << fw::kObjectIdShardBits) - 1);
+}
 
 } // namespace
 
@@ -71,6 +83,9 @@ FreePartRuntime::FreePartRuntime(osim::Kernel &kernel,
 {
     osim::Process &host = kernel_.spawn("host-program");
     hostPid_ = host.pid();
+    shardId_ = config.shardId == kAutoShardId ? nextAutoShardId()
+                                              : config.shardId;
+    idCounter = fw::objectIdNamespace(shardId_);
     hostStore_ = std::make_unique<fw::ObjectStore>(kernel_, hostPid_,
                                                    &idCounter);
     setupAgents();
@@ -692,6 +707,76 @@ FreePartRuntime::absorbDelivers(uint32_t partition,
     }
 }
 
+bool
+FreePartRuntime::rpcWindowHot(uint32_t partition) const
+{
+    return std::find(hotWindow_.begin(), hotWindow_.end(),
+                     partition) != hotWindow_.end();
+}
+
+void
+FreePartRuntime::warmRpcWindow(uint32_t partition)
+{
+    auto it =
+        std::find(hotWindow_.begin(), hotWindow_.end(), partition);
+    if (it != hotWindow_.end())
+        hotWindow_.erase(it);
+    hotWindow_.push_front(partition);
+    while (hotWindow_.size() > hotDepth_)
+        hotWindow_.pop_back();
+}
+
+void
+FreePartRuntime::adaptHotWindow(const ipc::Channel &channel)
+{
+    double occupancy =
+        static_cast<double>(channel.pendingRequestBytes()) /
+        static_cast<double>(channel.ringCapacity());
+    if (occupancy >= config.batchGrowOccupancy) {
+        // Queueing pressure: data-carrying bursts are stacking up on
+        // the ring. Double the window so the partitions feeding the
+        // burst all stay in busy-poll.
+        if (hotDepth_ < config.hotWindowMaxDepth) {
+            hotDepth_ = std::min(hotDepth_ * 2,
+                                 config.hotWindowMaxDepth);
+            ++stats_.hotWindowGrows;
+            stats_.hotWindowDepthPeak = std::max<uint64_t>(
+                stats_.hotWindowDepthPeak, hotDepth_);
+        }
+    } else if (occupancy < config.batchDecayOccupancy &&
+               hotDepth_ > 1) {
+        // Idle chatter: spinning several agents buys nothing; step
+        // the window back toward the binary heuristic.
+        --hotDepth_;
+        ++stats_.hotWindowDecays;
+        while (hotWindow_.size() > hotDepth_)
+            hotWindow_.pop_back();
+    }
+}
+
+void
+FreePartRuntime::evictObject(uint64_t object_id)
+{
+    hostStore_->erase(object_id);
+    objectHome.erase(object_id);
+    for (Agent &agent : agents) {
+        agent.store->erase(object_id);
+        // Scrub checkpoint generations too: a post-crash restore must
+        // not resurrect a stale copy of data that now lives (and
+        // mutates) in another runtime.
+        for (CheckpointGen &gen : agent.checkpoints) {
+            gen.objects.erase(object_id);
+            gen.liveIds.erase(std::remove(gen.liveIds.begin(),
+                                          gen.liveIds.end(),
+                                          object_id),
+                              gen.liveIds.end());
+        }
+        // Cached responses referencing the evicted object would hand
+        // out a dangling ref on a dedup hit.
+        pruneSeqCache(agent);
+    }
+}
+
 FreePartRuntime::Attempt
 FreePartRuntime::attemptOnAgent(uint32_t partition,
                                 const fw::ApiDescriptor &desc,
@@ -701,11 +786,13 @@ FreePartRuntime::attemptOnAgent(uint32_t partition,
     Agent &agent = agents.at(partition);
     result = ApiResult();
 
-    // Hot window: the previous ring exchange was with this same
-    // partition, so its agent is still busy-polling the request ring
-    // (and we will busy-poll the response ring) — both futex wakes
-    // are skipped for the whole exchange.
-    bool hot = config.batchedRpc && lastRpcPartition_ == partition;
+    // Hot window: a recent ring exchange was with this partition, so
+    // its agent is still busy-polling the request ring (and we will
+    // busy-poll the response ring) — both futex wakes are skipped for
+    // the whole exchange. With the adaptive controller the window
+    // covers the last hotDepth_ distinct partitions, not just the
+    // immediately previous one.
+    bool hot = config.batchedRpc && rpcWindowHot(partition);
 
     // Host -> agent request over the shared-memory channel, batched
     // with any piggybacked LDC object deliveries.
@@ -724,6 +811,10 @@ FreePartRuntime::attemptOnAgent(uint32_t partition,
     ++stats_.ipcMessages; // the Request; Delivers ride along
     if (hot)
         ++stats_.hotSends;
+    // The batch is enqueued but not yet popped: the ring shows this
+    // exchange's enqueue watermark — the controller's pressure input.
+    if (config.adaptiveBatching)
+        adaptHotWindow(*agent.channel);
 
     std::vector<ipc::Message> incomingBatch;
     if (!agent.channel->receiveRequestBatch(incomingBatch)) {
@@ -847,7 +938,7 @@ FreePartRuntime::attemptOnAgent(uint32_t partition,
     stats_.bytesTransferred += ipc::batchWireSize(doneBatch);
     // A complete exchange keeps both sides spinning briefly: the next
     // call to this partition (if it comes right away) starts hot.
-    lastRpcPartition_ = partition;
+    warmRpcWindow(partition);
 
     if (!from_cache) {
         // Checkpoint stateful state periodically (A.2.4).

@@ -54,6 +54,9 @@ const char *frameworkStateName(FrameworkState state);
 /** State entered when an API of the given type executes. */
 FrameworkState stateForType(fw::ApiType type);
 
+/** Sentinel: allocate a process-unique object-id namespace. */
+constexpr uint32_t kAutoShardId = UINT32_MAX;
+
 /** Feature switches (defaults = full FreePart). */
 struct RuntimeConfig {
     bool lazyDataCopy = true;       //!< LDC on (§4.3.2)
@@ -63,6 +66,29 @@ struct RuntimeConfig {
      *  consecutive same-partition calls. Prior-technique baselines
      *  turn this off to keep their classic per-message transport. */
     bool batchedRpc = true;
+    /**
+     * Object-id namespace stamped into the high bits of every id this
+     * runtime mints (fw::objectIdNamespace). Two runtimes used to
+     * start their id counters at 0 and mint identical ids; the stamp
+     * makes ids disjoint across runtimes — the shard router relies on
+     * it, and the auto default fixes the collision even for plain
+     * single-runtime code that happens to create a second runtime.
+     * kAutoShardId draws the next process-unique namespace.
+     */
+    uint32_t shardId = kAutoShardId;
+    /**
+     * Adaptive batching-depth controller: widen the hot window from
+     * "the one partition of the previous exchange" to the last D
+     * distinct partitions when the request ring shows queueing
+     * pressure (enqueue watermark above batchGrowOccupancy doubles D
+     * up to hotWindowMaxDepth), and decay D by one step on idle
+     * (watermark below batchDecayOccupancy). Off by default so every
+     * baseline keeps the binary same-partition heuristic.
+     */
+    bool adaptiveBatching = false;
+    uint32_t hotWindowMaxDepth = 8; //!< controller depth ceiling
+    double batchGrowOccupancy = 1.0 / 64;   //!< grow threshold
+    double batchDecayOccupancy = 1.0 / 1024; //!< decay threshold
     bool restartAgents = true;      //!< respawn crashed agents
     bool enforceMemoryProtection = true; //!< temporal mprotect
     bool restrictSyscalls = true;   //!< install seccomp policies
@@ -166,6 +192,13 @@ class FreePartRuntime
     FrameworkState state() const { return state_; }
     const PartitionPlan &plan() const { return plan_; }
     osim::Kernel &kernel() { return kernel_; }
+
+    /** Object-id namespace this runtime mints from (resolved value
+     *  when the config asked for kAutoShardId). */
+    uint32_t shardId() const { return shardId_; }
+
+    /** Current adaptive batching-depth (1 = binary heuristic). */
+    uint32_t hotWindowDepth() const { return hotDepth_; }
     const analysis::Categorization &categorization() const
     {
         return cats;
@@ -239,6 +272,14 @@ class FreePartRuntime
 
     /** Checkpoint generations retained per agent. */
     static constexpr size_t kCheckpointGenerations = 2;
+
+    /**
+     * Remove an object from every store in this runtime (the cluster
+     * layer migrated it to another runtime; stale local copies must
+     * stop resolving). Cached responses referencing it are pruned
+     * from the dedup caches.
+     */
+    void evictObject(uint64_t object_id);
 
   private:
     /** One checksummed serialized object inside a checkpoint. */
@@ -336,8 +377,16 @@ class FreePartRuntime
     /** Agent-side intake of a request batch's Deliver messages. */
     void absorbDelivers(uint32_t partition,
                         const std::vector<ipc::Message> &batch);
-    /** Forget the hot send window (the peer stopped busy-polling). */
-    void coolRpcWindow() { lastRpcPartition_ = kHostPartition; }
+    /** Forget the hot send window (the peers stopped busy-polling). */
+    void coolRpcWindow() { hotWindow_.clear(); }
+    /** Is this partition's agent still busy-polling? */
+    bool rpcWindowHot(uint32_t partition) const;
+    /** Record a completed exchange: the partition joins (or refreshes
+     *  its place in) the hot window. */
+    void warmRpcWindow(uint32_t partition);
+    /** Adaptive batching depth: grow under queueing pressure, decay
+     *  on idle (ring enqueue watermark vs the config thresholds). */
+    void adaptHotWindow(const ipc::Channel &channel);
     /** Restart (with backoff) until up, quarantined, or disallowed. */
     bool recoverAgent(uint32_t partition);
     /** Graceful degradation for calls on a quarantined partition. */
@@ -355,6 +404,7 @@ class FreePartRuntime
     AgentSupervisor supervisor_;
 
     osim::Pid hostPid_ = 0;
+    uint32_t shardId_ = 0;  //!< resolved object-id namespace
     uint64_t idCounter = 0;
     std::unique_ptr<fw::ObjectStore> hostStore_;
     fw::DeviceFds hostDevices;
@@ -362,10 +412,14 @@ class FreePartRuntime
 
     FrameworkState state_ = FrameworkState::Initialization;
     uint32_t lastPartition = kHostPartition; //!< for neutral APIs
-    /** Partition of the previous ring exchange. A consecutive call to
-     *  the same partition finds both sides still busy-polling (the
-     *  adaptive-spin hot window) and skips the futex wakes. */
-    uint32_t lastRpcPartition_ = kHostPartition;
+    /** Partitions of the most recent ring exchanges, newest first. A
+     *  call to any partition in the window finds both sides still
+     *  busy-polling (the adaptive-spin hot window) and skips the
+     *  futex wakes. Depth 1 (the default) is the classic binary
+     *  same-partition heuristic; the adaptive batching controller
+     *  widens it under queueing pressure. */
+    std::deque<uint32_t> hotWindow_;
+    uint32_t hotDepth_ = 1; //!< current controller depth (1..max)
     std::vector<ProtectedVar> vars;
     /** object id -> (home partition, kind). Mutable so homeOf() can
      *  lazily adopt host-store objects created outside invoke(). */

@@ -99,8 +99,12 @@ ObjectStore::get(uint64_t id) const
 {
     auto it = objects.find(id);
     if (it == objects.end())
-        util::panic("ObjectStore(pid %u): unknown object %llu", pid_,
-                    static_cast<unsigned long long>(id));
+        util::panic("ObjectStore(pid %u): unknown object %llu "
+                    "(shard %u, index %llu)",
+                    pid_, static_cast<unsigned long long>(id),
+                    shardOfObjectId(id),
+                    static_cast<unsigned long long>(
+                        objectIdIndex(id)));
     return it->second;
 }
 

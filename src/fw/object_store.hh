@@ -21,6 +21,46 @@
 
 namespace freepart::fw {
 
+// ---- Object-id namespacing ------------------------------------------
+//
+// Object ids are only unique within one id counter. When several
+// runtimes coexist (a shard cluster, or simply two runtimes in one
+// process), each counter must mint from a disjoint namespace or two
+// runtimes would hand out identical ids and cross-runtime references
+// (LDC migration, replica restore) would silently alias. The high
+// bits of every id carry the namespace ("shard id"); the low bits are
+// the per-namespace running index.
+
+/** High bits of an object id reserved for the shard namespace. */
+constexpr uint32_t kObjectIdShardBits = 16;
+
+/** Bit position of the shard namespace within an object id. */
+constexpr uint32_t kObjectIdShardShift = 64 - kObjectIdShardBits;
+
+/** First id of a shard's namespace (the value an id counter must be
+ *  initialized to so every minted id carries the stamp). */
+constexpr uint64_t
+objectIdNamespace(uint32_t shard_id)
+{
+    return static_cast<uint64_t>(shard_id &
+                                 ((1u << kObjectIdShardBits) - 1))
+           << kObjectIdShardShift;
+}
+
+/** Shard namespace an object id was minted in. */
+constexpr uint32_t
+shardOfObjectId(uint64_t object_id)
+{
+    return static_cast<uint32_t>(object_id >> kObjectIdShardShift);
+}
+
+/** Per-namespace running index of an object id. */
+constexpr uint64_t
+objectIdIndex(uint64_t object_id)
+{
+    return object_id & ((1ull << kObjectIdShardShift) - 1);
+}
+
 /** Kinds of stored framework objects. */
 enum class ObjKind : uint8_t { Mat, Tensor, Bytes };
 

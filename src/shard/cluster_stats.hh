@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Cluster-level roll-up: what the shard router counts on top of the
+ * per-runtime RunStats. Shards run conceptually in parallel (each on
+ * its own simulated kernel), so cluster makespan is the *maximum*
+ * per-shard elapsed time, not the sum — aggregate throughput is
+ * routed calls divided by that makespan.
+ */
+
+#ifndef FREEPART_SHARD_CLUSTER_STATS_HH
+#define FREEPART_SHARD_CLUSTER_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/run_stats.hh"
+#include "osim/types.hh"
+
+namespace freepart::shard {
+
+/** Counters accumulated by a ShardRouter across routed calls. */
+struct ClusterStats {
+    uint64_t routedCalls = 0;   //!< invoke() calls accepted by the router
+    uint64_t callsOk = 0;       //!< calls acknowledged to the client
+    uint64_t callsFailed = 0;   //!< calls returned with an error
+    uint64_t dedupHits = 0;     //!< duplicate tokens served from cache
+    uint64_t localInputs = 0;   //!< ref inputs already on the target shard
+    uint64_t migrations = 0;    //!< objects moved between shards
+    uint64_t migrationBytes = 0; //!< payload bytes moved by migrations
+    uint64_t proxiedCalls = 0;  //!< calls executed on the input's owner
+    uint64_t replicaSaves = 0;  //!< result replicas captured
+    uint64_t replicaBytes = 0;  //!< bytes held by the replica store
+    uint64_t replicaRestores = 0; //!< objects rebuilt from a replica
+    uint64_t failovers = 0;     //!< calls retried on a new ring owner
+    uint64_t shardsDrained = 0; //!< shards removed for quarantine pressure
+    uint64_t shardsKilled = 0;  //!< shards removed for host death
+    uint64_t lostObjects = 0;   //!< inputs unrecoverable after shard loss
+
+    /** Calls landed per shard (indexed by shard slot). */
+    std::vector<uint64_t> callsPerShard;
+
+    /** Per-runtime counters summed across all shards. */
+    core::RunStats shardTotals;
+
+    /** Max per-shard elapsed simulated time (parallel shards). */
+    osim::SimTime makespan = 0;
+
+    /** Aggregate throughput over the cluster makespan. */
+    double
+    throughputCallsPerSec() const
+    {
+        if (makespan == 0)
+            return 0.0;
+        return static_cast<double>(callsOk) * 1e9 /
+               static_cast<double>(makespan);
+    }
+
+    /** Load imbalance: max over mean of callsPerShard (1.0 = even). */
+    double
+    imbalance() const
+    {
+        uint64_t max = 0, sum = 0;
+        size_t live = 0;
+        for (uint64_t calls : callsPerShard) {
+            if (calls > max)
+                max = calls;
+            sum += calls;
+            if (calls > 0)
+                ++live;
+        }
+        if (live == 0 || sum == 0)
+            return 1.0;
+        double mean = static_cast<double>(sum) /
+                      static_cast<double>(live);
+        return static_cast<double>(max) / mean;
+    }
+};
+
+} // namespace freepart::shard
+
+#endif // FREEPART_SHARD_CLUSTER_STATS_HH

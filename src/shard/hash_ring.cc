@@ -1,0 +1,105 @@
+#include "shard/hash_ring.hh"
+
+#include <cstring>
+
+#include "util/checksum.hh"
+
+namespace freepart::shard {
+
+namespace {
+
+/**
+ * splitmix64 finalizer: routing keys are often small sequential
+ * integers (object ids, session numbers), so they must be whitened
+ * before landing on the ring or consecutive keys would cluster on
+ * adjacent points and defeat the uniformity the vnodes buy.
+ */
+uint64_t
+mixKey(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+HashRing::HashRing(uint32_t vnodes_per_shard)
+    : vnodes(vnodes_per_shard == 0 ? 1 : vnodes_per_shard)
+{
+}
+
+uint64_t
+HashRing::keyPoint(uint64_t key)
+{
+    return mixKey(key);
+}
+
+uint64_t
+HashRing::vnodePoint(uint32_t shard_id, uint32_t vnode)
+{
+    uint8_t bytes[16];
+    uint64_t s = shard_id;
+    uint64_t v = vnode;
+    std::memcpy(bytes, &s, 8);
+    std::memcpy(bytes + 8, &v, 8);
+    // FNV alone clusters on small structured inputs (consecutive
+    // shard/vnode integers); the finalizer spreads the points.
+    return mixKey(util::fnv1a64(bytes, sizeof(bytes)));
+}
+
+std::vector<uint32_t>
+HashRing::shards() const
+{
+    return {members.begin(), members.end()};
+}
+
+void
+HashRing::addShard(uint32_t shard_id)
+{
+    if (!members.insert(shard_id).second)
+        return;
+    for (uint32_t v = 0; v < vnodes; ++v)
+        points.emplace(vnodePoint(shard_id, v), shard_id);
+}
+
+void
+HashRing::removeShard(uint32_t shard_id)
+{
+    if (members.erase(shard_id) == 0)
+        return;
+    for (uint32_t v = 0; v < vnodes; ++v) {
+        auto it = points.find(vnodePoint(shard_id, v));
+        if (it != points.end() && it->second == shard_id)
+            points.erase(it);
+    }
+}
+
+uint32_t
+HashRing::ownerOf(uint64_t key) const
+{
+    if (points.empty())
+        return kInvalidShard;
+    auto it = points.lower_bound(keyPoint(key));
+    if (it == points.end())
+        it = points.begin(); // clockwise wrap
+    return it->second;
+}
+
+double
+HashRing::remappedFraction(const HashRing &before,
+                           const HashRing &after,
+                           const std::vector<uint64_t> &keys)
+{
+    if (keys.empty())
+        return 0.0;
+    size_t moved = 0;
+    for (uint64_t key : keys)
+        if (before.ownerOf(key) != after.ownerOf(key))
+            ++moved;
+    return static_cast<double>(moved) /
+           static_cast<double>(keys.size());
+}
+
+} // namespace freepart::shard

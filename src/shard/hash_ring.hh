@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Consistent-hash ring over shard ids: the placement function of the
+ * cluster layer. Each shard contributes a configurable number of
+ * virtual nodes, hashed to deterministic points on a 64-bit ring; a
+ * key is owned by the shard of the first vnode at or clockwise after
+ * the key's point. Placement is a pure function of (membership,
+ * vnodes-per-shard), so it reproduces bit-for-bit across process
+ * restarts, and membership changes move a bounded fraction of keys:
+ * removing one of N shards remaps only the keys that shard owned
+ * (~1/N), leaving every other key untouched.
+ */
+
+#ifndef FREEPART_SHARD_HASH_RING_HH
+#define FREEPART_SHARD_HASH_RING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace freepart::shard {
+
+/** Sentinel: no shard (empty ring, lost object, ...). */
+constexpr uint32_t kInvalidShard = UINT32_MAX;
+
+/** The consistent-hash ring. */
+class HashRing
+{
+  public:
+    explicit HashRing(uint32_t vnodes_per_shard = 64);
+
+    uint32_t vnodesPerShard() const { return vnodes; }
+    size_t shardCount() const { return members.size(); }
+    bool empty() const { return members.empty(); }
+    bool contains(uint32_t shard_id) const
+    {
+        return members.count(shard_id) > 0;
+    }
+
+    /** Current members, ascending. */
+    std::vector<uint32_t> shards() const;
+
+    /** Add a shard's vnodes to the ring (idempotent). */
+    void addShard(uint32_t shard_id);
+
+    /** Drain a shard: its vnodes leave the ring and its keys remap
+     *  to the clockwise successors (idempotent). */
+    void removeShard(uint32_t shard_id);
+
+    /** Owner of a routing key; kInvalidShard on an empty ring. */
+    uint32_t ownerOf(uint64_t key) const;
+
+    /**
+     * Fraction of `keys` whose owner differs between two rings — the
+     * bounded-movement measure benches and tests assert on (removing
+     * one of N shards must stay near 1/N).
+     */
+    static double remappedFraction(const HashRing &before,
+                                   const HashRing &after,
+                                   const std::vector<uint64_t> &keys);
+
+    /** Ring point of a routing key (exposed for tests). */
+    static uint64_t keyPoint(uint64_t key);
+
+    /** Ring point of one virtual node (exposed for tests). */
+    static uint64_t vnodePoint(uint32_t shard_id, uint32_t vnode);
+
+  private:
+    uint32_t vnodes;
+    std::set<uint32_t> members;
+    /** ring position -> shard id. On the (astronomically rare) point
+     *  collision the first inserter keeps the point; removal only
+     *  erases points mapping to the leaving shard, so placement stays
+     *  consistent either way. */
+    std::map<uint64_t, uint32_t> points;
+};
+
+} // namespace freepart::shard
+
+#endif // FREEPART_SHARD_HASH_RING_HH

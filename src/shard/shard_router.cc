@@ -1,0 +1,449 @@
+#include "shard/shard_router.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace freepart::shard {
+
+namespace {
+
+/** Sum one shard's runtime counters into the cluster roll-up.
+ *  Time-window fields (startTime/endTime) stay per-shard — the
+ *  cluster aggregates them as makespan, not a sum. */
+void
+accumulate(core::RunStats &into, const core::RunStats &s)
+{
+    into.apiCalls += s.apiCalls;
+    into.ipcMessages += s.ipcMessages;
+    into.bytesTransferred += s.bytesTransferred;
+    into.lazyCopies += s.lazyCopies;
+    into.directCopies += s.directCopies;
+    into.eagerCopies += s.eagerCopies;
+    into.piggybackedFetches += s.piggybackedFetches;
+    into.hotSends += s.hotSends;
+    into.hotWindowGrows += s.hotWindowGrows;
+    into.hotWindowDecays += s.hotWindowDecays;
+    into.hotWindowDepthPeak =
+        std::max(into.hotWindowDepthPeak, s.hotWindowDepthPeak);
+    into.protectionFlips += s.protectionFlips;
+    into.stateChanges += s.stateChanges;
+    into.agentCrashes += s.agentCrashes;
+    into.agentRestarts += s.agentRestarts;
+    into.retriedCalls += s.retriedCalls;
+    into.memFaults += s.memFaults;
+    into.syscallDenials += s.syscallDenials;
+    into.transientFaults += s.transientFaults;
+    into.channelLosses += s.channelLosses;
+    into.dedupHits += s.dedupHits;
+    into.dedupEvictions += s.dedupEvictions;
+    into.retriesExhausted += s.retriesExhausted;
+    into.quarantines += s.quarantines;
+    into.hostFallbackCalls += s.hostFallbackCalls;
+    into.statefulFastFails += s.statefulFastFails;
+    into.checkpointsTaken += s.checkpointsTaken;
+    into.fullCheckpoints += s.fullCheckpoints;
+    into.incrementalCheckpoints += s.incrementalCheckpoints;
+    into.checkpointBytesSaved += s.checkpointBytesSaved;
+    into.checkpointBytesRestored += s.checkpointBytesRestored;
+    into.checkpointFallbacks += s.checkpointFallbacks;
+    into.standbyPromotions += s.standbyPromotions;
+    into.standbyWaitTime += s.standbyWaitTime;
+    into.recoveries += s.recoveries;
+    into.recoveryTime += s.recoveryTime;
+    into.backoffTime += s.backoffTime;
+}
+
+} // namespace
+
+ShardRouter::ShardRouter(const fw::ApiRegistry &registry,
+                         analysis::Categorization categorization,
+                         core::PartitionPlan plan,
+                         ShardRouterConfig config_in, SeedFn seed)
+    : registry(registry), cats(std::move(categorization)),
+      plan_(std::move(plan)), config(std::move(config_in)),
+      ring_(config.vnodesPerShard), dedup_(config.dedupEntries)
+{
+    if (config.shardCount == 0)
+        config.shardCount = 1;
+    shards_.reserve(config.shardCount);
+    for (uint32_t s = 0; s < config.shardCount; ++s) {
+        Shard shard;
+        shard.id = s;
+        shard.kernel = std::make_unique<osim::Kernel>();
+        if (seed)
+            seed(*shard.kernel);
+        core::RuntimeConfig rc = config.runtime;
+        // Namespace s+1: every shard mints from disjoint high bits,
+        // and namespace 0 (an unconfigured standalone runtime) can
+        // never alias a cluster id.
+        rc.shardId = s + 1;
+        shard.runtime = std::make_unique<core::FreePartRuntime>(
+            *shard.kernel, registry, cats, plan_, rc);
+        ring_.addShard(s);
+        shards_.push_back(std::move(shard));
+    }
+}
+
+ShardRouter::~ShardRouter() = default;
+
+uint32_t
+ShardRouter::shardCount() const
+{
+    return static_cast<uint32_t>(shards_.size());
+}
+
+size_t
+ShardRouter::liveShardCount() const
+{
+    size_t live = 0;
+    for (const Shard &shard : shards_)
+        if (shard.live && ring_.contains(shard.id))
+            ++live;
+    return live;
+}
+
+bool
+ShardRouter::shardLive(uint32_t shard) const
+{
+    return shards_.at(shard).live;
+}
+
+uint32_t
+ShardRouter::ownerShardOf(uint64_t routing_key) const
+{
+    return ring_.ownerOf(routing_key);
+}
+
+core::FreePartRuntime &
+ShardRouter::runtime(uint32_t shard)
+{
+    return *shards_.at(shard).runtime;
+}
+
+osim::Kernel &
+ShardRouter::kernel(uint32_t shard)
+{
+    return *shards_.at(shard).kernel;
+}
+
+uint32_t
+ShardRouter::lookupShard(uint64_t object_id) const
+{
+    auto it = objectShard_.find(object_id);
+    if (it != objectShard_.end())
+        return it->second;
+    // Lazy adoption: the object was minted by direct runtime access
+    // (createHostMat on a runtime handle, a test fixture, ...).
+    for (const Shard &shard : shards_) {
+        if (shard.live && shard.runtime->hasObject(object_id)) {
+            objectShard_[object_id] = shard.id;
+            return shard.id;
+        }
+    }
+    return kInvalidShard;
+}
+
+uint32_t
+ShardRouter::homeShardOf(uint64_t object_id) const
+{
+    return lookupShard(object_id);
+}
+
+void
+ShardRouter::killShard(uint32_t shard_id)
+{
+    Shard &shard = shards_.at(shard_id);
+    if (!shard.live)
+        return;
+    shard.live = false;
+    ring_.removeShard(shard_id);
+    ++stats_.shardsKilled;
+    util::inform("cluster: shard %u killed; %zu shards remain in ring",
+                 shard_id, ring_.shardCount());
+}
+
+void
+ShardRouter::drainShard(uint32_t shard_id)
+{
+    if (!ring_.contains(shard_id))
+        return;
+    ring_.removeShard(shard_id);
+    ++stats_.shardsDrained;
+    util::inform("cluster: shard %u drained; %zu shards remain in ring",
+                 shard_id, ring_.shardCount());
+}
+
+bool
+ShardRouter::checkShardHealth(uint32_t shard_id)
+{
+    Shard &shard = shards_.at(shard_id);
+    bool wasInRing = ring_.contains(shard_id);
+    if (!shard.runtime->hostAlive()) {
+        killShard(shard_id);
+        return wasInRing;
+    }
+    if (shard.runtime->supervisor().quarantinedCount() >=
+        config.drainQuarantineThreshold) {
+        drainShard(shard_id);
+        return wasInRing;
+    }
+    return false;
+}
+
+void
+ShardRouter::migrateObject(uint32_t from, uint32_t to,
+                           uint64_t object_id)
+{
+    if (from == to)
+        return;
+    Shard &src = shards_.at(from);
+    Shard &dst = shards_.at(to);
+    core::FreePartRuntime &srcRt = *src.runtime;
+    fw::ObjectStore &srcStore = srcRt.storeOf(srcRt.homeOf(object_id));
+    std::vector<uint8_t> bytes = srcStore.serialize(object_id);
+    fw::ObjKind kind = srcStore.get(object_id).kind;
+    std::string label = srcStore.get(object_id).label;
+    // Source pays the serialize; destination pays the network hop.
+    // The two shards run on separate simulated kernels, so each side's
+    // clock advances by its own share.
+    src.kernel->advance(src.kernel->costs().copyCost(bytes.size()));
+    dst.kernel->advance(
+        config.netRoundTrip +
+        static_cast<osim::SimTime>(
+            config.netPerByte * static_cast<double>(bytes.size())));
+    dst.runtime->hostStore().materialize(object_id, kind, bytes, label);
+    // Exactly one shard stays authoritative: stale copies on the
+    // source stop resolving (and its dedup caches drop responses that
+    // referenced the object).
+    srcRt.evictObject(object_id);
+    objectShard_[object_id] = to;
+    ++stats_.migrations;
+    stats_.migrationBytes += bytes.size();
+}
+
+bool
+ShardRouter::restoreReplica(uint32_t to, uint64_t object_id)
+{
+    auto it = replicas_.find(object_id);
+    if (it == replicas_.end())
+        return false;
+    Shard &dst = shards_.at(to);
+    const Replica &replica = it->second;
+    dst.kernel->advance(
+        config.netRoundTrip +
+        static_cast<osim::SimTime>(
+            config.netPerByte *
+            static_cast<double>(replica.bytes.size())));
+    dst.runtime->hostStore().materialize(object_id, replica.kind,
+                                         replica.bytes, replica.label);
+    objectShard_[object_id] = to;
+    ++stats_.replicaRestores;
+    return true;
+}
+
+void
+ShardRouter::saveReplica(uint32_t shard_id, uint64_t object_id)
+{
+    Shard &shard = shards_.at(shard_id);
+    core::FreePartRuntime &rt = *shard.runtime;
+    if (!rt.hasObject(object_id))
+        return;
+    fw::ObjectStore &store = rt.storeOf(rt.homeOf(object_id));
+    if (!store.has(object_id))
+        return;
+    Replica replica;
+    replica.kind = store.get(object_id).kind;
+    replica.label = store.get(object_id).label;
+    replica.bytes = store.serialize(object_id);
+    // Capture rides the result path while the data is hot: in-place
+    // copy rate, charged to the owning shard.
+    shard.kernel->advance(
+        shard.kernel->costs().copyCostInPlace(replica.bytes.size()));
+    auto it = replicas_.find(object_id);
+    if (it != replicas_.end())
+        stats_.replicaBytes -= it->second.bytes.size();
+    stats_.replicaBytes += replica.bytes.size();
+    replicas_[object_id] = std::move(replica);
+    ++stats_.replicaSaves;
+}
+
+void
+ShardRouter::noteResults(uint32_t shard_id,
+                         const ipc::ValueList &values)
+{
+    for (const ipc::Value &value : values) {
+        if (value.kind() != ipc::Value::Kind::Ref)
+            continue;
+        uint64_t id = value.asRef().objectId;
+        objectShard_[id] = shard_id;
+        if (config.replicateObjects)
+            saveReplica(shard_id, id);
+    }
+}
+
+uint64_t
+ShardRouter::createMat(uint64_t routing_key, uint32_t rows,
+                       uint32_t cols, uint32_t ch, uint64_t seed,
+                       const std::string &label)
+{
+    uint32_t owner = ring_.ownerOf(routing_key);
+    if (owner == kInvalidShard)
+        util::panic("createMat: no live shards in the ring");
+    Shard &shard = shards_.at(owner);
+    uint64_t id =
+        shard.runtime->createHostMat(rows, cols, ch, seed, label);
+    objectShard_[id] = owner;
+    if (config.replicateObjects)
+        saveReplica(owner, id);
+    return id;
+}
+
+RoutedCall
+ShardRouter::invoke(uint64_t routing_key, const std::string &api_name,
+                    ipc::ValueList args, uint64_t dedup_token)
+{
+    ++stats_.routedCalls;
+    RoutedCall out;
+
+    // At-least-once dedup: a token already acknowledged is answered
+    // from the cluster cache — the client may resubmit after a shard
+    // failure without double-executing.
+    if (dedup_token != 0) {
+        if (const ipc::ValueList *hit = dedup_.find(dedup_token)) {
+            ++stats_.dedupHits;
+            out.result.ok = true;
+            out.result.values = *hit;
+            out.deduped = true;
+            out.shard = ring_.ownerOf(routing_key);
+            return out;
+        }
+    }
+
+    // Failover loop: each iteration routes against the current ring;
+    // a shard that leaves the ring mid-call sends us back here with
+    // the keys already remapped to the survivors.
+    for (uint32_t attempt = 0; attempt <= config.shardCount;
+         ++attempt) {
+        uint32_t target = ring_.ownerOf(routing_key);
+        if (target == kInvalidShard) {
+            out.result.error = "cluster: no live shards in the ring";
+            ++stats_.callsFailed;
+            return out;
+        }
+
+        // Migrate-vs-proxy: a large input on another live, serving
+        // shard pulls the call to itself instead of moving its bytes.
+        uint32_t exec = target;
+        bool proxied = false;
+        size_t largest = config.migrationMaxBytes;
+        for (const ipc::Value &value : args) {
+            if (value.kind() != ipc::Value::Kind::Ref)
+                continue;
+            uint64_t id = value.asRef().objectId;
+            uint32_t owner = lookupShard(id);
+            if (owner == kInvalidShard || owner == target)
+                continue;
+            const Shard &shard = shards_.at(owner);
+            if (!shard.live || !ring_.contains(owner))
+                continue;
+            core::FreePartRuntime &rt = *shard.runtime;
+            size_t bytes =
+                rt.storeOf(rt.homeOf(id)).get(id).byteLen;
+            if (bytes > largest) {
+                largest = bytes;
+                exec = owner;
+                proxied = true;
+            }
+        }
+
+        // Stage inputs onto the executing shard: local refs stay put,
+        // remote ones migrate, dead owners fall back to replicas.
+        bool lost = false;
+        for (const ipc::Value &value : args) {
+            if (value.kind() != ipc::Value::Kind::Ref)
+                continue;
+            uint64_t id = value.asRef().objectId;
+            uint32_t owner = lookupShard(id);
+            if (owner == exec) {
+                ++stats_.localInputs;
+                continue;
+            }
+            if (owner != kInvalidShard && shards_.at(owner).live) {
+                migrateObject(owner, exec, id);
+                continue;
+            }
+            if (restoreReplica(exec, id))
+                continue;
+            out.result = core::ApiResult();
+            out.result.error =
+                "cluster: object " + std::to_string(id) +
+                " lost with its shard (no replica)";
+            ++stats_.lostObjects;
+            lost = true;
+            break;
+        }
+        if (lost) {
+            out.shard = exec;
+            ++stats_.callsFailed;
+            return out;
+        }
+
+        Shard &shard = shards_.at(exec);
+        core::ApiResult result =
+            shard.runtime->invoke(api_name, args);
+        ++shard.calls;
+
+        if (result.ok) {
+            noteResults(exec, result.values);
+            if (dedup_token != 0)
+                dedup_.insert(dedup_token, result.values);
+            ++stats_.callsOk;
+            if (proxied)
+                ++stats_.proxiedCalls;
+            out.result = std::move(result);
+            out.shard = exec;
+            out.proxied = proxied;
+            return out;
+        }
+
+        // Health integration: host death kills the shard, quarantine
+        // pressure drains it. Either way the ring loses its vnodes
+        // and this call retries on the new owner of the key.
+        if (checkShardHealth(exec)) {
+            ++out.failovers;
+            ++stats_.failovers;
+            continue;
+        }
+        out.result = std::move(result);
+        out.shard = exec;
+        out.proxied = proxied;
+        ++stats_.callsFailed;
+        return out;
+    }
+
+    if (out.result.error.empty())
+        out.result.error = "cluster: failover budget exhausted";
+    ++stats_.callsFailed;
+    return out;
+}
+
+const ClusterStats &
+ShardRouter::stats()
+{
+    stats_.callsPerShard.assign(shards_.size(), 0);
+    core::RunStats totals;
+    osim::SimTime makespan = 0;
+    for (Shard &shard : shards_) {
+        stats_.callsPerShard[shard.id] = shard.calls;
+        const core::RunStats &rs = shard.runtime->stats();
+        accumulate(totals, rs);
+        makespan = std::max(makespan, rs.elapsed());
+    }
+    stats_.shardTotals = totals;
+    stats_.makespan = makespan;
+    return stats_;
+}
+
+} // namespace freepart::shard

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * ShardRouter: the cluster layer that fans FreePart out across N
+ * independent runtime shards. Each shard is a full FreePart stack —
+ * its own simulated kernel, host process, agents, supervisor and
+ * checkpoints — and the router places every API call on the shard
+ * that owns the call's routing key under a consistent-hash ring.
+ *
+ * Cross-shard inputs are handled LDC-style at cluster scope: a ref
+ * argument living on another shard is either migrated to the
+ * executing shard (small objects; the source runtime evicts its copy
+ * so exactly one shard stays authoritative) or the whole call is
+ * proxied to the input's owner (large objects, where moving the call
+ * is cheaper than moving the data). Object ids are namespaced per
+ * shard (fw::objectIdNamespace) so shard-local id counters can never
+ * collide.
+ *
+ * Failure handling reuses the per-runtime supervision signals: a
+ * shard whose host dies is killed, one whose supervisor quarantined
+ * too many partitions is drained. Either way its vnodes leave the
+ * ring, keys remap to the survivors (bounded movement), and in-flight
+ * calls fail over to the new owner under at-least-once semantics — a
+ * cluster-level dedup cache answers re-submitted tokens of already
+ * acknowledged calls without re-executing.
+ */
+
+#ifndef FREEPART_SHARD_SHARD_ROUTER_HH
+#define FREEPART_SHARD_SHARD_ROUTER_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dedup_cache.hh"
+#include "core/partition_plan.hh"
+#include "core/runtime.hh"
+#include "osim/kernel.hh"
+#include "shard/cluster_stats.hh"
+#include "shard/hash_ring.hh"
+
+namespace freepart::shard {
+
+/** Cluster knobs. */
+struct ShardRouterConfig {
+    uint32_t shardCount = 4;
+    uint32_t vnodesPerShard = 64;
+
+    /**
+     * Migrate-vs-proxy threshold: a cross-shard ref input at or below
+     * this many bytes is migrated to the routing-key owner; above it
+     * the call is proxied to the (largest) input's shard instead.
+     */
+    size_t migrationMaxBytes = 4 << 20;
+
+    /** Capture a serialized replica of every result object so a
+     *  shard's objects survive its death (restored on the failover
+     *  owner). Off = objects on a killed shard are lost. */
+    bool replicateObjects = true;
+
+    /** Drain a shard from the ring once its supervisor has this many
+     *  partitions quarantined (the health integration signal). */
+    size_t drainQuarantineThreshold = 2;
+
+    /** Simulated cross-shard network: per-byte and per-transfer
+     *  fixed cost, charged to the receiving shard's kernel. Distinct
+     *  from (and above) the intra-shard shared-memory costs. */
+    double netPerByte = 0.25;
+    osim::SimTime netRoundTrip = 80'000;
+
+    /** Cluster-level at-least-once dedup cache capacity (tokens). */
+    size_t dedupEntries = 1024;
+
+    /** Per-shard runtime feature switches. The router overrides
+     *  RuntimeConfig::shardId per shard (namespace s+1). */
+    core::RuntimeConfig runtime;
+};
+
+/** Outcome of one routed call. */
+struct RoutedCall {
+    core::ApiResult result;
+    uint32_t shard = kInvalidShard; //!< shard that executed the call
+    uint32_t failovers = 0; //!< ring re-routes taken by this call
+    bool proxied = false;   //!< executed on an input's owner shard
+    bool deduped = false;   //!< answered from the cluster dedup cache
+};
+
+/** The cluster front end. */
+class ShardRouter
+{
+  public:
+    /** Per-shard kernel preparation (fixture seeding etc.), run
+     *  before the shard's runtime is created. */
+    using SeedFn = std::function<void(osim::Kernel &)>;
+
+    ShardRouter(const fw::ApiRegistry &registry,
+                analysis::Categorization categorization,
+                core::PartitionPlan plan, ShardRouterConfig config,
+                SeedFn seed = nullptr);
+    ~ShardRouter();
+
+    ShardRouter(const ShardRouter &) = delete;
+    ShardRouter &operator=(const ShardRouter &) = delete;
+
+    // ---- Client surface ----------------------------------------------
+
+    /**
+     * Route one API call. The routing key (a session/object grouping
+     * chosen by the caller) picks the executing shard via the ring;
+     * ref arguments are resolved cluster-wide and migrated or proxied
+     * as needed. A nonzero dedup_token makes the call at-least-once
+     * across failovers: a token already acknowledged is answered from
+     * the cluster dedup cache.
+     */
+    RoutedCall invoke(uint64_t routing_key, const std::string &api_name,
+                      ipc::ValueList args, uint64_t dedup_token = 0);
+
+    /** Create a Mat on the routing key's owner shard. */
+    uint64_t createMat(uint64_t routing_key, uint32_t rows,
+                       uint32_t cols, uint32_t ch, uint64_t seed,
+                       const std::string &label);
+
+    // ---- Membership and failure --------------------------------------
+
+    /** Shard slots configured (live or not). */
+    uint32_t shardCount() const;
+
+    /** Shards still serving (live and in the ring). */
+    size_t liveShardCount() const;
+
+    bool shardLive(uint32_t shard) const;
+
+    /** Kill a shard outright (host death): it leaves the ring and can
+     *  no longer serve as migration source; its objects survive only
+     *  as replicas. Used by benches to model machine loss. */
+    void killShard(uint32_t shard);
+
+    /** Drain a shard: vnodes leave the ring so no new keys land on
+     *  it, but the runtime stays up (migration source, in-flight
+     *  completion). The quarantine-pressure path. */
+    void drainShard(uint32_t shard);
+
+    // ---- Introspection -----------------------------------------------
+
+    const HashRing &ring() const { return ring_; }
+
+    /** Ring owner of a routing key right now. */
+    uint32_t ownerShardOf(uint64_t routing_key) const;
+
+    /** Shard currently holding an object (directory + lazy scan);
+     *  kInvalidShard when the object resolves nowhere. */
+    uint32_t homeShardOf(uint64_t object_id) const;
+
+    /** A shard's runtime (live or dead — introspection only). */
+    core::FreePartRuntime &runtime(uint32_t shard);
+
+    /** A shard's simulated kernel. */
+    osim::Kernel &kernel(uint32_t shard);
+
+    /** Roll-up: routing counters + per-shard RunStats totals +
+     *  cluster makespan (max per-shard elapsed — shards are
+     *  conceptually parallel machines). */
+    const ClusterStats &stats();
+
+  private:
+    struct Shard {
+        uint32_t id = 0;
+        std::unique_ptr<osim::Kernel> kernel;
+        std::unique_ptr<core::FreePartRuntime> runtime;
+        bool live = true;
+        uint64_t calls = 0; //!< calls executed here
+    };
+
+    /** Serialized copy of an object for cross-shard failover. */
+    struct Replica {
+        fw::ObjKind kind = fw::ObjKind::Bytes;
+        std::vector<uint8_t> bytes;
+        std::string label;
+    };
+
+    /** Directory lookup with lazy adoption of unknown ids. */
+    uint32_t lookupShard(uint64_t object_id) const;
+
+    /** Move an object's data between two live shards' runtimes. */
+    void migrateObject(uint32_t from, uint32_t to, uint64_t object_id);
+
+    /** Rebuild an object from its replica on a live shard. Returns
+     *  false when no replica exists (the object is lost). */
+    bool restoreReplica(uint32_t to, uint64_t object_id);
+
+    /** Record result objects: directory entries + replicas. */
+    void noteResults(uint32_t shard, const ipc::ValueList &values);
+
+    /** Capture (or refresh) an object's replica from its shard. */
+    void saveReplica(uint32_t shard, uint64_t object_id);
+
+    /** Post-failure health check: kill on host death, drain on
+     *  quarantine pressure. Returns true if the shard left the ring
+     *  (the caller should fail over). */
+    bool checkShardHealth(uint32_t shard);
+
+    const fw::ApiRegistry &registry;
+    analysis::Categorization cats;
+    core::PartitionPlan plan_;
+    ShardRouterConfig config;
+
+    HashRing ring_;
+    std::vector<Shard> shards_;
+    /** Cluster object directory: object id -> shard slot. Mutable so
+     *  homeShardOf()/lookupShard() can lazily adopt ids minted by
+     *  direct runtime access (mirrors FreePartRuntime::objectHome). */
+    mutable std::map<uint64_t, uint32_t> objectShard_;
+    std::map<uint64_t, Replica> replicas_;
+    core::DedupCache dedup_;
+    ClusterStats stats_;
+};
+
+} // namespace freepart::shard
+
+#endif // FREEPART_SHARD_SHARD_ROUTER_HH
