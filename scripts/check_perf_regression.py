@@ -5,9 +5,10 @@ baseline and fail on a meaningful regression.
 Usage:
     scripts/check_perf_regression.py --current /tmp/t9.json \
         [--current-cluster /tmp/cluster.json] \
+        [--current-pipeline /tmp/pipeline.json] \
         [--baseline BENCH_freepart.json] [--tolerance 0.20]
 
-Two gates:
+Three gates:
   * bench_table9_overhead (--current, required): FreePart's simulated
     overhead over the no-isolation baseline (freepart_overhead_pct).
     A >20% relative increase (e.g. 5.2% -> 6.3%) fails.
@@ -15,6 +16,11 @@ Two gates:
     4-shard uniform-key throughput and its speedup over 1 shard. A
     >20% relative decrease of either fails, as does any acked call
     lost in the kill-one-shard drill.
+  * bench_pipeline_parallel (--current-pipeline, optional): mean
+    async-vs-sync speedup over the pipeline-shaped Table 6 apps.
+    Fails below the absolute 1.2x floor, on a >tolerance relative
+    drop from the baseline, or if async replay is not byte-identical
+    to sync.
 
 The whole run is deterministic simulated time, so any drift is a real
 code change, not machine noise; the tolerance only absorbs intentional
@@ -56,6 +62,9 @@ def main():
                         help="JSON written by bench_table9_overhead --json")
     parser.add_argument("--current-cluster",
                         help="JSON written by bench_shard_cluster --json")
+    parser.add_argument("--current-pipeline",
+                        help="JSON written by bench_pipeline_parallel "
+                             "--json")
     parser.add_argument("--baseline", default="BENCH_freepart.json")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed relative drift (0.20 = 20%%)")
@@ -88,6 +97,27 @@ def main():
         print(f"kill-one-shard lost acks: {lost}")
         if lost != 0:
             print("FAIL: acknowledged calls lost in the kill drill",
+                  file=sys.stderr)
+            ok = False
+
+    if args.current_pipeline:
+        pipe_base = baseline_doc["pipeline_parallel"]
+        with open(args.current_pipeline) as handle:
+            pipe = json.load(handle)["metrics"]
+        speedup = pipe["pipeline_speedup"]
+        # Absolute floor first: the feature must stay clearly faster
+        # than serialized accounting regardless of what the baseline
+        # says.
+        print(f"pipeline speedup: current {speedup:.2f}, floor 1.20")
+        if speedup < 1.2:
+            print("FAIL: pipeline speedup below the 1.2x floor",
+                  file=sys.stderr)
+            ok = False
+        ok &= check_min(
+            "pipeline speedup vs baseline",
+            pipe_base["pipeline_speedup"], speedup, args.tolerance)
+        if pipe["byte_identical"] != 1:
+            print("FAIL: async replay not byte-identical to sync",
                   file=sys.stderr)
             ok = False
 

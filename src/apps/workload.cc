@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fw/invoker.hh"
+#include "util/checksum.hh"
 #include "util/logging.hh"
 
 namespace freepart::apps {
@@ -181,7 +182,7 @@ WorkloadGenerator::seedInputs(osim::Kernel &kernel) const
     fw::TestFixture fixture;
     fixture.rows = config_.imageRows;
     fixture.cols = config_.imageCols;
-    fixture.tensorDim = 512;
+    fixture.tensorDim = config_.tensorDim;
     fw::seedFixtureFiles(kernel, fixture);
 }
 
@@ -189,11 +190,25 @@ WorkloadResult
 WorkloadGenerator::run(core::FreePartRuntime &runtime,
                        const AppModel &model) const
 {
+    return replay(runtime, model, /*async=*/false);
+}
+
+WorkloadResult
+WorkloadGenerator::runAsync(core::FreePartRuntime &runtime,
+                            const AppModel &model) const
+{
+    return replay(runtime, model, /*async=*/true);
+}
+
+WorkloadResult
+WorkloadGenerator::replay(core::FreePartRuntime &runtime,
+                          const AppModel &model, bool async) const
+{
     WorkloadResult result;
     fw::TestFixture fixture;
     fixture.rows = config_.imageRows;
     fixture.cols = config_.imageCols;
-    fixture.tensorDim = 512;
+    fixture.tensorDim = config_.tensorDim;
     fw::Invoker invoker(runtime.kernel(), runtime.hostStore(),
                         core::kHostPartition, fixture);
 
@@ -219,9 +234,15 @@ WorkloadGenerator::run(core::FreePartRuntime &runtime,
         // At each round boundary the host program inspects the
         // previous round's result (reading scores, writing logs):
         // a genuine dereference, i.e. a non-lazy copy (Table 12's
-        // ~5% non-lazy share).
-        if (call.startsRound && have_chain)
-            runtime.fetchToHost(chain);
+        // ~5% non-lazy share). The async replay defers the
+        // inspection until the next round's load call is already in
+        // flight — the frame-N-loads-while-frame-N-1-is-inspected
+        // overlap pipelining exists for. Contents are unaffected:
+        // the load never touches the previous chain object.
+        bool fetch_prev = call.startsRound && have_chain;
+        ipc::ObjectRef prev_chain = chain;
+        if (fetch_prev && !async)
+            runtime.fetchToHost(prev_chain);
         const fw::ApiDescriptor &api = registry.require(call.api);
         ipc::ValueList args = invoker.prepareArgs(api, seed++);
         // Chain the pipeline object through compatible first args
@@ -268,8 +289,23 @@ WorkloadGenerator::run(core::FreePartRuntime &runtime,
             if (compatible)
                 args[0] = ipc::Value(chain);
         }
-        core::ApiResult res = runtime.invoke(call.api,
-                                             std::move(args));
+        core::ApiResult res;
+        if (async) {
+            core::CallTicket ticket =
+                runtime.invokeAsync(call.api, std::move(args));
+            // Execution is eager, so the result is already there;
+            // peeking (instead of waiting) keeps the host clock from
+            // synchronizing with the agent timeline on every call.
+            if (const core::ApiResult *peeked =
+                    runtime.peekResult(ticket))
+                res = *peeked;
+            else
+                res.error = "async ticket vanished";
+            if (fetch_prev)
+                runtime.fetchToHost(prev_chain);
+        } else {
+            res = runtime.invoke(call.api, std::move(args));
+        }
         if (!res.ok) {
             ++result.callsFailed;
             continue;
@@ -288,8 +324,14 @@ WorkloadGenerator::run(core::FreePartRuntime &runtime,
         }
     }
     // The host consumes the final result.
-    if (have_chain && runtime.hasObject(chain.objectId))
+    if (have_chain && runtime.hasObject(chain.objectId)) {
         runtime.fetchToHost(chain);
+        result.hasFinalObject = true;
+        result.finalDigest = util::fnv1a64(
+            runtime.hostStore().serialize(chain.objectId));
+    }
+    if (async)
+        runtime.drainAll();
     result.stats = runtime.stats();
     return result;
 }

@@ -30,6 +30,10 @@ struct WorkloadCall {
 struct WorkloadResult {
     uint64_t callsOk = 0;
     uint64_t callsFailed = 0;
+    bool hasFinalObject = false; //!< a pipeline object survived to the end
+    /** FNV-1a of the final pipeline object's serialized bytes — the
+     *  byte-identity witness between sync and async replays. */
+    uint64_t finalDigest = 0;
     core::RunStats stats;     //!< runtime counters after the replay
 };
 
@@ -42,6 +46,7 @@ class WorkloadGenerator
     struct Config {
         uint32_t imageRows = 768;  //!< ImageNet-scale frames (§5.2)
         uint32_t imageCols = 768;
+        uint32_t tensorDim = 512;  //!< fixture tensor side length
         uint32_t maxRounds = 4;    //!< load/process rounds replayed
         uint32_t maxCallsPerRound = 64; //!< cap per round
     };
@@ -66,12 +71,25 @@ class WorkloadGenerator
     WorkloadResult run(core::FreePartRuntime &runtime,
                        const AppModel &model) const;
 
+    /**
+     * Replay the same trace through invokeAsync: loads for round N
+     * are issued before the host inspects round N-1's frame, and
+     * results are wired by ticket peeking, so stages overlap on the
+     * virtual timelines (when the runtime's pipelineParallel gate is
+     * on; with it off this degrades to the sync replay). Object
+     * contents — and finalDigest — are byte-identical to run().
+     */
+    WorkloadResult runAsync(core::FreePartRuntime &runtime,
+                            const AppModel &model) const;
+
     /** Seed the input files the generated traces read. */
     void seedInputs(osim::Kernel &kernel) const;
 
     const Config &config() const { return config_; }
 
   private:
+    WorkloadResult replay(core::FreePartRuntime &runtime,
+                          const AppModel &model, bool async) const;
     /** Pick up to `count` APIs of a type for a framework. */
     std::vector<std::string>
     pickApis(fw::ApiType type, fw::Framework framework,

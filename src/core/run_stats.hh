@@ -10,6 +10,7 @@
 #define FREEPART_CORE_RUN_STATS_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "osim/types.hh"
 
@@ -57,6 +58,21 @@ struct RunStats {
     osim::SimTime recoveryTime = 0; //!< summed outage spans (sim ns)
     osim::SimTime backoffTime = 0;  //!< simulated backoff waited
 
+    // Pipeline-parallel execution (RuntimeConfig::pipelineParallel).
+    uint64_t asyncCalls = 0;       //!< calls issued via invokeAsync
+    uint64_t pipelineBarriers = 0; //!< full drains forced by agent-side
+                                   //!< protection flips
+    uint64_t inFlightStalls = 0;   //!< dispatches stalled on queue depth
+    uint64_t inFlightPeak = 0;     //!< deepest per-partition queue seen
+    uint64_t checkpointSourcedRestores = 0; //!< objects lazily rebuilt
+                                            //!< from checkpoint chains
+
+    /** Bracketed execution time per partition (index = partition). */
+    std::vector<osim::SimTime> partitionBusyTime;
+
+    /** Makespan under pipeline accounting (0 when the gate is off). */
+    osim::SimTime criticalPathMakespan = 0;
+
     osim::SimTime startTime = 0;  //!< sim clock at runtime creation
     osim::SimTime endTime = 0;    //!< sim clock at last snapshot
 
@@ -82,6 +98,33 @@ struct RunStats {
         return total ? static_cast<double>(lazyCopies + directCopies) /
                            static_cast<double>(total)
                      : 0.0;
+    }
+
+    /** Summed per-partition busy time (pipeline accounting). */
+    osim::SimTime
+    totalBusyTime() const
+    {
+        osim::SimTime total = 0;
+        for (osim::SimTime t : partitionBusyTime)
+            total += t;
+        return total;
+    }
+
+    /**
+     * Fraction of agent work hidden by overlap: 1 - makespan / total
+     * busy time, clamped at 0. Zero under serialized accounting (the
+     * makespan then contains every bracketed nanosecond).
+     */
+    double
+    overlapFraction() const
+    {
+        osim::SimTime busy = totalBusyTime();
+        osim::SimTime span =
+            criticalPathMakespan ? criticalPathMakespan : elapsed();
+        if (busy == 0 || span == 0 || busy <= span)
+            return 0.0;
+        return 1.0 - static_cast<double>(span) /
+                         static_cast<double>(busy);
     }
 
     /** Mean simulated time from first crash to next success. */

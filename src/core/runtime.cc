@@ -89,6 +89,7 @@ FreePartRuntime::FreePartRuntime(osim::Kernel &kernel,
     hostStore_ = std::make_unique<fw::ObjectStore>(kernel_, hostPid_,
                                                    &idCounter);
     setupAgents();
+    stats_.partitionBusyTime.assign(plan_.partitionCount(), 0);
     stats_.startTime = kernel_.now();
 }
 
@@ -328,10 +329,96 @@ FreePartRuntime::homeOf(uint64_t object_id) const
                 static_cast<unsigned long long>(object_id));
 }
 
+bool
+FreePartRuntime::hasObject(uint64_t object_id) const
+{
+    if (objectHome.count(object_id) > 0 || hostStore_->has(object_id))
+        return true;
+    // Align with the restore path: an object recoverable from a
+    // checksum-intact checkpoint chain is not lost, even when no live
+    // store currently holds a copy.
+    for (const Agent &agent : agents)
+        if (checkpointEntryFor(agent, object_id))
+            return true;
+    return false;
+}
+
+const FreePartRuntime::CheckpointEntry *
+FreePartRuntime::checkpointEntryFor(const Agent &agent,
+                                    uint64_t id) const
+{
+    // Mirror of restartAgent's restore selection: the newest
+    // candidate generation whose whole chain (itself, the
+    // incrementals below it, and the full base they extend) passes
+    // checksum verification is authoritative. Its liveIds decide
+    // whether the object exists at all — a deleted object must not
+    // resurrect from an older generation — and the newest copy inside
+    // the chain is the one a restore would materialize.
+    for (size_t i = 0; i < agent.checkpoints.size(); ++i) {
+        size_t base = i;
+        while (base < agent.checkpoints.size() &&
+               !agent.checkpoints[base].full)
+            ++base;
+        bool intact = base < agent.checkpoints.size();
+        for (size_t j = i; intact && j <= base; ++j) {
+            for (const auto &[oid, entry] :
+                 agent.checkpoints[j].objects) {
+                if (util::fnv1a64(entry.bytes) != entry.checksum) {
+                    intact = false;
+                    break;
+                }
+            }
+        }
+        if (!intact)
+            continue; // corrupt chain: fall back to an older one
+        const CheckpointGen &candidate = agent.checkpoints[i];
+        if (std::find(candidate.liveIds.begin(),
+                      candidate.liveIds.end(),
+                      id) == candidate.liveIds.end())
+            return nullptr; // authoritative snapshot: not live
+        for (size_t j = i; j <= base; ++j) {
+            auto it = agent.checkpoints[j].objects.find(id);
+            if (it != agent.checkpoints[j].objects.end())
+                return &it->second;
+        }
+        return nullptr; // live at the snapshot but never captured
+    }
+    return nullptr;
+}
+
+bool
+FreePartRuntime::restoreFromCheckpoint(uint32_t partition,
+                                       uint64_t id)
+{
+    Agent &agent = agents.at(partition);
+    const CheckpointEntry *entry = checkpointEntryFor(agent, id);
+    if (!entry)
+        return false;
+    agent.store->materialize(id, entry->kind, entry->bytes,
+                             entry->label);
+    objectHome[id] = {partition, entry->kind};
+    stats_.checkpointBytesRestored += entry->bytes.size();
+    ++stats_.checkpointSourcedRestores;
+    return true;
+}
+
 const RunStats &
 FreePartRuntime::stats()
 {
     stats_.endTime = kernel_.now();
+    if (config.pipelineParallel) {
+        // The run is not over until every virtual timeline is: the
+        // makespan is the critical path through the issued tasks.
+        stats_.endTime =
+            std::max(stats_.endTime, kernel_.maxTimeline());
+        stats_.criticalPathMakespan =
+            stats_.endTime >= stats_.startTime
+                ? stats_.endTime - stats_.startTime
+                : 0;
+    }
+    for (const Agent &agent : agents)
+        stats_.inFlightPeak = std::max(
+            stats_.inFlightPeak, agent.channel->stats().inFlightPeak);
     const SupervisionStats &sup = supervisor_.stats();
     stats_.quarantines = sup.quarantines;
     stats_.recoveries = sup.recoveries;
@@ -376,6 +463,11 @@ FreePartRuntime::transferObject(uint32_t from, uint32_t to,
 {
     if (from == to)
         return;
+    // The source store may have lost the bytes (cleared on a restart
+    // whose restore skipped this object) while a checkpoint chain
+    // still vouches for it — rebuild lazily before copying out.
+    if (from != kHostPartition && !storeOf(from).has(id))
+        restoreFromCheckpoint(from, id);
     fw::ObjectStore &src = storeOf(from);
     fw::ObjectStore &dst = storeOf(to);
     std::vector<uint8_t> bytes = src.serialize(id);
@@ -445,6 +537,10 @@ FreePartRuntime::registerResultHomes(uint32_t partition,
 void
 FreePartRuntime::fetchToHost(const ipc::ObjectRef &ref)
 {
+    // Pipeline mode: dereferencing a result is a per-object
+    // synchronization point — the host clock catches up with the
+    // call that produces it (but not with unrelated timelines).
+    syncObjectReady(ref.objectId);
     uint32_t home = homeOf(ref.objectId);
     if (home == kHostPartition)
         return;
@@ -460,6 +556,15 @@ FreePartRuntime::fetchToHost(const ipc::ObjectRef &ref)
 ApiResult
 FreePartRuntime::invoke(const std::string &api_name,
                         ipc::ValueList args)
+{
+    if (!config.pipelineParallel)
+        return invokeSync(api_name, std::move(args));
+    return wait(invokeAsync(api_name, std::move(args)));
+}
+
+ApiResult
+FreePartRuntime::invokeSync(const std::string &api_name,
+                            ipc::ValueList args)
 {
     const fw::ApiDescriptor *desc = registry.byName(api_name);
     if (!desc) {
@@ -481,7 +586,7 @@ FreePartRuntime::invoke(const std::string &api_name,
         if (value.kind() != ipc::Value::Kind::Ref)
             continue;
         uint64_t id = value.asRef().objectId;
-        if (!objectHome.count(id) && !hostStore_->has(id)) {
+        if (!hasObject(id)) {
             ApiResult res;
             res.error = "argument object " + std::to_string(id) +
                         " was lost in an agent crash";
@@ -513,6 +618,242 @@ FreePartRuntime::invoke(const std::string &api_name,
         lastPartition = partition;
     }
     return result;
+}
+
+CallTicket
+FreePartRuntime::invokeAsync(const std::string &api_name,
+                             ipc::ValueList args)
+{
+    CallTicket ticket{nextTicket_++};
+    PendingCall pending;
+    if (!config.pipelineParallel) {
+        // Gate off: execute synchronously and hand back an
+        // already-completed ticket, so async call sites work
+        // unchanged under serialized accounting.
+        pending.result = invokeSync(api_name, std::move(args));
+        pending.readyAt = kernel_.now();
+        pending.issuedAt = pending.readyAt;
+    } else {
+        ++stats_.asyncCalls;
+        dispatchPipelined(ticket.id, api_name, std::move(args),
+                          pending);
+    }
+    pendingAsync_.emplace(ticket.id, std::move(pending));
+    return ticket;
+}
+
+void
+FreePartRuntime::dispatchPipelined(uint64_t ticket_id,
+                                   const std::string &api_name,
+                                   ipc::ValueList args,
+                                   PendingCall &out)
+{
+    out.issuedAt = kernel_.now();
+    out.readyAt = kernel_.now();
+
+    const fw::ApiDescriptor *desc = registry.byName(api_name);
+    if (!desc) {
+        out.result.error = "unknown API: " + api_name;
+        return;
+    }
+    if (!hostAlive()) {
+        out.result.error = "host program has crashed";
+        return;
+    }
+    ++stats_.apiCalls;
+    for (const ipc::Value &value : args) {
+        if (value.kind() != ipc::Value::Kind::Ref)
+            continue;
+        uint64_t id = value.asRef().objectId;
+        if (!hasObject(id)) {
+            out.result.error = "argument object " +
+                               std::to_string(id) +
+                               " was lost in an agent crash";
+            return;
+        }
+    }
+
+    auto it = cats.find(api_name);
+    fw::ApiType type =
+        it != cats.end() ? it->second.type : desc->declaredType;
+    bool neutral = (it != cats.end() && it->second.typeNeutral) ||
+                   desc->typeNeutral;
+
+    if (!neutral && type != fw::ApiType::Unknown) {
+        FrameworkState next = stateForType(type);
+        if (next != state_ && pendingProtectionFlips(state_)) {
+            // The transition will mprotect data inside an agent
+            // address space. In-flight tasks on the virtual timelines
+            // may still be writing it — drain everything before the
+            // flip lands (the conservative reading of §4.4.3 under
+            // overlap). Host-resident flips need no barrier: the
+            // dispatcher itself applies them, synchronously with
+            // issuing.
+            pipelineBarrier();
+        }
+        enterState(next);
+    }
+
+    uint32_t partition = plan_.partitionFor(api_name, type);
+    if (neutral && lastPartition != kHostPartition &&
+        plan_.kind() == PlanKind::ByType)
+        partition = lastPartition;
+
+    if (partition == kHostPartition) {
+        // Host execution is its own synchronization point: the host
+        // program touches the argument objects directly, so the
+        // clock first catches up with their producers.
+        for (const ipc::Value &value : args)
+            if (value.kind() == ipc::Value::Kind::Ref)
+                syncObjectReady(value.asRef().objectId);
+        out.result = executeInHost(*desc, args);
+        out.readyAt = kernel_.now();
+        out.partition = kHostPartition;
+        noteObjectsReady(out.result.values, out.readyAt);
+        return;
+    }
+
+    Agent &agent = agents.at(partition);
+
+    // Bounded in-flight depth: reap completions the host clock has
+    // already passed; if the queue is still full, stall the
+    // dispatcher until the oldest call retires.
+    agent.channel->reapCompleted(kernel_.now());
+    while (agent.channel->inFlightDepth() >=
+           config.maxInFlightPerPartition) {
+        osim::SimTime oldest = agent.channel->oldestInFlightDone();
+        if (oldest > kernel_.now())
+            kernel_.advance(oldest - kernel_.now());
+        ++stats_.inFlightStalls;
+        if (agent.channel->reapCompleted(kernel_.now()) == 0)
+            break; // defensive: queue cannot drain further
+    }
+
+    // The task starts once the host has issued it, the agent has
+    // finished its previous task, and every argument object has been
+    // produced (the read set) — the object-dependency schedule.
+    osim::SimTime start =
+        std::max(kernel_.now(), kernel_.timelineOf(agent.pid));
+    for (const ipc::Value &value : args) {
+        if (value.kind() != ipc::Value::Kind::Ref)
+            continue;
+        auto ready = objectReadyAt_.find(value.asRef().objectId);
+        if (ready != objectReadyAt_.end())
+            start = std::max(start, ready->second);
+    }
+
+    // Execute eagerly (program order) inside a task bracket: every
+    // nanosecond the exchange charges — marshalling, ring transfer,
+    // agent compute, retries, even a restart — lands on the agent's
+    // virtual timeline instead of the global clock.
+    kernel_.beginTask(agent.pid, start);
+    out.result = executeOnAgent(partition, *desc, args);
+    lastPartition = partition;
+    osim::SimTime done = kernel_.endTask();
+
+    out.partition = partition;
+    out.readyAt = done;
+    if (partition < stats_.partitionBusyTime.size())
+        stats_.partitionBusyTime[partition] += done - start;
+
+    // Conservative read/write sets: argument objects may have been
+    // migrated (LDC rehoming) and results were produced — both settle
+    // at the call's completion.
+    for (const ipc::Value &value : args)
+        if (value.kind() == ipc::Value::Kind::Ref)
+            noteObjectsReady({value}, done);
+    noteObjectsReady(out.result.values, done);
+
+    // Issuing is not free for the host: it encoded the request into
+    // the ring. One per-message charge on the real clock.
+    kernel_.advance(kernel_.costs().ipcPerMessage);
+    agent.channel->noteInFlight(ticket_id, done);
+}
+
+ApiResult
+FreePartRuntime::wait(CallTicket ticket)
+{
+    auto it = pendingAsync_.find(ticket.id);
+    if (it == pendingAsync_.end()) {
+        ApiResult res;
+        res.error = "unknown or already-retired call ticket " +
+                    std::to_string(ticket.id);
+        return res;
+    }
+    PendingCall pending = std::move(it->second);
+    pendingAsync_.erase(it);
+    if (pending.readyAt > kernel_.now())
+        kernel_.advance(pending.readyAt - kernel_.now());
+    if (pending.partition != kHostPartition &&
+        pending.partition < agents.size())
+        agents[pending.partition].channel->reapCompleted(
+            kernel_.now());
+    return std::move(pending.result);
+}
+
+const ApiResult *
+FreePartRuntime::peekResult(CallTicket ticket) const
+{
+    auto it = pendingAsync_.find(ticket.id);
+    return it == pendingAsync_.end() ? nullptr : &it->second.result;
+}
+
+void
+FreePartRuntime::drainAll()
+{
+    osim::SimTime target = kernel_.maxTimeline();
+    for (const auto &[id, pending] : pendingAsync_)
+        target = std::max(target, pending.readyAt);
+    if (target > kernel_.now())
+        kernel_.advance(target - kernel_.now());
+    pendingAsync_.clear();
+    for (Agent &agent : agents)
+        agent.channel->clearInFlight();
+}
+
+bool
+FreePartRuntime::pendingProtectionFlips(FrameworkState previous) const
+{
+    if (!config.enforceMemoryProtection)
+        return false;
+    for (const ProtectedVar &var : vars)
+        if (!var.isProtected && var.definedIn == previous &&
+            var.pid != hostPid_)
+            return true;
+    return false;
+}
+
+void
+FreePartRuntime::pipelineBarrier()
+{
+    // Object readiness times never exceed their producer's timeline,
+    // so catching the clock up to every timeline retires all
+    // in-flight work.
+    kernel_.syncToTimelines();
+    for (Agent &agent : agents)
+        agent.channel->reapCompleted(kernel_.now());
+    ++stats_.pipelineBarriers;
+}
+
+void
+FreePartRuntime::syncObjectReady(uint64_t object_id)
+{
+    auto it = objectReadyAt_.find(object_id);
+    if (it != objectReadyAt_.end() && it->second > kernel_.now())
+        kernel_.advance(it->second - kernel_.now());
+}
+
+void
+FreePartRuntime::noteObjectsReady(const ipc::ValueList &values,
+                                  osim::SimTime ready)
+{
+    for (const ipc::Value &value : values) {
+        if (value.kind() != ipc::Value::Kind::Ref)
+            continue;
+        osim::SimTime &slot =
+            objectReadyAt_[value.asRef().objectId];
+        slot = std::max(slot, ready);
+    }
 }
 
 ApiResult
@@ -672,6 +1013,8 @@ FreePartRuntime::buildDeliverBatch(uint32_t partition,
         // LDC fetch piggybacked on the request batch (Fig. 11-(a),
         // but riding the same round trip instead of its own): the
         // object bytes are encoded straight into the ring frame.
+        if (home != kHostPartition && !storeOf(home).has(id))
+            restoreFromCheckpoint(home, id);
         fw::ObjectStore &src = storeOf(home);
         ipc::Message deliver;
         deliver.kind = ipc::MsgKind::Deliver;
@@ -757,6 +1100,10 @@ FreePartRuntime::adaptHotWindow(const ipc::Channel &channel)
 void
 FreePartRuntime::evictObject(uint64_t object_id)
 {
+    // Settle any in-flight producer first: the cluster layer is about
+    // to serialize the bytes out of this runtime.
+    syncObjectReady(object_id);
+    objectReadyAt_.erase(object_id);
     hostStore_->erase(object_id);
     objectHome.erase(object_id);
     for (Agent &agent : agents) {
@@ -1216,8 +1563,22 @@ FreePartRuntime::restartAgent(uint32_t partition)
             found = true;
             break;
         }
-        if (!found)
-            lost.push_back(id);
+        if (found)
+            continue;
+        // Last resort: a checkpoint chain the bulk restore above did
+        // not select (e.g. the fresh incarnation is itself dead, or
+        // the chosen generation predates the object) may still vouch
+        // for it. Rebuild it eagerly so the object keeps resolving —
+        // matching what hasObject() now promises.
+        if (const CheckpointEntry *entry =
+                checkpointEntryFor(agent, id)) {
+            agent.store->materialize(id, entry->kind, entry->bytes,
+                                     entry->label);
+            stats_.checkpointBytesRestored += entry->bytes.size();
+            ++stats_.checkpointSourcedRestores;
+            continue;
+        }
+        lost.push_back(id);
     }
     for (uint64_t id : lost)
         objectHome.erase(id);

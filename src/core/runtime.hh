@@ -101,6 +101,17 @@ struct RuntimeConfig {
     uint32_t checkpointFullEvery = 4;
     size_t ringBytes = 8 << 20;     //!< per-direction ring capacity
     size_t dedupCacheEntries = 64;  //!< at-least-once LRU cache cap
+    /**
+     * Pipeline-parallel execution: agents run on per-process virtual
+     * timelines, invoke() becomes wait(invokeAsync()), and calls to
+     * different partitions with disjoint object sets overlap in
+     * simulated time. Off (the default) keeps the classic fully
+     * serialized accounting — the Table 9 baseline numbers.
+     */
+    bool pipelineParallel = false;
+    /** Max issued-but-unwaited async calls per partition before the
+     *  dispatcher stalls on the oldest completion. */
+    uint32_t maxInFlightPerPartition = 4;
     SupervisionPolicy supervision;  //!< recovery policy (§4.4.2 +)
 };
 
@@ -112,6 +123,11 @@ struct ApiResult {
     bool quarantined = false;  //!< partition was quarantined (typed
                                //!< fail-fast for stateful APIs)
     ipc::ValueList values;   //!< return values when ok
+};
+
+/** Handle to an in-flight asynchronous invocation. */
+struct CallTicket {
+    uint64_t id = 0;
 };
 
 /** An annotated data object under temporal protection (§4.4.3). */
@@ -154,8 +170,51 @@ class FreePartRuntime
     bool hostAlive() const;
     fw::ObjectStore &hostStore() { return *hostStore_; }
 
-    /** Invoke a hooked framework API from the host program. */
+    /** Invoke a hooked framework API from the host program. Under
+     *  pipelineParallel this is wait(invokeAsync(...)). */
     ApiResult invoke(const std::string &api_name, ipc::ValueList args);
+
+    // ---- Asynchronous invocation (pipeline-parallel mode) ------------
+    //
+    // Execution stays eager and single-threaded in program order, so
+    // results and object contents are byte-identical to the sync
+    // path; what overlaps is simulated *time*. Each call runs inside
+    // a kernel task bracket on its agent's virtual timeline, started
+    // at max(host clock, agent timeline, readiness of every ObjectRef
+    // argument). Args and results form the call's read/write set:
+    // both become ready at its completion, so conflicting calls chain
+    // while disjoint calls to different partitions overlap.
+
+    /**
+     * Issue a call without synchronizing the host clock to its
+     * completion. The host is only charged the dispatch cost. With
+     * the gate off this degrades to a completed synchronous call.
+     */
+    CallTicket invokeAsync(const std::string &api_name,
+                           ipc::ValueList args);
+
+    /**
+     * Retire a ticket: advances the host clock to the call's
+     * completion time and returns (and forgets) its result.
+     */
+    ApiResult wait(CallTicket ticket);
+
+    /**
+     * Peek a ticket's result without synchronizing the host clock
+     * (execution is eager, so the result already exists). Used to
+     * wire dataflow between async calls. nullptr for unknown/retired
+     * tickets; the pointer is invalidated by wait() and drainAll().
+     */
+    const ApiResult *peekResult(CallTicket ticket) const;
+
+    /**
+     * Full barrier: advance the host clock past every outstanding
+     * timeline and forget all pending tickets.
+     */
+    void drainAll();
+
+    /** Tickets issued but not yet retired. */
+    size_t pendingAsyncCalls() const { return pendingAsync_.size(); }
 
     /**
      * Annotate existing host-process data for temporal protection
@@ -217,15 +276,11 @@ class FreePartRuntime
     /** Partition currently holding an object's data. */
     uint32_t homeOf(uint64_t object_id) const;
 
-    /** Whether an object still resolves anywhere. False means it was
-     *  lost with a crashed agent (no checkpoint, no host copy) —
-     *  homeOf() would panic on it. */
-    bool
-    hasObject(uint64_t object_id) const
-    {
-        return objectHome.count(object_id) > 0 ||
-               hostStore_->has(object_id);
-    }
+    /** Whether an object still resolves anywhere: a live store, the
+     *  host store, or a checksum-intact checkpoint chain (the same
+     *  generations the restore path would accept). False means it is
+     *  genuinely lost — homeOf() would panic on it. */
+    bool hasObject(uint64_t object_id) const;
 
     /** Snapshot stats (sets endTime to the current sim clock and
      *  mirrors the supervisor's recovery accounting). */
@@ -335,6 +390,16 @@ class FreePartRuntime
         bool forceFullCheckpoint = false;
     };
 
+    /** A call issued through invokeAsync, awaiting wait()/drainAll().
+     *  Execution already happened (eagerly); `readyAt` is where it
+     *  lands on the virtual timelines. */
+    struct PendingCall {
+        ApiResult result;
+        osim::SimTime issuedAt = 0;
+        osim::SimTime readyAt = 0;
+        uint32_t partition = kHostPartition;
+    };
+
     /** Outcome of one RPC delivery attempt. */
     enum class Attempt {
         Ok,          //!< API executed (or deduplicated) successfully
@@ -396,6 +461,35 @@ class FreePartRuntime
     /** Drop cached responses whose object refs no longer resolve. */
     void pruneSeqCache(Agent &agent);
 
+    /** The classic fully-serialized invoke path (gate off). */
+    ApiResult invokeSync(const std::string &api_name,
+                         ipc::ValueList args);
+    /** Pipelined dispatch: run the call in a task bracket on its
+     *  agent's timeline and fill `out` without syncing the host. */
+    void dispatchPipelined(uint64_t ticket_id,
+                           const std::string &api_name,
+                           ipc::ValueList args, PendingCall &out);
+    /** Would entering a new state flip protection on data living in
+     *  an *agent* address space? (Host-only flips are applied by the
+     *  dispatcher itself and need no barrier.) */
+    bool pendingProtectionFlips(FrameworkState previous) const;
+    /** Drain every timeline before a protection flip lands under
+     *  still-running agent tasks. */
+    void pipelineBarrier();
+    /** Advance the host clock to an object's readiness time. */
+    void syncObjectReady(uint64_t object_id);
+    /** Mark refs in `values` as produced/settled at `ready`. */
+    void noteObjectsReady(const ipc::ValueList &values,
+                          osim::SimTime ready);
+    /** Newest checksum-intact checkpoint entry for an object, using
+     *  the same candidate/chain selection as the restore path;
+     *  nullptr when no generation can vouch for it. */
+    const CheckpointEntry *checkpointEntryFor(const Agent &agent,
+                                              uint64_t id) const;
+    /** Rebuild a checkpoint-held object into its partition's store
+     *  (the lazy restore twin of the restartAgent bulk path). */
+    bool restoreFromCheckpoint(uint32_t partition, uint64_t id);
+
     osim::Kernel &kernel_;
     const fw::ApiRegistry &registry;
     analysis::Categorization cats;
@@ -426,6 +520,13 @@ class FreePartRuntime
     mutable std::map<uint64_t, std::pair<uint32_t, fw::ObjKind>>
         objectHome;
     uint64_t nextSeq = 1;
+    /** Readiness time of each object on the virtual timelines (only
+     *  maintained in pipeline mode; absent = ready immediately). */
+    std::map<uint64_t, osim::SimTime> objectReadyAt_;
+    /** ticket id -> pending call. std::map for pointer stability
+     *  (peekResult hands out pointers into it). */
+    std::map<uint64_t, PendingCall> pendingAsync_;
+    uint64_t nextTicket_ = 1;
     RunStats stats_;
 };
 

@@ -22,7 +22,9 @@
 #define FREEPART_IPC_CHANNEL_HH
 
 #include <cstdint>
+#include <deque>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ipc/codec.hh"
@@ -42,6 +44,7 @@ struct ChannelStats {
     uint64_t futexWakes = 0;    //!< synchronization wakeups charged
     uint64_t dropped = 0;       //!< frames lost to injected faults
     uint64_t corrupted = 0;     //!< frames rejected as corrupt
+    uint64_t inFlightPeak = 0;  //!< deepest async in-flight queue seen
 };
 
 /**
@@ -117,6 +120,50 @@ class Channel
     osim::Pid hostPid() const { return host; }
     osim::Pid agentPid() const { return agent; }
 
+    // ---- Async in-flight tracking (pipeline-parallel mode) -----------
+    //
+    // Under RuntimeConfig::pipelineParallel the runtime issues calls
+    // on this channel without waiting; each issued-but-unreaped call
+    // is queued here with its completion time on the agent's virtual
+    // timeline. The queue bounds dispatch depth (the runtime stalls
+    // when it is full) and is reaped as the host clock passes
+    // completion times. Completion times are monotone per channel, so
+    // the front entry is always the oldest.
+
+    /** Record an async call completing at `done` (virtual time). */
+    void
+    noteInFlight(uint64_t ticket, osim::SimTime done)
+    {
+        inFlight_.emplace_back(ticket, done);
+        if (inFlight_.size() > stats_.inFlightPeak)
+            stats_.inFlightPeak = inFlight_.size();
+    }
+
+    /** Issued async calls not yet reaped. */
+    size_t inFlightDepth() const { return inFlight_.size(); }
+
+    /** Completion time of the oldest in-flight call (0 if none). */
+    osim::SimTime
+    oldestInFlightDone() const
+    {
+        return inFlight_.empty() ? 0 : inFlight_.front().second;
+    }
+
+    /** Drop entries completed at or before `now`; returns count. */
+    size_t
+    reapCompleted(osim::SimTime now)
+    {
+        size_t reaped = 0;
+        while (!inFlight_.empty() && inFlight_.front().second <= now) {
+            inFlight_.pop_front();
+            ++reaped;
+        }
+        return reaped;
+    }
+
+    /** Forget all in-flight entries (full barrier / drain). */
+    void clearInFlight() { inFlight_.clear(); }
+
   private:
     void sendOn(SpscRing &ring, const std::vector<Message> &msgs,
                 bool is_request, bool hot);
@@ -138,6 +185,7 @@ class Channel
     SpscRing reqRing;
     SpscRing respRing;
     ChannelStats stats_;
+    std::deque<std::pair<uint64_t, osim::SimTime>> inFlight_;
 };
 
 } // namespace freepart::ipc

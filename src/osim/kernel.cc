@@ -492,7 +492,53 @@ Kernel::shmBacking(uint32_t seg_id) const
 void
 Kernel::logEvent(Pid pid, EventKind kind, const std::string &detail)
 {
-    eventLog.push_back({clock, pid, kind, detail});
+    // now() so events inside a task bracket carry the bracket's
+    // virtual timestamp rather than the (lagging) global clock.
+    eventLog.push_back({now(), pid, kind, detail});
+}
+
+void
+Kernel::beginTask(Pid pid, SimTime start_at)
+{
+    if (taskActive_)
+        util::panic("kernel: nested task bracket (pid %u)", pid);
+    taskActive_ = true;
+    taskPid_ = pid;
+    taskClock_ = std::max(start_at, clock);
+}
+
+SimTime
+Kernel::endTask()
+{
+    if (!taskActive_)
+        util::panic("kernel: endTask with no open bracket");
+    taskActive_ = false;
+    if (hasProcess(taskPid_)) {
+        Process &proc = process(taskPid_);
+        proc.readyAt = std::max(proc.readyAt, taskClock_);
+    }
+    return taskClock_;
+}
+
+SimTime
+Kernel::timelineOf(Pid pid) const
+{
+    return hasProcess(pid) ? process(pid).readyAt : 0;
+}
+
+SimTime
+Kernel::maxTimeline() const
+{
+    SimTime t = clock;
+    for (const auto &[pid, proc] : procs)
+        t = std::max(t, proc->readyAt);
+    return t;
+}
+
+void
+Kernel::syncToTimelines()
+{
+    clock = maxTimeline();
 }
 
 size_t

@@ -113,10 +113,54 @@ class Kernel
 
     // ---- Clock and costs ---------------------------------------------
 
-    SimTime now() const { return clock; }
-    void advance(SimTime ns) { clock += ns; }
+    SimTime now() const { return taskActive_ ? taskClock_ : clock; }
+
+    void
+    advance(SimTime ns)
+    {
+        if (taskActive_)
+            taskClock_ += ns;
+        else
+            clock += ns;
+    }
+
     CostModel &costs() { return costModel; }
     const CostModel &costs() const { return costModel; }
+
+    // ---- Per-process virtual timelines (pipeline accounting) ---------
+    //
+    // Each Process carries a `readyAt` timeline layered on the kernel
+    // clock. While a task bracket is open for pid P, every advance()
+    // is charged to P's virtual clock instead of the global one; the
+    // global clock only catches up at synchronization points (wait,
+    // drain, fetch) by taking the max over the timelines involved.
+    // Everything stays single-threaded and deterministic — only the
+    // *accounting* of time overlaps.
+
+    /**
+     * Open a task bracket for `pid` starting at `start_at` (the caller
+     * computes the max of the issuing clock, the pid's timeline, and
+     * any data dependencies). Brackets do not nest.
+     */
+    void beginTask(Pid pid, SimTime start_at);
+
+    /**
+     * Close the current bracket: records the bracket clock as the
+     * pid's `readyAt` and returns it. The global clock is NOT
+     * advanced — that is what lets tasks overlap.
+     */
+    SimTime endTask();
+
+    bool taskActive() const { return taskActive_; }
+
+    /** Virtual timeline of a pid (0 until it first runs a task). */
+    SimTime timelineOf(Pid pid) const;
+
+    /** Max over the global clock and every process timeline. */
+    SimTime maxTimeline() const;
+
+    /** Advance the global clock to maxTimeline() (full barrier). */
+    void syncToTimelines();
 
     // ---- Fault injection ----------------------------------------------
 
@@ -293,6 +337,9 @@ class Kernel
     CostModel costModel;
     FaultInjector *injector_ = nullptr;
     SimTime clock = 0;
+    bool taskActive_ = false;
+    Pid taskPid_ = 0;
+    SimTime taskClock_ = 0;
     Pid nextPid = 100;
     std::map<Pid, std::unique_ptr<Process>> procs;
     std::vector<ShmSegment> shmSegs;

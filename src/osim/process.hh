@@ -107,6 +107,13 @@ class Process
     /** Number of syscalls denied by the filter. */
     uint64_t deniedSyscalls = 0;
 
+    /**
+     * Virtual timeline under pipeline accounting: the simulated time
+     * at which this process finishes its last task bracket. Survives
+     * respawn (time never runs backwards for a pid slot).
+     */
+    SimTime readyAt = 0;
+
   private:
     friend class Kernel;
 

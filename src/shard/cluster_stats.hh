@@ -35,6 +35,9 @@ struct ClusterStats {
     uint64_t shardsDrained = 0; //!< shards removed for quarantine pressure
     uint64_t shardsKilled = 0;  //!< shards removed for host death
     uint64_t lostObjects = 0;   //!< inputs unrecoverable after shard loss
+    uint64_t shardsJoined = 0;  //!< shards added after construction
+    uint64_t proactivePushes = 0; //!< objects eagerly pushed to a joiner
+    uint64_t proactivePushBytes = 0; //!< payload bytes of those pushes
 
     /** Calls landed per shard (indexed by shard slot). */
     std::vector<uint64_t> callsPerShard;

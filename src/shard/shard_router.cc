@@ -53,6 +53,17 @@ accumulate(core::RunStats &into, const core::RunStats &s)
     into.recoveries += s.recoveries;
     into.recoveryTime += s.recoveryTime;
     into.backoffTime += s.backoffTime;
+    into.asyncCalls += s.asyncCalls;
+    into.pipelineBarriers += s.pipelineBarriers;
+    into.inFlightStalls += s.inFlightStalls;
+    into.inFlightPeak = std::max(into.inFlightPeak, s.inFlightPeak);
+    into.checkpointSourcedRestores += s.checkpointSourcedRestores;
+    if (into.partitionBusyTime.size() < s.partitionBusyTime.size())
+        into.partitionBusyTime.resize(s.partitionBusyTime.size(), 0);
+    for (size_t p = 0; p < s.partitionBusyTime.size(); ++p)
+        into.partitionBusyTime[p] += s.partitionBusyTime[p];
+    into.criticalPathMakespan =
+        std::max(into.criticalPathMakespan, s.criticalPathMakespan);
 }
 
 } // namespace
@@ -270,7 +281,7 @@ ShardRouter::saveReplica(uint32_t shard_id, uint64_t object_id)
 }
 
 void
-ShardRouter::noteResults(uint32_t shard_id,
+ShardRouter::noteResults(uint32_t shard_id, uint64_t routing_key,
                          const ipc::ValueList &values)
 {
     for (const ipc::Value &value : values) {
@@ -278,6 +289,7 @@ ShardRouter::noteResults(uint32_t shard_id,
             continue;
         uint64_t id = value.asRef().objectId;
         objectShard_[id] = shard_id;
+        objectKey_[id] = routing_key;
         if (config.replicateObjects)
             saveReplica(shard_id, id);
     }
@@ -295,8 +307,69 @@ ShardRouter::createMat(uint64_t routing_key, uint32_t rows,
     uint64_t id =
         shard.runtime->createHostMat(rows, cols, ch, seed, label);
     objectShard_[id] = owner;
+    objectKey_[id] = routing_key;
     if (config.replicateObjects)
         saveReplica(owner, id);
+    return id;
+}
+
+void
+ShardRouter::drainAll()
+{
+    for (Shard &shard : shards_)
+        if (shard.live)
+            shard.runtime->drainAll();
+}
+
+uint32_t
+ShardRouter::addShard(SeedFn seed)
+{
+    uint32_t id = static_cast<uint32_t>(shards_.size());
+    Shard shard;
+    shard.id = id;
+    shard.kernel = std::make_unique<osim::Kernel>();
+    if (seed)
+        seed(*shard.kernel);
+    core::RuntimeConfig rc = config.runtime;
+    rc.shardId = id + 1;
+    shard.runtime = std::make_unique<core::FreePartRuntime>(
+        *shard.kernel, registry, cats, plan_, rc);
+    shards_.push_back(std::move(shard));
+    ring_.addShard(id);
+    ++stats_.shardsJoined;
+
+    // Proactive push: keys whose ring slot remapped to the joiner get
+    // their objects sent over now, while the join is the only traffic,
+    // instead of as a first-touch migration stall inside some later
+    // call. Large objects still move lazily (or draw the call to
+    // themselves via the proxy path).
+    std::vector<std::pair<uint64_t, uint64_t>> snapshot(
+        objectKey_.begin(), objectKey_.end());
+    for (const auto &[object_id, routing_key] : snapshot) {
+        if (ring_.ownerOf(routing_key) != id)
+            continue;
+        uint32_t owner = lookupShard(object_id);
+        if (owner == kInvalidShard || owner == id)
+            continue;
+        const Shard &src = shards_.at(owner);
+        if (!src.live)
+            continue;
+        core::FreePartRuntime &rt = *src.runtime;
+        uint32_t home = rt.homeOf(object_id);
+        if (!rt.storeOf(home).has(object_id))
+            continue;
+        size_t bytes = rt.storeOf(home).get(object_id).byteLen;
+        if (bytes > config.migrationMaxBytes)
+            continue;
+        migrateObject(owner, id, object_id);
+        ++stats_.proactivePushes;
+        stats_.proactivePushBytes += bytes;
+    }
+    util::inform("cluster: shard %u joined; %zu shards in ring, "
+                 "%llu objects pushed",
+                 id, ring_.shardCount(),
+                 static_cast<unsigned long long>(
+                     stats_.proactivePushes));
     return id;
 }
 
@@ -391,12 +464,28 @@ ShardRouter::invoke(uint64_t routing_key, const std::string &api_name,
         }
 
         Shard &shard = shards_.at(exec);
-        core::ApiResult result =
-            shard.runtime->invoke(api_name, args);
+        core::ApiResult result;
+        if (config.runtime.pipelineParallel) {
+            // Async-per-shard: issue without waiting so consecutive
+            // calls landing on the same shard overlap on its agent
+            // timelines. invoke() would sync the shard's host clock
+            // per call and serialize everything the ring co-located.
+            // args stays intact: a failed call may retry on the next
+            // ring owner after this shard leaves the ring.
+            core::CallTicket ticket =
+                shard.runtime->invokeAsync(api_name, args);
+            if (const core::ApiResult *peeked =
+                    shard.runtime->peekResult(ticket))
+                result = *peeked;
+            else
+                result.error = "async ticket vanished";
+        } else {
+            result = shard.runtime->invoke(api_name, args);
+        }
         ++shard.calls;
 
         if (result.ok) {
-            noteResults(exec, result.values);
+            noteResults(exec, routing_key, result.values);
             if (dedup_token != 0)
                 dedup_.insert(dedup_token, result.values);
             ++stats_.callsOk;

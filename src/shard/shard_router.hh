@@ -122,7 +122,23 @@ class ShardRouter
                        uint32_t cols, uint32_t ch, uint64_t seed,
                        const std::string &label);
 
+    /**
+     * Barrier across the cluster: settle every shard's virtual
+     * timelines (a no-op unless the per-shard runtimes run with
+     * pipelineParallel on). Call before reading makespans that must
+     * include in-flight async work.
+     */
+    void drainAll();
+
     // ---- Membership and failure --------------------------------------
+
+    /**
+     * Add a fresh shard (own kernel + runtime) to the cluster and the
+     * ring. Routing keys that remap to the joiner have their objects
+     * pushed over eagerly when they fit migrationMaxBytes — instead
+     * of migrating lazily on first touch. Returns the new shard slot.
+     */
+    uint32_t addShard(SeedFn seed = nullptr);
 
     /** Shard slots configured (live or not). */
     uint32_t shardCount() const;
@@ -190,8 +206,10 @@ class ShardRouter
      *  false when no replica exists (the object is lost). */
     bool restoreReplica(uint32_t to, uint64_t object_id);
 
-    /** Record result objects: directory entries + replicas. */
-    void noteResults(uint32_t shard, const ipc::ValueList &values);
+    /** Record result objects: directory entries + replicas + the
+     *  routing key they were created under (drives proactive push). */
+    void noteResults(uint32_t shard, uint64_t routing_key,
+                     const ipc::ValueList &values);
 
     /** Capture (or refresh) an object's replica from its shard. */
     void saveReplica(uint32_t shard, uint64_t object_id);
@@ -212,6 +230,10 @@ class ShardRouter
      *  homeShardOf()/lookupShard() can lazily adopt ids minted by
      *  direct runtime access (mirrors FreePartRuntime::objectHome). */
     mutable std::map<uint64_t, uint32_t> objectShard_;
+    /** object id -> routing key it was created under. Ring ownership
+     *  is keyed by routing keys, not object ids, so a joiner's push
+     *  set is exactly the objects whose key now maps to it. */
+    std::map<uint64_t, uint64_t> objectKey_;
     std::map<uint64_t, Replica> replicas_;
     core::DedupCache dedup_;
     ClusterStats stats_;

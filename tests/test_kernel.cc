@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "osim/kernel.hh"
+#include "util/logging.hh"
 
 namespace freepart::osim {
 namespace {
@@ -327,6 +328,75 @@ TEST(Devices, Fnv1aMatchesKnownVector)
     EXPECT_EQ(fnv1a(nullptr, 0), 0xcbf29ce484222325ull);
     const uint8_t a[] = {'a'};
     EXPECT_EQ(fnv1a(a, 1), 0xaf63dc4c8601ec8cull);
+}
+
+// ---- Per-process virtual timelines ----------------------------------
+
+TEST(Timelines, TaskBracketChargesTimelineNotGlobalClock)
+{
+    Kernel kernel;
+    Process &proc = kernel.spawn("agent");
+    SimTime t0 = kernel.now();
+
+    kernel.beginTask(proc.pid(), t0);
+    EXPECT_TRUE(kernel.taskActive());
+    kernel.advance(500);
+    // Inside the bracket, now() reads the task clock...
+    EXPECT_EQ(kernel.now(), t0 + 500);
+    SimTime done = kernel.endTask();
+    // ...but the global clock never moved: the work happened on the
+    // process's own timeline, concurrently with the issuer.
+    EXPECT_EQ(done, t0 + 500);
+    EXPECT_EQ(kernel.now(), t0);
+    EXPECT_EQ(kernel.timelineOf(proc.pid()), t0 + 500);
+    EXPECT_EQ(kernel.maxTimeline(), t0 + 500);
+}
+
+TEST(Timelines, TasksOnOneProcessSerializeViaReadyAt)
+{
+    Kernel kernel;
+    Process &proc = kernel.spawn("agent");
+    SimTime t0 = kernel.now();
+    kernel.beginTask(proc.pid(), t0);
+    kernel.advance(300);
+    kernel.endTask();
+    // A second task asked to start earlier must queue behind the
+    // first: start_at below the ready point is advisory, the bracket
+    // clamps to max(start_at, global clock) and readyAt accumulates.
+    SimTime ready = kernel.timelineOf(proc.pid());
+    kernel.beginTask(proc.pid(), ready);
+    kernel.advance(200);
+    EXPECT_EQ(kernel.endTask(), ready + 200);
+    EXPECT_EQ(kernel.timelineOf(proc.pid()), t0 + 500);
+}
+
+TEST(Timelines, SyncToTimelinesIsABarrier)
+{
+    Kernel kernel;
+    Process &a = kernel.spawn("a");
+    Process &b = kernel.spawn("b");
+    SimTime t0 = kernel.now();
+    kernel.beginTask(a.pid(), t0);
+    kernel.advance(1000);
+    kernel.endTask();
+    kernel.beginTask(b.pid(), t0);
+    kernel.advance(400);
+    kernel.endTask();
+    EXPECT_EQ(kernel.now(), t0);
+    kernel.syncToTimelines();
+    EXPECT_EQ(kernel.now(), t0 + 1000);
+    EXPECT_EQ(kernel.now(), kernel.maxTimeline());
+}
+
+TEST(Timelines, NestedTaskBracketPanics)
+{
+    Kernel kernel;
+    Process &proc = kernel.spawn("p");
+    kernel.beginTask(proc.pid(), kernel.now());
+    EXPECT_THROW(kernel.beginTask(proc.pid(), kernel.now()),
+                 util::PanicError);
+    kernel.endTask();
+    EXPECT_THROW(kernel.endTask(), util::PanicError);
 }
 
 } // namespace

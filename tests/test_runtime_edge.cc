@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "core/runtime.hh"
+#include "osim/fault_injection.hh"
 #include "util/logging.hh"
 
 namespace freepart::core {
@@ -286,6 +287,105 @@ TEST(RuntimeEdge, HomeOfUnknownObjectPanics)
 {
     auto runtime = env().makeRuntime(PartitionPlan::freePartDefault());
     EXPECT_ANY_THROW(runtime->homeOf(0xdeadbeefull));
+}
+
+TEST(RuntimeEdge, HasObjectSeesCheckpointHeldObjectsAcrossDeadRespawn)
+{
+    // A checkpointed object must keep resolving even when the fresh
+    // incarnation is stillborn (injected restore crash) and the bulk
+    // restore never ran: hasObject consults the checkpoint chains,
+    // and the lost-scan eagerly rebuilds the object from them.
+    RuntimeConfig config;
+    config.checkpointInterval = 1;
+    auto runtime = env().makeRuntime(PartitionPlan::freePartDefault(),
+                                     config);
+    ApiResult model = runtime->invoke(
+        "torch.load", {ipc::Value(std::string("/data/model.fpt"))});
+    ASSERT_TRUE(model.ok) << model.error;
+    uint64_t id = model.values[0].asRef().objectId;
+    uint32_t p = runtime->homeOf(id);
+
+    osim::FaultInjector injector(1);
+    env().kernel->setFaultInjector(&injector);
+    osim::FaultSpec spec;
+    spec.point = osim::FaultPoint::Restore;
+    spec.action = osim::FaultAction::Crash;
+    spec.pid = runtime->agentPid(p);
+    spec.count = 1;
+    injector.schedule(spec);
+
+    env().kernel->faultProcess(
+        env().kernel->process(runtime->agentPid(p)), "induced");
+    EXPECT_FALSE(runtime->restartAgent(p)); // stillborn incarnation
+    EXPECT_TRUE(runtime->hasObject(id));
+    EXPECT_GE(runtime->stats().checkpointSourcedRestores, 1u);
+    // The injected fault is spent: the next restart comes up and the
+    // object is still usable.
+    ASSERT_TRUE(runtime->restartAgent(p));
+    EXPECT_TRUE(runtime->storeOf(runtime->homeOf(id)).has(id));
+    env().kernel->setFaultInjector(nullptr);
+}
+
+TEST(RuntimeEdge, EvictedCheckpointedObjectStaysGone)
+{
+    // Eviction scrubs the checkpoint generations, so hasObject's
+    // checkpoint scan must not resurrect data that was deliberately
+    // handed to another runtime.
+    RuntimeConfig config;
+    config.checkpointInterval = 1;
+    auto runtime = env().makeRuntime(PartitionPlan::freePartDefault(),
+                                     config);
+    ApiResult model = runtime->invoke(
+        "torch.load", {ipc::Value(std::string("/data/model.fpt"))});
+    ASSERT_TRUE(model.ok) << model.error;
+    uint64_t id = model.values[0].asRef().objectId;
+    ASSERT_TRUE(runtime->hasObject(id));
+    runtime->evictObject(id);
+    EXPECT_FALSE(runtime->hasObject(id));
+}
+
+TEST(RuntimeEdge, FetchToHostFallsBackToStaleAgentCopyAfterOwnerDeath)
+{
+    auto runtime = env().makeRuntime(PartitionPlan::freePartDefault());
+    ApiResult img = runtime->invoke(
+        "cv2.imread", {ipc::Value(std::string("/data/test.fpim"))});
+    ASSERT_TRUE(img.ok) << img.error;
+    ipc::ObjectRef ref = img.values[0].asRef();
+    // The object moves loading -> processing; the loading agent keeps
+    // a stale copy from before the LDC transfer. No host copy exists.
+    ApiResult blurred =
+        runtime->invoke("cv2.GaussianBlur", {img.values[0]});
+    ASSERT_TRUE(blurred.ok) << blurred.error;
+    ASSERT_EQ(runtime->homeOf(ref.objectId), 1u);
+    ASSERT_FALSE(runtime->hostStore().has(ref.objectId));
+
+    env().kernel->faultProcess(
+        env().kernel->process(runtime->agentPid(1)), "induced");
+    ASSERT_TRUE(runtime->restartAgent(1));
+    // Home fell back to the loading agent's stale copy...
+    EXPECT_EQ(runtime->homeOf(ref.objectId), 0u);
+    // ...and a host dereference of that copy works.
+    runtime->fetchToHost(ref);
+    EXPECT_TRUE(runtime->hostStore().has(ref.objectId));
+}
+
+TEST(RuntimeEdge, EvictObjectPrunesDedupEntriesReferencingIt)
+{
+    auto runtime = env().makeRuntime(PartitionPlan::freePartDefault());
+    ApiResult img = runtime->invoke(
+        "cv2.imread", {ipc::Value(std::string("/data/test.fpim"))});
+    ASSERT_TRUE(img.ok) << img.error;
+    ApiResult blurred =
+        runtime->invoke("cv2.GaussianBlur", {img.values[0]});
+    ASSERT_TRUE(blurred.ok) << blurred.error;
+    uint64_t result_id = blurred.values[0].asRef().objectId;
+    size_t cached = runtime->seqCacheSize(1);
+    ASSERT_GE(cached, 1u);
+    // Evicting the result must drop the cached response that hands
+    // out a ref to it — a dedup hit would otherwise dangle.
+    runtime->evictObject(result_id);
+    EXPECT_LT(runtime->seqCacheSize(1), cached);
+    EXPECT_FALSE(runtime->hasObject(result_id));
 }
 
 } // namespace

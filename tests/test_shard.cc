@@ -369,6 +369,109 @@ TEST(ShardRouter, DrainedShardLeavesRingButServesMigrations)
     EXPECT_EQ(router->homeShardOf(id), call.shard);
 }
 
+TEST(ShardRouter, AddShardJoinsRingAndPushesRemappedObjects)
+{
+    auto router = env().makeRouter(2u);
+    // Spread objects across many routing keys so some of them are
+    // bound to remap onto the joiner.
+    std::vector<std::pair<uint64_t, uint64_t>> objects; // key, id
+    for (uint64_t key = 2000; key < 2032; ++key)
+        objects.emplace_back(
+            key, router->createMat(key, 8, 8, 1, key, "obj"));
+
+    uint32_t joiner = router->addShard(
+        [](osim::Kernel &kernel) { fw::seedFixtureFiles(kernel); });
+    EXPECT_EQ(joiner, 2u);
+    EXPECT_EQ(router->shardCount(), 3u);
+    EXPECT_EQ(router->liveShardCount(), 3u);
+
+    const ClusterStats &stats = router->stats();
+    EXPECT_EQ(stats.shardsJoined, 1u);
+    EXPECT_GT(stats.proactivePushes, 0u);
+    EXPECT_GT(stats.proactivePushBytes, 0u);
+    // Every object whose key now maps to the joiner moved there, and
+    // exactly one shard stays authoritative for each.
+    for (auto &[key, id] : objects) {
+        uint32_t owner = router->ownerShardOf(key);
+        EXPECT_EQ(router->homeShardOf(id), owner);
+        if (owner == joiner) {
+            EXPECT_TRUE(router->runtime(joiner).hasObject(id));
+            EXPECT_FALSE(router->runtime(0).hasObject(id));
+            EXPECT_FALSE(router->runtime(1).hasObject(id));
+        }
+    }
+    // The joiner serves calls on its keys without a migration stall.
+    uint64_t joiner_key = keyOwnedBy(*router, joiner, 2000);
+    RoutedCall call = router->invoke(
+        joiner_key, "cv2.imread",
+        {ipc::Value(std::string("/data/test.fpim"))});
+    ASSERT_TRUE(call.result.ok) << call.result.error;
+    EXPECT_EQ(call.shard, joiner);
+}
+
+TEST(ShardRouter, AddShardSkipsObjectsAboveMigrationLimit)
+{
+    ShardRouterConfig config;
+    config.shardCount = 2;
+    config.migrationMaxBytes = 64; // every real Mat exceeds this
+    auto router = env().makeRouter(std::move(config));
+    for (uint64_t key = 3000; key < 3016; ++key)
+        router->createMat(key, 16, 16, 3, key, "big");
+    router->addShard(
+        [](osim::Kernel &kernel) { fw::seedFixtureFiles(kernel); });
+    const ClusterStats &stats = router->stats();
+    EXPECT_EQ(stats.shardsJoined, 1u);
+    // Oversized objects stay put: they migrate lazily on first touch
+    // (or draw the call to themselves via the proxy path).
+    EXPECT_EQ(stats.proactivePushes, 0u);
+}
+
+TEST(ShardRouter, AsyncPerShardOverlapsAndMatchesResults)
+{
+    // The same two-session trace, serialized vs async-per-shard: the
+    // async run must produce identical object contents and strictly
+    // more overlap (a smaller cluster makespan).
+    auto run = [&](bool async) {
+        ShardRouterConfig config;
+        config.shardCount = 2;
+        config.runtime.pipelineParallel = async;
+        auto router = env().makeRouter(std::move(config));
+        std::vector<uint64_t> keys = {keyOwnedBy(*router, 0),
+                                      keyOwnedBy(*router, 1)};
+        std::vector<ipc::Value> chain(2);
+        for (int step = 0; step < 6; ++step) {
+            for (size_t s = 0; s < keys.size(); ++s) {
+                RoutedCall call =
+                    step == 0
+                        ? router->invoke(
+                              keys[s], "cv2.imread",
+                              {ipc::Value(
+                                  std::string("/data/test.fpim"))})
+                        : router->invoke(keys[s], "cv2.GaussianBlur",
+                                         {chain[s]});
+                EXPECT_TRUE(call.result.ok) << call.result.error;
+                chain[s] = call.result.values[0];
+            }
+        }
+        router->drainAll();
+        ClusterStats stats = router->stats();
+        std::vector<std::vector<uint8_t>> bytes;
+        for (size_t s = 0; s < keys.size(); ++s) {
+            uint64_t id = chain[s].asRef().objectId;
+            uint32_t home = router->homeShardOf(id);
+            core::FreePartRuntime &rt = router->runtime(home);
+            bytes.push_back(rt.storeOf(rt.homeOf(id)).serialize(id));
+        }
+        return std::make_pair(stats, bytes);
+    };
+    auto [sync_stats, sync_bytes] = run(false);
+    auto [async_stats, async_bytes] = run(true);
+    EXPECT_EQ(sync_bytes, async_bytes);
+    EXPECT_EQ(sync_stats.shardTotals.asyncCalls, 0u);
+    EXPECT_GT(async_stats.shardTotals.asyncCalls, 0u);
+    EXPECT_LE(async_stats.makespan, sync_stats.makespan);
+}
+
 // ---- Adaptive batching depth controller ------------------------------
 
 /** Ping-pong a Mat between the processing and storing partitions:
