@@ -32,6 +32,7 @@ DEFAULT_BENCHES = [
     "bench_table9_overhead",
     "bench_fault_recovery",
     "bench_shard_cluster",
+    "bench_chaos_cluster",
     "bench_pipeline_parallel",
     "bench_ldc_ablation",
     "bench_table12_ldc_stats",
@@ -103,6 +104,10 @@ MARKDOWN_ROWS = [
      "n/a (this substrate)"),
     ("Mean MTTR under fault injection", "fault_recovery",
      "mean_mttr_us", "{:,.0f} us", "n/a (this substrate)"),
+    ("Cluster availability under 10% chaos", "chaos_cluster",
+     "availability_at_10pct", "{:.1%}", "n/a (this substrate)"),
+    ("Cluster p99 latency under 10% chaos", "chaos_cluster",
+     "p99_us_at_10pct", "{:,.0f} us", "n/a (this substrate)"),
     ("Attacks mitigated", "table5_attack_matrix",
      "attacks_mitigated", "{:.0f}", "all (Table 5)"),
 ]

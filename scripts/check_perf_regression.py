@@ -21,6 +21,11 @@ Three gates:
     Fails below the absolute 1.2x floor, on a >tolerance relative
     drop from the baseline, or if async replay is not byte-identical
     to sync.
+  * bench_chaos_cluster (--current-chaos, optional): availability of
+    the 23-app open-loop replay under the seeded 10% chaos plan.
+    Fails below the absolute 95% availability floor, if any acked
+    call is lost (either run), if the shed rate exceeds 10%, or if
+    the chaos run does not replay deterministically.
 
 The whole run is deterministic simulated time, so any drift is a real
 code change, not machine noise; the tolerance only absorbs intentional
@@ -64,6 +69,9 @@ def main():
                         help="JSON written by bench_shard_cluster --json")
     parser.add_argument("--current-pipeline",
                         help="JSON written by bench_pipeline_parallel "
+                             "--json")
+    parser.add_argument("--current-chaos",
+                        help="JSON written by bench_chaos_cluster "
                              "--json")
     parser.add_argument("--baseline", default="BENCH_freepart.json")
     parser.add_argument("--tolerance", type=float, default=0.20,
@@ -118,6 +126,32 @@ def main():
             pipe_base["pipeline_speedup"], speedup, args.tolerance)
         if pipe["byte_identical"] != 1:
             print("FAIL: async replay not byte-identical to sync",
+                  file=sys.stderr)
+            ok = False
+
+    if args.current_chaos:
+        with open(args.current_chaos) as handle:
+            chaos = json.load(handle)["metrics"]
+        avail = chaos["availability_at_10pct"]
+        print(f"chaos availability at 10%: {avail:.4f}, floor 0.95")
+        if avail < 0.95:
+            print("FAIL: availability under chaos below the 95% floor",
+                  file=sys.stderr)
+            ok = False
+        shed = chaos["shed_rate_at_10pct"]
+        print(f"chaos shed rate at 10%: {shed:.4f}, ceiling 0.10")
+        if shed > 0.10:
+            print("FAIL: shed rate under chaos above the 10% ceiling",
+                  file=sys.stderr)
+            ok = False
+        lost = chaos["lost_acks_at_0pct"] + chaos["lost_acks_at_10pct"]
+        print(f"chaos lost acks (clean + chaos): {lost}")
+        if lost != 0:
+            print("FAIL: acknowledged calls lost under chaos",
+                  file=sys.stderr)
+            ok = False
+        if chaos["deterministic_replay"] != 1:
+            print("FAIL: chaos run did not replay deterministically",
                   file=sys.stderr)
             ok = False
 

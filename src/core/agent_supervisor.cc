@@ -80,6 +80,8 @@ AgentSupervisor::onCrash(uint32_t partition)
 {
     PartitionState &state = parts.at(partition);
     ++stats_.crashesObserved;
+    if (crashListener_)
+        crashListener_(partition);
     if (state.health == AgentHealth::Quarantined)
         return false;
     if (!state.inOutage) {

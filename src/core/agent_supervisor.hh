@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "osim/kernel.hh"
@@ -164,6 +165,18 @@ class AgentSupervisor
     /** Crashes currently inside the partition's sliding window. */
     size_t windowCrashes(uint32_t partition) const;
 
+    /**
+     * Observer notified on every reported crash, including crashes of
+     * already-quarantined partitions. The cluster health monitor subscribes
+     * here so per-runtime crash churn feeds shard-level suspicion
+     * without polling quarantinedCount(). One listener per supervisor
+     * (latest wins); pass nullptr to unsubscribe.
+     */
+    void setCrashListener(std::function<void(uint32_t)> listener)
+    {
+        crashListener_ = std::move(listener);
+    }
+
   private:
     struct PartitionState {
         AgentHealth health = AgentHealth::Healthy;
@@ -183,6 +196,7 @@ class AgentSupervisor
     SupervisionPolicy policy_;
     std::vector<PartitionState> parts;
     SupervisionStats stats_;
+    std::function<void(uint32_t)> crashListener_;
     /** Cumulative restart-machinery time across ALL partitions
      *  (backoff, standby waits, spawn cost). The crash-loop clock is
      *  kernel.now() minus this, i.e. application time: any

@@ -81,6 +81,44 @@ FreePartRuntime::FreePartRuntime(osim::Kernel &kernel,
       config(config),
       supervisor_(kernel, config.supervision, plan_.partitionCount())
 {
+    // Reject configurations whose only possible behavior is a latent
+    // div-by-zero, a stall, or silent data loss — a clear message at
+    // construction beats a wrong simulation result later.
+    if (config.checkpointInterval == 0)
+        util::fatal("RuntimeConfig: checkpointInterval must be >= 1 "
+                    "(calls between checkpoints)");
+    if (config.checkpointFullEvery == 0)
+        util::fatal("RuntimeConfig: checkpointFullEvery must be >= 1 "
+                    "(1 = every checkpoint full)");
+    if (config.ringBytes < 4096)
+        util::fatal("RuntimeConfig: ringBytes %zu is below the 4 KiB "
+                    "minimum ring capacity",
+                    config.ringBytes);
+    if (config.dedupCacheEntries == 0)
+        util::fatal("RuntimeConfig: dedupCacheEntries must be >= 1 "
+                    "(at-least-once delivery needs the cache)");
+    if (config.pipelineParallel && config.maxInFlightPerPartition == 0)
+        util::fatal("RuntimeConfig: pipelineParallel needs "
+                    "maxInFlightPerPartition >= 1");
+    if (config.adaptiveBatching) {
+        if (config.hotWindowMaxDepth == 0)
+            util::fatal("RuntimeConfig: adaptiveBatching needs "
+                        "hotWindowMaxDepth >= 1");
+        if (config.batchGrowOccupancy <= 0.0 ||
+            config.batchDecayOccupancy < 0.0 ||
+            config.batchDecayOccupancy > config.batchGrowOccupancy)
+            util::fatal("RuntimeConfig: adaptive batching occupancy "
+                        "thresholds must satisfy 0 <= decay <= grow "
+                        "and grow > 0");
+    }
+    if (config.supervision.backoffFactor < 1.0)
+        util::fatal("RuntimeConfig: supervision.backoffFactor %.3f "
+                    "would shrink backoff delays (must be >= 1)",
+                    config.supervision.backoffFactor);
+    if (config.supervision.crashLoopThreshold == 0)
+        util::fatal("RuntimeConfig: supervision.crashLoopThreshold "
+                    "must be >= 1 (0 quarantines before any crash)");
+
     osim::Process &host = kernel_.spawn("host-program");
     hostPid_ = host.pid();
     shardId_ = config.shardId == kAutoShardId ? nextAutoShardId()

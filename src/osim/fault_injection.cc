@@ -22,6 +22,10 @@ faultPointName(FaultPoint point)
         return "checkpoint";
       case FaultPoint::Restore:
         return "restore";
+      case FaultPoint::ShardAdmission:
+        return "shard-admission";
+      case FaultPoint::ClusterTransfer:
+        return "cluster-transfer";
     }
     return "?";
 }
@@ -38,12 +42,22 @@ faultActionName(FaultAction action)
         return "transient";
       case FaultAction::Corrupt:
         return "corrupt";
+      case FaultAction::Stall:
+        return "stall";
+      case FaultAction::SlowDown:
+        return "slow-down";
     }
     return "?";
 }
 
 FaultAction
 FaultInjector::query(FaultPoint point, Pid pid)
+{
+    return queryFire(point, pid).action;
+}
+
+FaultFire
+FaultInjector::queryFire(FaultPoint point, Pid pid)
 {
     uint64_t hit = ++hitCounts[static_cast<size_t>(point)];
     for (Armed &a : armed) {
@@ -60,9 +74,9 @@ FaultInjector::query(FaultPoint point, Pid pid)
             continue;
         ++a.fired;
         log_.push_back({point, a.spec.action, pid, hit, a.spec.tag});
-        return a.spec.action;
+        return {a.spec.action, a.spec.stallTime, a.spec.slowFactor};
     }
-    return FaultAction::None;
+    return {};
 }
 
 void

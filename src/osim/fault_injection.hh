@@ -37,9 +37,11 @@ enum class FaultPoint : uint8_t {
     Respawn,          //!< Kernel::respawn (crash-loop generation)
     Checkpoint,       //!< runtime checkpointAgent serialization
     Restore,          //!< runtime restoring a checkpoint after respawn
+    ShardAdmission,   //!< cluster: a routed call admitted to a shard
+    ClusterTransfer,  //!< cluster: cross-shard object transfer
 };
 
-constexpr size_t kNumFaultPoints = 7;
+constexpr size_t kNumFaultPoints = 9;
 
 /** Display name of a fault point. */
 const char *faultPointName(FaultPoint point);
@@ -50,6 +52,8 @@ enum class FaultAction : uint8_t {
     Crash,     //!< kill the process at the point (SIGSEGV-like)
     Transient, //!< fail the operation; the process survives
     Corrupt,   //!< corrupt the data flowing through the point
+    Stall,     //!< freeze the target for FaultSpec::stallTime sim ns
+    SlowDown,  //!< multiply the operation's cost by FaultSpec::slowFactor
 };
 
 /** Display name of a fault action. */
@@ -71,6 +75,19 @@ struct FaultSpec {
     uint32_t count = 1;       //!< firings allowed (0 = unlimited)
     double probability = 1.0; //!< per-hit firing probability
     std::string tag;          //!< label recorded in the injection log
+
+    /** Magnitudes for the cluster fault actions. At the cluster
+     *  points the Pid field selects a shard slot (shard id + 1, so
+     *  kAnyPid keeps meaning "every shard"). */
+    SimTime stallTime = 0;    //!< FaultAction::Stall freeze length
+    double slowFactor = 1.0;  //!< FaultAction::SlowDown multiplier
+};
+
+/** A fired fault plus the magnitudes its spec carried. */
+struct FaultFire {
+    FaultAction action = FaultAction::None;
+    SimTime stallTime = 0;
+    double slowFactor = 1.0;
 };
 
 /** One fault that actually fired. */
@@ -113,6 +130,13 @@ class FaultInjector
      * is met fires and its action is returned.
      */
     FaultAction query(FaultPoint point, Pid pid);
+
+    /**
+     * Like query(), but also returns the firing spec's magnitudes
+     * (stall length, slow-down factor) — the cluster fault points
+     * need more than the action tag.
+     */
+    FaultFire queryFire(FaultPoint point, Pid pid);
 
     /** Total hits observed at a point (fired or not). */
     uint64_t

@@ -1,0 +1,116 @@
+#include "shard/chaos.hh"
+
+#include <algorithm>
+
+#include "util/rng.hh"
+
+namespace freepart::shard {
+
+const char *
+chaosEventKindName(ChaosEventKind kind)
+{
+    switch (kind) {
+      case ChaosEventKind::ShardKill:
+        return "shard-kill";
+      case ChaosEventKind::ShardRejoin:
+        return "shard-rejoin";
+    }
+    return "?";
+}
+
+ChaosSchedule
+ChaosSchedule::generate(uint64_t seed, uint32_t shard_count,
+                        uint64_t total_calls, double chaos_rate)
+{
+    ChaosSchedule plan;
+    plan.seed = seed;
+    if (shard_count == 0 || total_calls == 0 || chaos_rate <= 0.0)
+        return plan;
+    util::Rng rng(seed ^ 0xc4a05c4a05c4a05ull);
+
+    // Degradation specs, one set per shard. The per-hit probabilities
+    // split the chaos rate across the fault classes so the *total*
+    // fraction of degraded admissions per shard tracks chaos_rate:
+    // stalls are rare but long, slow-downs common but mild.
+    for (uint32_t s = 0; s < shard_count; ++s) {
+        auto slot = static_cast<osim::Pid>(s + 1);
+
+        osim::FaultSpec stall;
+        stall.point = osim::FaultPoint::ShardAdmission;
+        stall.action = osim::FaultAction::Stall;
+        stall.pid = slot;
+        stall.after = rng.below(std::max<uint64_t>(
+            total_calls / (4 * shard_count), 1));
+        stall.count = 0; // unlimited; probability gates the rate
+        stall.probability = chaos_rate * 0.2;
+        stall.stallTime = static_cast<osim::SimTime>(
+            rng.range(300'000, 1'500'000)); // 0.3 - 1.5 ms freezes
+        stall.tag = "chaos-stall";
+        plan.specs.push_back(std::move(stall));
+
+        osim::FaultSpec slow;
+        slow.point = osim::FaultPoint::ShardAdmission;
+        slow.action = osim::FaultAction::SlowDown;
+        slow.pid = slot;
+        slow.count = 0;
+        slow.probability = chaos_rate * 0.8;
+        slow.slowFactor = 2.0 + rng.uniform() * 4.0; // 2x - 6x
+        slow.tag = "chaos-slow";
+        plan.specs.push_back(std::move(slow));
+
+        osim::FaultSpec drop;
+        drop.point = osim::FaultPoint::ClusterTransfer;
+        drop.action = osim::FaultAction::Transient;
+        drop.pid = slot;
+        drop.count = 0;
+        drop.probability = chaos_rate * 0.5;
+        drop.tag = "chaos-drop";
+        plan.specs.push_back(std::move(drop));
+
+        osim::FaultSpec corrupt;
+        corrupt.point = osim::FaultPoint::ClusterTransfer;
+        corrupt.action = osim::FaultAction::Corrupt;
+        corrupt.pid = slot;
+        corrupt.count = 0;
+        corrupt.probability = chaos_rate * 0.25;
+        corrupt.tag = "chaos-corrupt";
+        plan.specs.push_back(std::move(corrupt));
+    }
+
+    // Kill/rejoin windows: serialized in call-index time so at most
+    // one *generated* window is open at once — with replication on,
+    // one lost shard is recoverable; losing several at once is a
+    // different experiment and deserves a hand-written plan.
+    if (shard_count > 1) {
+        auto windows = static_cast<uint32_t>(
+            std::max<double>(1.0, chaos_rate * shard_count * 2.5));
+        uint64_t span = total_calls / (windows + 1);
+        if (span < 8)
+            span = 8;
+        uint64_t cursor = span / 2;
+        for (uint32_t w = 0; w < windows; ++w) {
+            if (cursor + 4 >= total_calls)
+                break;
+            ChaosEvent kill;
+            kill.atCall = cursor + rng.below(std::max<uint64_t>(
+                span / 4, 1));
+            kill.shard = static_cast<uint32_t>(rng.below(shard_count));
+            kill.kind = ChaosEventKind::ShardKill;
+            ChaosEvent rejoin;
+            rejoin.atCall = kill.atCall + 2 +
+                rng.below(std::max<uint64_t>(span / 2, 2));
+            rejoin.shard = kill.shard;
+            rejoin.kind = ChaosEventKind::ShardRejoin;
+            plan.events.push_back(kill);
+            plan.events.push_back(rejoin);
+            cursor = std::max(cursor + span, rejoin.atCall + 1);
+        }
+        std::stable_sort(plan.events.begin(), plan.events.end(),
+                         [](const ChaosEvent &a, const ChaosEvent &b) {
+                             return a.atCall < b.atCall;
+                         });
+    }
+    return plan;
+}
+
+} // namespace freepart::shard

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Seeded cluster chaos plans. A ChaosSchedule bundles everything a
+ * chaos run needs: FaultSpecs armed on the router's injector (shard
+ * stalls, slow-agent multipliers, cross-shard message drop/corrupt at
+ * the new ShardAdmission / ClusterTransfer fault points) plus a list
+ * of membership events (shard kill, shard rejoin) pinned to routed
+ * call indices. Everything derives from one seed through util::Rng,
+ * so a schedule replays byte-identically: same seed, same stalls,
+ * same kills, same recovery trace — the property the determinism
+ * gates in bench_chaos_cluster and test_chaos rely on.
+ */
+
+#ifndef FREEPART_SHARD_CHAOS_HH
+#define FREEPART_SHARD_CHAOS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "osim/fault_injection.hh"
+
+namespace freepart::shard {
+
+/** Cluster membership chaos. */
+enum class ChaosEventKind : uint8_t {
+    ShardKill,   //!< host death: shard leaves the ring, objects only
+                 //!< survive as replicas
+    ShardRejoin, //!< fresh incarnation of the slot rejoins the ring
+};
+
+/** Display name of a chaos event kind. */
+const char *chaosEventKindName(ChaosEventKind kind);
+
+/** One membership event, applied when the router has accepted
+ *  `atCall` open-loop calls. */
+struct ChaosEvent {
+    uint64_t atCall = 0;
+    uint32_t shard = 0;
+    ChaosEventKind kind = ChaosEventKind::ShardKill;
+};
+
+/**
+ * A complete chaos plan for one run. `specs` go to a FaultInjector
+ * seeded with `seed` (at the cluster fault points the spec's Pid
+ * selects a shard: slot + 1); `events` are applied by the router at
+ * the given call indices, in order.
+ */
+struct ChaosSchedule {
+    uint64_t seed = 0;
+    std::vector<osim::FaultSpec> specs;
+    std::vector<ChaosEvent> events; //!< sorted by atCall
+
+    /** Total degradation specs + membership events (plan size). */
+    size_t planSize() const { return specs.size() + events.size(); }
+
+    /**
+     * Generate a plan deterministically from a seed. `chaos_rate` is
+     * the target fraction of each shard's admissions that run
+     * degraded (stalled / slowed / dropped); at rate > 0 the plan
+     * additionally schedules one kill+rejoin window per ~1/rate/4
+     * shards (at least one), kills spaced so at most one generated
+     * kill window is open at a time. `total_calls` scales the event
+     * placement; rate 0 returns an empty plan.
+     */
+    static ChaosSchedule generate(uint64_t seed, uint32_t shard_count,
+                                  uint64_t total_calls,
+                                  double chaos_rate);
+};
+
+} // namespace freepart::shard
+
+#endif // FREEPART_SHARD_CHAOS_HH

@@ -39,6 +39,27 @@ struct ClusterStats {
     uint64_t proactivePushes = 0; //!< objects eagerly pushed to a joiner
     uint64_t proactivePushBytes = 0; //!< payload bytes of those pushes
 
+    // ---- Chaos / health-era counters (open-loop invokeAt path) ----
+    uint64_t hedgedCalls = 0;   //!< calls served by a hedge target
+    uint64_t degradedCalls = 0; //!< overload calls served degraded
+    uint64_t shedCalls = 0;     //!< calls rejected by admission control
+    uint64_t deadlineMisses = 0; //!< acked calls finishing past deadline
+    uint64_t retriesSpent = 0;  //!< retry-budget attempts consumed
+    uint64_t suspectTransitions = 0; //!< healthy -> suspect edges
+    uint64_t deadTransitions = 0;    //!< -> dead edges
+    uint64_t probesSent = 0;    //!< heartbeat probes issued
+    uint64_t probesMissed = 0;  //!< probes an unresponsive shard missed
+    uint64_t shardsRejoined = 0; //!< drained/killed shards re-admitted
+    uint64_t chaosStalls = 0;   //!< injected shard-freeze episodes
+    uint64_t chaosSlowCalls = 0; //!< calls under an injected slow-down
+    uint64_t messagesDropped = 0;   //!< injected cross-shard drops
+    uint64_t messagesCorrupted = 0; //!< injected cross-shard corruptions
+    uint64_t replicaStaleReads = 0; //!< hedge/degraded replica stagings
+    uint64_t queueDepthPeak = 0; //!< max admission queue depth seen
+    /** Summed time from last good contact to dead classification —
+     *  divide by deadTransitions for mean failover detection time. */
+    osim::SimTime detectionTime = 0;
+
     /** Calls landed per shard (indexed by shard slot). */
     std::vector<uint64_t> callsPerShard;
 

@@ -68,14 +68,70 @@ accumulate(core::RunStats &into, const core::RunStats &s)
 
 } // namespace
 
+const char *
+routeErrorName(RouteError error)
+{
+    switch (error) {
+      case RouteError::None:
+        return "none";
+      case RouteError::NoLiveShards:
+        return "no-live-shards";
+      case RouteError::ObjectLost:
+        return "object-lost";
+      case RouteError::Overloaded:
+        return "overloaded";
+      case RouteError::DeadlineExceeded:
+        return "deadline-exceeded";
+      case RouteError::ExecutionFailed:
+        return "execution-failed";
+      case RouteError::RetriesExhausted:
+        return "retries-exhausted";
+    }
+    return "?";
+}
+
 ShardRouter::ShardRouter(const fw::ApiRegistry &registry,
                          analysis::Categorization categorization,
                          core::PartitionPlan plan,
                          ShardRouterConfig config_in, SeedFn seed)
     : registry(registry), cats(std::move(categorization)),
       plan_(std::move(plan)), config(std::move(config_in)),
-      ring_(config.vnodesPerShard), dedup_(config.dedupEntries)
+      ring_(config.vnodesPerShard), dedup_(config.dedupEntries),
+      seed_(std::move(seed)), monitor_(config.health, 0)
 {
+    // Reject configurations whose only possible behavior is silent
+    // data loss, a guaranteed stall, or a div-by-zero downstream.
+    if (config.vnodesPerShard == 0)
+        util::fatal("ShardRouterConfig: vnodesPerShard must be >= 1");
+    if (config.dedupEntries == 0)
+        util::fatal("ShardRouterConfig: dedupEntries must be >= 1 "
+                    "(at-least-once failover needs the cluster cache)");
+    if (config.migrationMaxBytes == 0 && !config.replicateObjects)
+        util::fatal("ShardRouterConfig: migrationMaxBytes 0 with "
+                    "replicateObjects off makes every cross-shard "
+                    "input unrecoverable after a shard loss");
+    if (config.hedgeRequests && config.retryBudget == 0)
+        util::fatal("ShardRouterConfig: hedgeRequests needs "
+                    "retryBudget >= 1 (the hedge rides a retry slot)");
+    if (config.maxQueueDepth == 0)
+        util::fatal("ShardRouterConfig: maxQueueDepth must be >= 1 "
+                    "(0 would shed every admission)");
+    if (config.netPerByte < 0.0)
+        util::fatal("ShardRouterConfig: netPerByte must be >= 0");
+    if (config.health.ewmaAlpha <= 0.0 || config.health.ewmaAlpha > 1.0)
+        util::fatal("ShardRouterConfig: health.ewmaAlpha %.3f outside "
+                    "(0, 1]",
+                    config.health.ewmaAlpha);
+    if (config.health.missedForSuspect == 0 ||
+        config.health.missedForSuspect > config.health.missedForDead)
+        util::fatal("ShardRouterConfig: health thresholds need "
+                    "1 <= missedForSuspect (%u) <= missedForDead (%u)",
+                    config.health.missedForSuspect,
+                    config.health.missedForDead);
+    if (config.health.suspectLatencyFactor < 1.0)
+        util::fatal("ShardRouterConfig: health.suspectLatencyFactor "
+                    "must be >= 1");
+
     if (config.shardCount == 0)
         config.shardCount = 1;
     shards_.reserve(config.shardCount);
@@ -83,8 +139,8 @@ ShardRouter::ShardRouter(const fw::ApiRegistry &registry,
         Shard shard;
         shard.id = s;
         shard.kernel = std::make_unique<osim::Kernel>();
-        if (seed)
-            seed(*shard.kernel);
+        if (seed_)
+            seed_(*shard.kernel);
         core::RuntimeConfig rc = config.runtime;
         // Namespace s+1: every shard mints from disjoint high bits,
         // and namespace 0 (an unconfigured standalone runtime) can
@@ -92,8 +148,14 @@ ShardRouter::ShardRouter(const fw::ApiRegistry &registry,
         rc.shardId = s + 1;
         shard.runtime = std::make_unique<core::FreePartRuntime>(
             *shard.kernel, registry, cats, plan_, rc);
+        shard.runtime->supervisor().setCrashListener(
+            [this, s](uint32_t) { monitor_.recordCrash(s); });
         ring_.addShard(s);
         shards_.push_back(std::move(shard));
+        monitor_.addShard(0);
+        busyUntil_.push_back(0);
+        stalledUntil_.push_back(0);
+        monitorDrained_.push_back(0);
     }
 }
 
@@ -223,7 +285,8 @@ ShardRouter::migrateObject(uint32_t from, uint32_t to,
     dst.kernel->advance(
         config.netRoundTrip +
         static_cast<osim::SimTime>(
-            config.netPerByte * static_cast<double>(bytes.size())));
+            config.netPerByte * static_cast<double>(bytes.size())) +
+        transferChaosCost(to, bytes.size()));
     dst.runtime->hostStore().materialize(object_id, kind, bytes, label);
     // Exactly one shard stays authoritative: stale copies on the
     // source stop resolving (and its dedup caches drop responses that
@@ -246,12 +309,76 @@ ShardRouter::restoreReplica(uint32_t to, uint64_t object_id)
         config.netRoundTrip +
         static_cast<osim::SimTime>(
             config.netPerByte *
-            static_cast<double>(replica.bytes.size())));
+            static_cast<double>(replica.bytes.size())) +
+        transferChaosCost(to, replica.bytes.size()));
     dst.runtime->hostStore().materialize(object_id, replica.kind,
                                          replica.bytes, replica.label);
     objectShard_[object_id] = to;
     ++stats_.replicaRestores;
     return true;
+}
+
+bool
+ShardRouter::stageReplicaRead(uint32_t to, uint64_t object_id)
+{
+    Shard &dst = shards_.at(to);
+    if (dst.runtime->hasObject(object_id))
+        return true;
+    auto it = replicas_.find(object_id);
+    if (it == replicas_.end())
+        return false;
+    const Replica &replica = it->second;
+    dst.kernel->advance(
+        config.netRoundTrip +
+        static_cast<osim::SimTime>(
+            config.netPerByte *
+            static_cast<double>(replica.bytes.size())) +
+        transferChaosCost(to, replica.bytes.size()));
+    // Deliberately NOT moving authority: the directory keeps pointing
+    // at the primary copy; this shard serves from a possibly stale
+    // replica snapshot (the hedged/degraded read contract).
+    dst.runtime->hostStore().materialize(object_id, replica.kind,
+                                         replica.bytes, replica.label);
+    ++stats_.replicaStaleReads;
+    return true;
+}
+
+osim::SimTime
+ShardRouter::transferChaosCost(uint32_t dest, size_t bytes)
+{
+    if (!chaos_)
+        return 0;
+    osim::SimTime resend =
+        config.netRoundTrip +
+        static_cast<osim::SimTime>(
+            config.netPerByte * static_cast<double>(bytes));
+    osim::SimTime extra = 0;
+    // A dropped or corrupted transfer costs a wasted send and gets
+    // retried; stop re-rolling after a few so even a 100%-drop plan
+    // terminates (the transfer then just goes through expensive).
+    for (int attempt = 0; attempt < 4; ++attempt) {
+        osim::FaultFire fire = chaos_->queryFire(
+            osim::FaultPoint::ClusterTransfer,
+            static_cast<osim::Pid>(dest + 1));
+        if (fire.action == osim::FaultAction::Transient) {
+            ++stats_.messagesDropped;
+            extra += resend;
+            continue;
+        }
+        if (fire.action == osim::FaultAction::Corrupt) {
+            // Checksummed framing: the receiver detects the flip and
+            // asks for a resend, same cost shape as a drop.
+            ++stats_.messagesCorrupted;
+            extra += resend;
+            continue;
+        }
+        if (fire.action == osim::FaultAction::SlowDown &&
+            fire.slowFactor > 1.0)
+            extra += static_cast<osim::SimTime>(
+                static_cast<double>(resend) * (fire.slowFactor - 1.0));
+        break;
+    }
+    return extra;
 }
 
 void
@@ -321,6 +448,38 @@ ShardRouter::drainAll()
             shard.runtime->drainAll();
 }
 
+void
+ShardRouter::proactivePush(uint32_t target)
+{
+    // Proactive push: keys whose ring slot remapped to the joiner get
+    // their objects sent over now, while the join is the only traffic,
+    // instead of as a first-touch migration stall inside some later
+    // call. Large objects still move lazily (or draw the call to
+    // themselves via the proxy path).
+    std::vector<std::pair<uint64_t, uint64_t>> snapshot(
+        objectKey_.begin(), objectKey_.end());
+    for (const auto &[object_id, routing_key] : snapshot) {
+        if (ring_.ownerOf(routing_key) != target)
+            continue;
+        uint32_t owner = lookupShard(object_id);
+        if (owner == kInvalidShard || owner == target)
+            continue;
+        const Shard &src = shards_.at(owner);
+        if (!src.live)
+            continue;
+        core::FreePartRuntime &rt = *src.runtime;
+        uint32_t home = rt.homeOf(object_id);
+        if (!rt.storeOf(home).has(object_id))
+            continue;
+        size_t bytes = rt.storeOf(home).get(object_id).byteLen;
+        if (bytes > config.migrationMaxBytes)
+            continue;
+        migrateObject(owner, target, object_id);
+        ++stats_.proactivePushes;
+        stats_.proactivePushBytes += bytes;
+    }
+}
+
 uint32_t
 ShardRouter::addShard(SeedFn seed)
 {
@@ -334,43 +493,171 @@ ShardRouter::addShard(SeedFn seed)
     rc.shardId = id + 1;
     shard.runtime = std::make_unique<core::FreePartRuntime>(
         *shard.kernel, registry, cats, plan_, rc);
+    shard.runtime->supervisor().setCrashListener(
+        [this, id](uint32_t) { monitor_.recordCrash(id); });
     shards_.push_back(std::move(shard));
     ring_.addShard(id);
     ++stats_.shardsJoined;
+    monitor_.addShard(0);
+    busyUntil_.push_back(0);
+    stalledUntil_.push_back(0);
+    monitorDrained_.push_back(0);
 
-    // Proactive push: keys whose ring slot remapped to the joiner get
-    // their objects sent over now, while the join is the only traffic,
-    // instead of as a first-touch migration stall inside some later
-    // call. Large objects still move lazily (or draw the call to
-    // themselves via the proxy path).
-    std::vector<std::pair<uint64_t, uint64_t>> snapshot(
-        objectKey_.begin(), objectKey_.end());
-    for (const auto &[object_id, routing_key] : snapshot) {
-        if (ring_.ownerOf(routing_key) != id)
-            continue;
-        uint32_t owner = lookupShard(object_id);
-        if (owner == kInvalidShard || owner == id)
-            continue;
-        const Shard &src = shards_.at(owner);
-        if (!src.live)
-            continue;
-        core::FreePartRuntime &rt = *src.runtime;
-        uint32_t home = rt.homeOf(object_id);
-        if (!rt.storeOf(home).has(object_id))
-            continue;
-        size_t bytes = rt.storeOf(home).get(object_id).byteLen;
-        if (bytes > config.migrationMaxBytes)
-            continue;
-        migrateObject(owner, id, object_id);
-        ++stats_.proactivePushes;
-        stats_.proactivePushBytes += bytes;
-    }
+    proactivePush(id);
     util::inform("cluster: shard %u joined; %zu shards in ring, "
                  "%llu objects pushed",
                  id, ring_.shardCount(),
                  static_cast<unsigned long long>(
                      stats_.proactivePushes));
     return id;
+}
+
+void
+ShardRouter::reviveShard(uint32_t shard_id)
+{
+    Shard &shard = shards_.at(shard_id);
+    if (shard.live && ring_.contains(shard_id))
+        return;
+    if (!shard.live) {
+        // Host death: the old incarnation's stores are gone. Scrub
+        // directory entries still pointing at it so staging falls
+        // through to replicas, then bring up a fresh incarnation on
+        // the same slot (same id namespace).
+        for (auto it = objectShard_.begin();
+             it != objectShard_.end();) {
+            if (it->second == shard_id)
+                it = objectShard_.erase(it);
+            else
+                ++it;
+        }
+        // Tear down the old incarnation before its kernel: the runtime
+        // (and its object stores) unmap through the kernel on
+        // destruction, so the kernel must outlive it.
+        shard.runtime.reset();
+        shard.kernel = std::make_unique<osim::Kernel>();
+        if (seed_)
+            seed_(*shard.kernel);
+        core::RuntimeConfig rc = config.runtime;
+        rc.shardId = shard_id + 1;
+        shard.runtime = std::make_unique<core::FreePartRuntime>(
+            *shard.kernel, registry, cats, plan_, rc);
+        shard.runtime->supervisor().setCrashListener(
+            [this, shard_id](uint32_t) {
+                monitor_.recordCrash(shard_id);
+            });
+        shard.live = true;
+    }
+    // A drained shard keeps its runtime (and its objects); either way
+    // the slot re-enters the ring with a clean health history.
+    if (!ring_.contains(shard_id))
+        ring_.addShard(shard_id);
+    stalledUntil_[shard_id] = 0;
+    monitorDrained_[shard_id] = 0;
+    monitor_.reset(shard_id, busyUntil_[shard_id]);
+    ++stats_.shardsRejoined;
+    proactivePush(shard_id);
+    util::inform("cluster: shard %u rejoined; %zu shards in ring",
+                 shard_id, ring_.shardCount());
+}
+
+void
+ShardRouter::applyChaosSchedule(const ChaosSchedule &plan)
+{
+    chaos_ = std::make_unique<osim::FaultInjector>(plan.seed);
+    for (const osim::FaultSpec &spec : plan.specs)
+        chaos_->schedule(spec);
+    chaosEvents_ = plan.events;
+    chaosCursor_ = 0;
+}
+
+void
+ShardRouter::applyChaosEvents()
+{
+    while (chaosCursor_ < chaosEvents_.size() &&
+           chaosEvents_[chaosCursor_].atCall <= openLoopCalls_) {
+        const ChaosEvent &event = chaosEvents_[chaosCursor_++];
+        if (event.shard >= shards_.size())
+            continue;
+        if (event.kind == ChaosEventKind::ShardKill) {
+            // Never take out the last serving shard: one-survivor
+            // floors are a different experiment.
+            if (liveShardCount() > 1)
+                killShard(event.shard);
+        } else {
+            reviveShard(event.shard);
+        }
+    }
+}
+
+bool
+ShardRouter::stalledAt(uint32_t shard, osim::SimTime now) const
+{
+    return stalledUntil_[shard] > now;
+}
+
+uint32_t
+ShardRouter::pickAlternative(uint32_t avoid) const
+{
+    uint32_t best = kInvalidShard;
+    osim::SimTime bestBusy = 0;
+    for (const Shard &shard : shards_) {
+        uint32_t s = shard.id;
+        if (s == avoid || !shard.live || !ring_.contains(s))
+            continue;
+        if (monitor_.classify(s) != ShardHealth::Healthy)
+            continue;
+        osim::SimTime busy =
+            std::max(busyUntil_[s], stalledUntil_[s]);
+        if (best == kInvalidShard || busy < bestBusy) {
+            best = s;
+            bestBusy = busy;
+        }
+    }
+    return best;
+}
+
+void
+ShardRouter::healthTick(osim::SimTime now)
+{
+    if (config.health.heartbeatInterval == 0)
+        return;
+    for (Shard &shard : shards_) {
+        uint32_t s = shard.id;
+        if (!shard.live)
+            continue; // killed slots rejoin only via reviveShard
+        bool inRing = ring_.contains(s);
+        if (!inRing && !monitorDrained_[s])
+            continue; // quarantine-drained: the legacy signal owns it
+        if (!monitor_.probeDue(s, now))
+            continue;
+        bool responsive =
+            shard.runtime->hostAlive() && !stalledAt(s, now);
+        ++stats_.probesSent;
+        if (!responsive)
+            ++stats_.probesMissed;
+        monitor_.recordProbe(s, now, responsive);
+        ShardHealth health = monitor_.classify(s);
+        if (inRing && health == ShardHealth::Dead) {
+            // Detection latency: the dead threshold's worth of missed
+            // heartbeats is how long the stall went unnoticed.
+            stats_.detectionTime +=
+                static_cast<osim::SimTime>(monitor_.missedHeartbeats(s)) *
+                config.health.heartbeatInterval;
+            if (!shard.runtime->hostAlive()) {
+                killShard(s);
+            } else {
+                drainShard(s);
+                monitorDrained_[s] = 1;
+            }
+        } else if (!inRing && monitorDrained_[s] && responsive &&
+                   health == ShardHealth::Healthy) {
+            // The stall passed: re-admit the drained shard.
+            ring_.addShard(s);
+            monitorDrained_[s] = 0;
+            monitor_.reset(s, now);
+            ++stats_.shardsRejoined;
+        }
+    }
 }
 
 RoutedCall
@@ -402,6 +689,7 @@ ShardRouter::invoke(uint64_t routing_key, const std::string &api_name,
         uint32_t target = ring_.ownerOf(routing_key);
         if (target == kInvalidShard) {
             out.result.error = "cluster: no live shards in the ring";
+            out.errorKind = RouteError::NoLiveShards;
             ++stats_.callsFailed;
             return out;
         }
@@ -453,6 +741,8 @@ ShardRouter::invoke(uint64_t routing_key, const std::string &api_name,
             out.result.error =
                 "cluster: object " + std::to_string(id) +
                 " lost with its shard (no replica)";
+            out.errorKind = RouteError::ObjectLost;
+            out.lostObjectId = id;
             ++stats_.lostObjects;
             lost = true;
             break;
@@ -508,12 +798,290 @@ ShardRouter::invoke(uint64_t routing_key, const std::string &api_name,
         out.result = std::move(result);
         out.shard = exec;
         out.proxied = proxied;
+        out.errorKind = RouteError::ExecutionFailed;
         ++stats_.callsFailed;
         return out;
     }
 
     if (out.result.error.empty())
         out.result.error = "cluster: failover budget exhausted";
+    out.errorKind = RouteError::RetriesExhausted;
+    ++stats_.callsFailed;
+    return out;
+}
+
+RoutedCall
+ShardRouter::invokeAt(uint64_t routing_key, const std::string &api_name,
+                      ipc::ValueList args, const CallOptions &opts)
+{
+    ++stats_.routedCalls;
+    ++openLoopCalls_;
+    applyChaosEvents();
+
+    const osim::SimTime arrival = opts.arrival;
+    healthTick(arrival);
+
+    RoutedCall out;
+    osim::SimTime deadline =
+        opts.deadline != 0 ? opts.deadline : config.defaultDeadline;
+
+    if (opts.dedupToken != 0) {
+        if (const ipc::ValueList *hit = dedup_.find(opts.dedupToken)) {
+            ++stats_.dedupHits;
+            out.result.ok = true;
+            out.result.values = *hit;
+            out.deduped = true;
+            out.shard = ring_.ownerOf(routing_key);
+            return out;
+        }
+    }
+
+    auto startAt = [&](uint32_t s) {
+        return std::max({busyUntil_[s], stalledUntil_[s], arrival});
+    };
+
+    uint32_t budget = std::max<uint32_t>(config.retryBudget, 1);
+    for (uint32_t attempt = 0; attempt < budget; ++attempt) {
+        if (attempt > 0)
+            ++stats_.retriesSpent;
+        uint32_t target = ring_.ownerOf(routing_key);
+        if (target == kInvalidShard) {
+            out.result.error = "cluster: no live shards in the ring";
+            out.errorKind = RouteError::NoLiveShards;
+            ++stats_.callsFailed;
+            return out;
+        }
+
+        // Injected admission chaos against the ring owner.
+        double slowFactor = 1.0;
+        if (chaos_) {
+            osim::FaultFire fire = chaos_->queryFire(
+                osim::FaultPoint::ShardAdmission,
+                static_cast<osim::Pid>(target + 1));
+            switch (fire.action) {
+              case osim::FaultAction::Stall:
+                stalledUntil_[target] =
+                    std::max(stalledUntil_[target], arrival) +
+                    fire.stallTime;
+                ++stats_.chaosStalls;
+                break;
+              case osim::FaultAction::SlowDown:
+                slowFactor = std::max(fire.slowFactor, 1.0);
+                if (slowFactor > 1.0)
+                    ++stats_.chaosSlowCalls;
+                break;
+              case osim::FaultAction::Transient:
+                // The routed request is dropped on the wire before
+                // the shard sees it: burn the attempt and retry.
+                ++stats_.messagesDropped;
+                monitor_.recordFailure(target, arrival);
+                continue;
+              case osim::FaultAction::Crash:
+              case osim::FaultAction::Corrupt:
+              case osim::FaultAction::None:
+                break;
+            }
+        }
+
+        // Hedge: a stalled or suspect primary loses the attempt to a
+        // healthy peer serving from replica snapshots; a duplicate
+        // answer from the primary later collapses in the dedup cache.
+        uint32_t exec = target;
+        bool hedged = false;
+        if (config.hedgeRequests && config.replicateObjects &&
+            (stalledAt(target, arrival) ||
+             monitor_.classify(target) != ShardHealth::Healthy)) {
+            uint32_t alt = pickAlternative(target);
+            if (alt != kInvalidShard) {
+                exec = alt;
+                hedged = true;
+            }
+        }
+
+        bool proxied = false;
+        if (!hedged) {
+            // Migrate-vs-proxy, as on the closed-loop path.
+            size_t largest = config.migrationMaxBytes;
+            for (const ipc::Value &value : args) {
+                if (value.kind() != ipc::Value::Kind::Ref)
+                    continue;
+                uint64_t id = value.asRef().objectId;
+                uint32_t owner = lookupShard(id);
+                if (owner == kInvalidShard || owner == target)
+                    continue;
+                const Shard &shard = shards_.at(owner);
+                if (!shard.live || !ring_.contains(owner))
+                    continue;
+                core::FreePartRuntime &rt = *shard.runtime;
+                size_t bytes =
+                    rt.storeOf(rt.homeOf(id)).get(id).byteLen;
+                if (bytes > largest) {
+                    largest = bytes;
+                    exec = owner;
+                    proxied = true;
+                }
+            }
+        }
+
+        // Admission control before any data moves: the call would
+        // start after the queue ahead of it and any injected stall.
+        osim::SimTime start = startAt(exec);
+        osim::SimTime wait = start - arrival;
+        osim::SimTime serviceEst =
+            std::max(monitor_.latencyEwma(exec),
+                     config.health.latencyBaselineFloor);
+        uint64_t depth = wait / std::max<osim::SimTime>(serviceEst, 1);
+        stats_.queueDepthPeak = std::max(stats_.queueDepthPeak, depth);
+        bool infeasible =
+            deadline != 0 && wait + serviceEst > deadline;
+        bool degraded = false;
+        if (depth > config.maxQueueDepth || infeasible) {
+            // Degraded fallback: serve from the least-loaded healthy
+            // shard via stale replica reads rather than queueing
+            // without bound — shed only when no shard can take it.
+            uint32_t alt =
+                (config.degradedReads && config.replicateObjects)
+                    ? pickAlternative(exec)
+                    : kInvalidShard;
+            bool altOk = false;
+            if (alt != kInvalidShard) {
+                osim::SimTime altWait = startAt(alt) - arrival;
+                uint64_t altDepth =
+                    altWait / std::max<osim::SimTime>(serviceEst, 1);
+                altOk = altDepth <= config.maxQueueDepth &&
+                        (deadline == 0 ||
+                         altWait + serviceEst <= deadline);
+            }
+            if (altOk) {
+                exec = alt;
+                degraded = true;
+                proxied = false;
+                start = startAt(exec);
+                wait = start - arrival;
+            } else {
+                out.result = core::ApiResult();
+                out.result.error =
+                    infeasible
+                        ? "cluster: deadline infeasible at admission"
+                        : "cluster: shard admission queue full";
+                out.errorKind = infeasible
+                                    ? RouteError::DeadlineExceeded
+                                    : RouteError::Overloaded;
+                out.shed = true;
+                out.shard = exec;
+                out.queueWait = wait;
+                ++stats_.shedCalls;
+                ++stats_.callsFailed;
+                return out;
+            }
+        }
+
+        // Stage inputs onto the executing shard. Hedged/degraded
+        // attempts read replica snapshots without moving authority.
+        Shard &shard = shards_.at(exec);
+        osim::SimTime before = shard.kernel->now();
+        bool staged = true;
+        for (const ipc::Value &value : args) {
+            if (value.kind() != ipc::Value::Kind::Ref)
+                continue;
+            uint64_t id = value.asRef().objectId;
+            if (hedged || degraded) {
+                if (stageReplicaRead(exec, id))
+                    continue;
+            } else {
+                uint32_t owner = lookupShard(id);
+                if (owner == exec) {
+                    ++stats_.localInputs;
+                    continue;
+                }
+                if (owner != kInvalidShard && shards_.at(owner).live) {
+                    migrateObject(owner, exec, id);
+                    continue;
+                }
+                if (restoreReplica(exec, id))
+                    continue;
+            }
+            out.result = core::ApiResult();
+            out.result.error =
+                "cluster: object " + std::to_string(id) +
+                " lost with its shard (no replica)";
+            out.errorKind = RouteError::ObjectLost;
+            out.lostObjectId = id;
+            ++stats_.lostObjects;
+            staged = false;
+            break;
+        }
+        if (!staged) {
+            out.shard = exec;
+            ++stats_.callsFailed;
+            return out;
+        }
+
+        core::ApiResult result;
+        if (config.runtime.pipelineParallel) {
+            core::CallTicket ticket =
+                shard.runtime->invokeAsync(api_name, args);
+            if (const core::ApiResult *peeked =
+                    shard.runtime->peekResult(ticket))
+                result = *peeked;
+            else
+                result.error = "async ticket vanished";
+        } else {
+            result = shard.runtime->invoke(api_name, args);
+        }
+        osim::SimTime span = shard.kernel->now() - before;
+        if (slowFactor > 1.0 && exec == target && span > 0) {
+            // The injected slow-down stretches everything this call
+            // did on the shard (staging + execution).
+            auto extra = static_cast<osim::SimTime>(
+                static_cast<double>(span) * (slowFactor - 1.0));
+            shard.kernel->advance(extra);
+            span += extra;
+        }
+        ++shard.calls;
+
+        if (result.ok) {
+            busyUntil_[exec] = start + span;
+            out.latency = busyUntil_[exec] - arrival;
+            out.queueWait = wait;
+            monitor_.recordSuccess(exec, arrival, span);
+            noteResults(exec, routing_key, result.values);
+            if (opts.dedupToken != 0)
+                dedup_.insert(opts.dedupToken, result.values);
+            ++stats_.callsOk;
+            if (proxied)
+                ++stats_.proxiedCalls;
+            if (hedged)
+                ++stats_.hedgedCalls;
+            if (degraded)
+                ++stats_.degradedCalls;
+            if (deadline != 0 && out.latency > deadline) {
+                out.deadlineMissed = true;
+                ++stats_.deadlineMisses;
+            }
+            out.result = std::move(result);
+            out.shard = exec;
+            out.proxied = proxied;
+            out.hedged = hedged;
+            out.degraded = degraded;
+            return out;
+        }
+
+        // Failure: the shard still ran (and burned) simulated time.
+        busyUntil_[exec] = start + span;
+        monitor_.recordFailure(exec, arrival);
+        out.result = std::move(result);
+        out.shard = exec;
+        out.errorKind = RouteError::ExecutionFailed;
+        if (checkShardHealth(exec)) {
+            ++out.failovers;
+            ++stats_.failovers;
+        }
+    }
+
+    if (out.result.error.empty())
+        out.result.error = "cluster: retry budget exhausted";
+    out.errorKind = RouteError::RetriesExhausted;
     ++stats_.callsFailed;
     return out;
 }
@@ -521,6 +1089,8 @@ ShardRouter::invoke(uint64_t routing_key, const std::string &api_name,
 const ClusterStats &
 ShardRouter::stats()
 {
+    stats_.suspectTransitions = monitor_.suspectTransitions();
+    stats_.deadTransitions = monitor_.deadTransitions();
     stats_.callsPerShard.assign(shards_.size(), 0);
     core::RunStats totals;
     osim::SimTime makespan = 0;

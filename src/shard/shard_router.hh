@@ -37,9 +37,12 @@
 #include "core/dedup_cache.hh"
 #include "core/partition_plan.hh"
 #include "core/runtime.hh"
+#include "osim/fault_injection.hh"
 #include "osim/kernel.hh"
+#include "shard/chaos.hh"
 #include "shard/cluster_stats.hh"
 #include "shard/hash_ring.hh"
+#include "shard/health_monitor.hh"
 
 namespace freepart::shard {
 
@@ -73,9 +76,61 @@ struct ShardRouterConfig {
     /** Cluster-level at-least-once dedup cache capacity (tokens). */
     size_t dedupEntries = 1024;
 
+    /** Heartbeat/EWMA failure detection (the invokeAt path). */
+    HealthPolicy health;
+
+    /** Default per-call deadline for invokeAt, relative to arrival.
+     *  0 = no deadline (CallOptions::deadline overrides per call). */
+    osim::SimTime defaultDeadline = 0;
+
+    /** Attempts per invokeAt call across failovers and chaos drops
+     *  (the legacy invoke path keeps its shardCount-bounded loop). */
+    uint32_t retryBudget = 3;
+
+    /** When the primary turns suspect, run the attempt on a healthy
+     *  replica-capable shard instead (inputs staged as stale replica
+     *  reads; duplicates collapse through the cluster dedup). */
+    bool hedgeRequests = true;
+
+    /** Admission control: shed when a shard's queue (in units of its
+     *  service-time EWMA) is deeper than this. */
+    uint64_t maxQueueDepth = 64;
+
+    /** On overload/infeasible deadline, serve from the least-loaded
+     *  healthy shard via stale replica reads instead of shedding. */
+    bool degradedReads = true;
+
     /** Per-shard runtime feature switches. The router overrides
      *  RuntimeConfig::shardId per shard (namespace s+1). */
     core::RuntimeConfig runtime;
+};
+
+/** Structured failure cause of a routed call (error string stays the
+ *  human-readable detail; this is the machine-checkable kind). */
+enum class RouteError : uint8_t {
+    None = 0,
+    NoLiveShards,     //!< the ring is empty
+    ObjectLost,       //!< a ref input died with its shard, no replica
+    Overloaded,       //!< shed: admission queue over maxQueueDepth
+    DeadlineExceeded, //!< shed: deadline infeasible before execution
+    ExecutionFailed,  //!< the runtime returned an error
+    RetriesExhausted, //!< budget spent without an acknowledgment
+};
+
+/** Display name of a route error. */
+const char *routeErrorName(RouteError error);
+
+/** Per-call options for the open-loop invokeAt path. */
+struct CallOptions {
+    uint64_t dedupToken = 0;
+
+    /** Arrival time on the open-loop axis (ns since run start).
+     *  Callers submit nondecreasing arrivals; the router queues the
+     *  call behind the target shard's busy horizon. */
+    osim::SimTime arrival = 0;
+
+    /** Deadline relative to arrival; 0 = router default. */
+    osim::SimTime deadline = 0;
 };
 
 /** Outcome of one routed call. */
@@ -85,6 +140,19 @@ struct RoutedCall {
     uint32_t failovers = 0; //!< ring re-routes taken by this call
     bool proxied = false;   //!< executed on an input's owner shard
     bool deduped = false;   //!< answered from the cluster dedup cache
+
+    /** Machine-checkable failure cause (None when result.ok). */
+    RouteError errorKind = RouteError::None;
+    /** The unrecoverable input when errorKind == ObjectLost. */
+    uint64_t lostObjectId = 0;
+
+    // ---- invokeAt (open-loop) extras ----
+    bool hedged = false;   //!< served by a hedge target, not the owner
+    bool degraded = false; //!< served degraded (stale replica reads)
+    bool shed = false;     //!< rejected by admission control
+    bool deadlineMissed = false; //!< acked, but past its deadline
+    osim::SimTime latency = 0;   //!< completion - arrival
+    osim::SimTime queueWait = 0; //!< time queued before execution
 };
 
 /** The cluster front end. */
@@ -116,6 +184,19 @@ class ShardRouter
      */
     RoutedCall invoke(uint64_t routing_key, const std::string &api_name,
                       ipc::ValueList args, uint64_t dedup_token = 0);
+
+    /**
+     * Open-loop variant: the call *arrives* at opts.arrival on a
+     * shared timeline and queues behind the target shard's busy
+     * horizon. This is where the chaos-era machinery lives — health
+     * probing, deadline-aware budgeted retries, one hedged attempt
+     * when the primary is suspect, and queue-depth / deadline
+     * admission control with degraded fallback. Arrivals must be
+     * nondecreasing across calls.
+     */
+    RoutedCall invokeAt(uint64_t routing_key,
+                        const std::string &api_name,
+                        ipc::ValueList args, const CallOptions &opts);
 
     /** Create a Mat on the routing key's owner shard. */
     uint64_t createMat(uint64_t routing_key, uint32_t rows,
@@ -158,6 +239,30 @@ class ShardRouter
      *  completion). The quarantine-pressure path. */
     void drainShard(uint32_t shard);
 
+    /**
+     * Revive a killed shard slot with a fresh incarnation (new kernel
+     * + runtime, same slot and namespace). Directory entries pointing
+     * into the dead incarnation are scrubbed so staging falls through
+     * to replicas; keys remapping back get their small objects pushed
+     * proactively, like addShard.
+     */
+    void reviveShard(uint32_t shard);
+
+    /**
+     * Arm a chaos plan: the specs go to a router-owned FaultInjector
+     * consulted at ShardAdmission / ClusterTransfer, the membership
+     * events fire as invokeAt accepts calls. Replaces any previous
+     * plan. With no plan armed the chaos paths consume no randomness,
+     * so pre-existing runs stay byte-identical.
+     */
+    void applyChaosSchedule(const ChaosSchedule &plan);
+
+    /** The armed injector (null when no chaos plan is active). */
+    const osim::FaultInjector *chaosInjector() const
+    {
+        return chaos_.get();
+    }
+
     // ---- Introspection -----------------------------------------------
 
     const HashRing &ring() const { return ring_; }
@@ -174,6 +279,15 @@ class ShardRouter
 
     /** A shard's simulated kernel. */
     osim::Kernel &kernel(uint32_t shard);
+
+    /** The failure detector (read-only introspection). */
+    const HealthMonitor &healthMonitor() const { return monitor_; }
+
+    /** Current classification of a shard. */
+    ShardHealth shardHealth(uint32_t shard) const
+    {
+        return monitor_.classify(shard);
+    }
 
     /** Roll-up: routing counters + per-shard RunStats totals +
      *  cluster makespan (max per-shard elapsed — shards are
@@ -219,6 +333,35 @@ class ShardRouter
      *  (the caller should fail over). */
     bool checkShardHealth(uint32_t shard);
 
+    // ---- invokeAt (open-loop / chaos) machinery ----
+
+    /** Fire chaos membership events due at the current call count. */
+    void applyChaosEvents();
+
+    /** Heartbeat pass at `now`: probe stale shards, take Dead ones
+     *  out of the ring, re-admit recovered monitor-drained ones. */
+    void healthTick(osim::SimTime now);
+
+    /** Is the shard frozen by an injected stall at `now`? */
+    bool stalledAt(uint32_t shard, osim::SimTime now) const;
+
+    /** Healthiest least-busy live ring shard != avoid (kInvalidShard
+     *  when there is no healthy alternative). */
+    uint32_t pickAlternative(uint32_t avoid) const;
+
+    /** Stage an input onto `to` from its replica WITHOUT moving
+     *  authority — the stale-read path of hedged/degraded attempts. */
+    bool stageReplicaRead(uint32_t to, uint64_t object_id);
+
+    /** Eagerly migrate small objects whose routing key now maps to
+     *  `target` (shared by addShard and reviveShard). */
+    void proactivePush(uint32_t target);
+
+    /** Extra simulated cost of injected drop/corrupt/slow-down on a
+     *  cross-shard transfer of `bytes` to shard `dest` (0 with no
+     *  chaos armed; consumes no randomness then either). */
+    osim::SimTime transferChaosCost(uint32_t dest, size_t bytes);
+
     const fw::ApiRegistry &registry;
     analysis::Categorization cats;
     core::PartitionPlan plan_;
@@ -237,6 +380,17 @@ class ShardRouter
     std::map<uint64_t, Replica> replicas_;
     core::DedupCache dedup_;
     ClusterStats stats_;
+
+    SeedFn seed_; //!< kept for reviveShard's fresh incarnations
+    HealthMonitor monitor_;
+    std::unique_ptr<osim::FaultInjector> chaos_;
+    std::vector<ChaosEvent> chaosEvents_; //!< sorted by atCall
+    size_t chaosCursor_ = 0;
+    uint64_t openLoopCalls_ = 0; //!< invokeAt calls accepted
+    /** Per-shard open-loop state on the shared arrival axis. */
+    std::vector<osim::SimTime> busyUntil_;    //!< queue busy horizon
+    std::vector<osim::SimTime> stalledUntil_; //!< injected freeze end
+    std::vector<uint8_t> monitorDrained_;     //!< drained by detector
 };
 
 } // namespace freepart::shard

@@ -388,5 +388,58 @@ TEST(RuntimeEdge, EvictObjectPrunesDedupEntriesReferencingIt)
     EXPECT_FALSE(runtime->hasObject(result_id));
 }
 
+TEST(RuntimeConfigValidation, RejectsBrokenCombinations)
+{
+    auto build = [&](RuntimeConfig config) {
+        env().makeRuntime(PartitionPlan::freePartDefault(), config);
+    };
+
+    RuntimeConfig ok;
+    EXPECT_NO_THROW(build(ok));
+
+    RuntimeConfig interval;
+    interval.checkpointInterval = 0;
+    EXPECT_THROW(build(interval), util::FatalError);
+
+    RuntimeConfig fullEvery;
+    fullEvery.checkpointFullEvery = 0;
+    EXPECT_THROW(build(fullEvery), util::FatalError);
+    fullEvery.checkpointFullEvery = 1; // always-full is legal
+    EXPECT_NO_THROW(build(fullEvery));
+
+    RuntimeConfig ring;
+    ring.ringBytes = 0;
+    EXPECT_THROW(build(ring), util::FatalError);
+
+    RuntimeConfig dedup;
+    dedup.dedupCacheEntries = 0;
+    EXPECT_THROW(build(dedup), util::FatalError);
+
+    RuntimeConfig pipeline;
+    pipeline.pipelineParallel = true;
+    pipeline.maxInFlightPerPartition = 0;
+    EXPECT_THROW(build(pipeline), util::FatalError);
+    // Without the pipeline gate the in-flight knob is ignored.
+    pipeline.pipelineParallel = false;
+    EXPECT_NO_THROW(build(pipeline));
+
+    RuntimeConfig batching;
+    batching.adaptiveBatching = true;
+    batching.hotWindowMaxDepth = 0;
+    EXPECT_THROW(build(batching), util::FatalError);
+    batching.hotWindowMaxDepth = 8;
+    batching.batchDecayOccupancy = 0.5;
+    batching.batchGrowOccupancy = 0.1; // decay above grow
+    EXPECT_THROW(build(batching), util::FatalError);
+
+    RuntimeConfig backoff;
+    backoff.supervision.backoffFactor = 0.5;
+    EXPECT_THROW(build(backoff), util::FatalError);
+
+    RuntimeConfig loop;
+    loop.supervision.crashLoopThreshold = 0;
+    EXPECT_THROW(build(loop), util::FatalError);
+}
+
 } // namespace
 } // namespace freepart::core
