@@ -1,16 +1,37 @@
 #!/usr/bin/env bash
-# Fail if build output is tracked in git. The build tree is generated
-# locally (see ROADMAP.md tier-1 verify line) and must never be
-# committed; .gitignore covers it, but this guard catches force-adds.
+# Fail if build output is tracked in git. Build trees are generated
+# locally (see ROADMAP.md tier-1 verify line) under any build* name
+# (build, build-rel, build-asan, build-lint, ...) and must never be
+# committed; .gitignore covers them, but this guard catches force-adds.
+#
+# Also guard against bench temp JSONs at the repo root: bench runs
+# drop table9.json / cluster.json / lint_report.json next to the
+# binary, and only the curated baselines (BENCH_freepart.json,
+# LINT_baseline.json) belong in git.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-bad=$(git ls-files -- 'build/' '*.o' '*.a' '*.so' || true)
+bad=$(git ls-files -- 'build*/' '*.o' '*.a' '*.so' || true)
 if [[ -n "$bad" ]]; then
     echo "error: build artifacts are tracked in git:" >&2
     echo "$bad" | head -20 >&2
-    echo "(run: git rm -r --cached build/ and commit)" >&2
+    echo "(run: git rm -r --cached <dir> and commit)" >&2
     exit 1
 fi
+
+allowed_json='BENCH_freepart.json LINT_baseline.json'
+bad_json=$(git ls-files -- '*.json' | grep -v '/' || true)
+for f in $bad_json; do
+    case " $allowed_json " in
+    *" $f "*) ;;
+    *)
+        echo "error: unexpected JSON tracked at repo root: $f" >&2
+        echo "(bench/lint temp output? only $allowed_json are" \
+             "curated baselines — git rm --cached $f)" >&2
+        exit 1
+        ;;
+    esac
+done
+
 echo "ok: no build artifacts tracked"

@@ -61,8 +61,57 @@ def check_min(name, baseline, current, tolerance):
     return True
 
 
+EPILOG = """\
+the gate set (all deterministic simulated time):
+  table9 overhead   freepart_overhead_pct must not rise > tolerance
+  shard cluster     4-shard throughput + speedup must not drop >
+                    tolerance; zero acked calls lost in the kill drill
+  pipeline          speedup >= 1.2x absolute, no > tolerance drop,
+                    async replay byte-identical to sync
+  chaos             availability >= 95%, shed rate <= 10%, zero lost
+                    acks, deterministic replay
+
+after an intentional perf change, refresh the checked-in baseline
+with the same bench outputs instead of hand-editing it:
+
+  scripts/check_perf_regression.py --current table9.json \\
+      --current-cluster cluster.json --current-pipeline pipeline.json \\
+      --current-chaos chaos.json --write-baseline
+
+the partition-boundary lint gate (freepart_lint + LINT_baseline.json)
+runs as its own CI job; see DESIGN.md §12.
+"""
+
+
+def write_baseline(args):
+    """Refresh the --baseline file's sections from the --current*
+    bench outputs, leaving sections without a fresh input alone."""
+    with open(args.baseline) as handle:
+        baseline_doc = json.load(handle)
+
+    sections = [("table9_overhead", args.current),
+                ("shard_cluster", args.current_cluster),
+                ("pipeline_parallel", args.current_pipeline),
+                ("chaos_cluster", args.current_chaos)]
+    for section, path in sections:
+        if not path:
+            continue
+        with open(path) as handle:
+            baseline_doc[section] = json.load(handle)["metrics"]
+        print(f"updated {section} from {path}")
+
+    with open(args.baseline, "w") as handle:
+        json.dump(baseline_doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.baseline}")
+    return 0
+
+
 def main():
-    parser = argparse.ArgumentParser()
+    parser = argparse.ArgumentParser(
+        description="CI perf gate over the checked-in bench baseline",
+        epilog=EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--current", required=True,
                         help="JSON written by bench_table9_overhead --json")
     parser.add_argument("--current-cluster",
@@ -76,7 +125,15 @@ def main():
     parser.add_argument("--baseline", default="BENCH_freepart.json")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed relative drift (0.20 = 20%%)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="instead of gating, update the --baseline "
+                             "file's sections from the provided "
+                             "--current* files (documented refresh "
+                             "after an intentional perf change)")
     args = parser.parse_args()
+
+    if args.write_baseline:
+        return write_baseline(args)
 
     with open(args.baseline) as handle:
         baseline_doc = json.load(handle)

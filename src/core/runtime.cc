@@ -652,6 +652,8 @@ FreePartRuntime::invokeSync(const std::string &api_name,
     if (partition == kHostPartition) {
         result = executeInHost(*desc, args);
     } else {
+        if (boundaryObserver_)
+            boundaryObserver_(api_name, partition, args);
         result = executeOnAgent(partition, *desc, args);
         lastPartition = partition;
     }
@@ -750,6 +752,9 @@ FreePartRuntime::dispatchPipelined(uint64_t ticket_id,
         noteObjectsReady(out.result.values, out.readyAt);
         return;
     }
+
+    if (boundaryObserver_)
+        boundaryObserver_(api_name, partition, args);
 
     Agent &agent = agents.at(partition);
 

@@ -20,6 +20,7 @@
 #define FREEPART_CORE_RUNTIME_HH
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -139,6 +140,17 @@ struct ProtectedVar {
     FrameworkState definedIn; //!< state active at definition time
     bool isProtected = false; //!< already flipped read-only
 };
+
+/**
+ * Callback tapped on every API dispatch that crosses into an agent
+ * (partition != kHostPartition), with the marshaled argument list as
+ * it will hit the wire. The partition-boundary linter uses this to
+ * spot critical data crossing by value; observers must not invoke
+ * back into the runtime.
+ */
+using BoundaryObserver = std::function<void(
+    const std::string &api_name, uint32_t partition,
+    const ipc::ValueList &args)>;
 
 /** The runtime. */
 class FreePartRuntime
@@ -298,6 +310,13 @@ class FreePartRuntime
     const std::vector<ProtectedVar> &protectedVars() const
     {
         return vars;
+    }
+
+    /** Install (or clear, with nullptr) the boundary-crossing tap.
+     *  Both dispatch paths (sync and pipelined) fire it. */
+    void setBoundaryObserver(BoundaryObserver observer)
+    {
+        boundaryObserver_ = std::move(observer);
     }
 
     // ---- Lifecycle ------------------------------------------------------
@@ -527,6 +546,7 @@ class FreePartRuntime
      *  (peekResult hands out pointers into it). */
     std::map<uint64_t, PendingCall> pendingAsync_;
     uint64_t nextTicket_ = 1;
+    BoundaryObserver boundaryObserver_;
     RunStats stats_;
 };
 

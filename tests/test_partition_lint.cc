@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Partition-boundary linter tests (DESIGN.md §12): per-class seeded
+ * fixtures (planted wide allowlist, by-value critical argument,
+ * miscategorized API, registry drift), the --fix round trip reaching
+ * a clean lint, baseline diffing, and JSON determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/partition_lint.hh"
+#include "util/logging.hh"
+
+using namespace freepart;
+using namespace freepart::analysis;
+
+namespace {
+
+/** Shared real inputs: the full registry categorized by the hybrid
+ *  pipeline, replayed over a few Table 6 apps (enough to populate
+ *  observed syscalls and reachability; tests that need all 23 use
+ *  plantings instead of more replays to stay fast). */
+class PartitionLintTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        registry_ = new fw::ApiRegistry(fw::buildFullRegistry());
+        HybridCategorizer categorizer(*registry_);
+        cats_ = new Categorization(categorizer.categorizeAll());
+        CollectOptions opts;
+        opts.maxApps = 6;
+        input_ = new LintInput(
+            collectLintInput(*registry_, *cats_, opts));
+    }
+
+    static void TearDownTestSuite()
+    {
+        delete input_;
+        delete cats_;
+        delete registry_;
+        input_ = nullptr;
+        cats_ = nullptr;
+        registry_ = nullptr;
+    }
+
+    /** A fresh copy of the collected input for mutation. */
+    LintInput input() const { return *input_; }
+
+    static fw::ApiRegistry *registry_;
+    static Categorization *cats_;
+    static LintInput *input_;
+};
+
+fw::ApiRegistry *PartitionLintTest::registry_ = nullptr;
+Categorization *PartitionLintTest::cats_ = nullptr;
+LintInput *PartitionLintTest::input_ = nullptr;
+
+// ---- Collector ------------------------------------------------------
+
+TEST_F(PartitionLintTest, CollectorPopulatesAgentsAndReachability)
+{
+    LintInput in = input();
+    ASSERT_EQ(in.agents.size(), 4u);
+    EXPECT_EQ(in.appsReplayed, 6u);
+    for (const AgentSnapshot &agent : in.agents) {
+        EXPECT_FALSE(agent.name.empty());
+        // Lockdown installed a real allowlist on every agent.
+        EXPECT_FALSE(agent.allowlist.empty()) << agent.name;
+    }
+    EXPECT_FALSE(in.reachableApis.empty());
+    // Observed syscalls never escape the installed allowlist — except
+    // init-only ones (mprotect/connect), which legally fire during
+    // the grace period and are then dropped at lockdown.
+    for (const AgentSnapshot &agent : in.agents)
+        for (osim::Syscall call : agent.observed)
+            EXPECT_TRUE(agent.allowlist.count(call) ||
+                        osim::isInitOnlySyscall(call))
+                << agent.name << " observed non-allowed "
+                << osim::syscallName(call);
+}
+
+// ---- L1: by-value crossing ------------------------------------------
+
+TEST_F(PartitionLintTest, DetectsPlantedCriticalByValueCrossing)
+{
+    LintInput in = input();
+    size_t before =
+        PartitionLinter().lint(in).countByDefect(
+            LintDefect::ByValueCrossing);
+    plantByValueCrossing(in);
+    LintReport report = PartitionLinter().lint(in);
+    EXPECT_EQ(report.countByDefect(LintDefect::ByValueCrossing),
+              before + 1);
+    const LintFinding *finding = report.findByKey(
+        "L1:cv2.matchTemplate:arg1:planted:omr-template");
+    ASSERT_NE(finding, nullptr);
+    EXPECT_EQ(finding->severity, LintSeverity::Error);
+    EXPECT_EQ(finding->repair.kind, LintRepairKind::ForceLdcRef);
+    EXPECT_EQ(finding->repair.argIndex, 1u);
+}
+
+TEST_F(PartitionLintTest, SmallNonCriticalBlobIsIgnored)
+{
+    LintInput in = input();
+    ValueCrossing small;
+    small.api = "cv2.resize";
+    small.bytes = 16; // scalar-sized payload
+    in.crossings.push_back(small);
+    LintReport report = PartitionLinter().lint(in);
+    EXPECT_EQ(report.findByKey("L1:cv2.resize:arg0:blob"), nullptr);
+}
+
+TEST_F(PartitionLintTest, RepeatedCrossingEmitsOneFinding)
+{
+    LintInput in = input();
+    plantByValueCrossing(in);
+    plantByValueCrossing(in); // same call site, second replay
+    LintReport report = PartitionLinter().lint(in);
+    size_t hits = 0;
+    for (const LintFinding &finding : report.findings)
+        if (finding.key ==
+            "L1:cv2.matchTemplate:arg1:planted:omr-template")
+            ++hits;
+    EXPECT_EQ(hits, 1u);
+}
+
+// ---- L2: wide allowlist ---------------------------------------------
+
+TEST_F(PartitionLintTest, DetectsPlantedWideAllowlist)
+{
+    LintInput in = input();
+    plantWideAllowlist(in); // adds send+write to agent 0
+    LintReport report = PartitionLinter().lint(in);
+    ASSERT_GE(report.countByDefect(LintDefect::WideAllowlist), 1u);
+    bool found = false;
+    for (const LintFinding &finding : report.findings) {
+        if (finding.defect != LintDefect::WideAllowlist ||
+            finding.subject != in.agents[0].name)
+            continue;
+        found = true;
+        // send/write are exfiltration syscalls: Error, not Warning.
+        EXPECT_EQ(finding.severity, LintSeverity::Error);
+        EXPECT_EQ(finding.repair.kind,
+                  LintRepairKind::NarrowAllowlist);
+        EXPECT_FALSE(
+            finding.repair.narrowedAllowlist.count(
+                osim::Syscall::Send));
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST_F(PartitionLintTest, WideningChangesTheFindingKey)
+{
+    // The CI-gate property: a baseline accepting today's surplus must
+    // NOT accept a further-widened filter.
+    LintInput in = input();
+    plantWideAllowlist(in);
+    PartitionLinter linter;
+    LintBaseline baseline;
+    for (const LintFinding &finding : linter.lint(in).findings)
+        baseline.acceptedKeys.insert(finding.key);
+    EXPECT_TRUE(newFindings(linter.lint(in), baseline).empty());
+
+    in.agents[0].allowlist.insert(osim::Syscall::Execve);
+    LintReport widened = linter.lint(in);
+    auto fresh = newFindings(widened, baseline);
+    ASSERT_EQ(fresh.size(), 1u);
+    EXPECT_EQ(fresh[0]->defect, LintDefect::WideAllowlist);
+}
+
+TEST_F(PartitionLintTest, SlackSuppressesAllowlistFinding)
+{
+    LintInput in;
+    in.registry = registry_;
+    AgentSnapshot agent;
+    agent.partition = 2;
+    agent.name = "agent:visualizing";
+    agent.observed = {osim::Syscall::Read};
+    agent.allowlist = {osim::Syscall::Read, osim::Syscall::Ioctl};
+    in.agents.push_back(agent);
+
+    EXPECT_EQ(PartitionLinter().lint(in).countByDefect(
+                  LintDefect::WideAllowlist),
+              1u);
+    LintConfig config;
+    config.allowlistSlack.insert(osim::Syscall::Ioctl);
+    EXPECT_EQ(PartitionLinter(config).lint(in).countByDefect(
+                  LintDefect::WideAllowlist),
+              0u);
+}
+
+// ---- L3: miscategorized API -----------------------------------------
+
+TEST_F(PartitionLintTest, DetectsPlantedMiscategorization)
+{
+    LintInput in = input();
+    plantMiscategorization(in);
+    LintReport report = PartitionLinter().lint(in);
+    ASSERT_EQ(report.countByDefect(LintDefect::MiscategorizedApi),
+              1u);
+    const LintFinding *finding = nullptr;
+    for (const LintFinding &candidate : report.findings)
+        if (candidate.defect == LintDefect::MiscategorizedApi)
+            finding = &candidate;
+    ASSERT_NE(finding, nullptr);
+    EXPECT_EQ(finding->severity, LintSeverity::Error);
+    EXPECT_EQ(finding->repair.kind, LintRepairKind::RecategorizeApi);
+    EXPECT_EQ(finding->repair.newType, fw::ApiType::Loading);
+}
+
+TEST_F(PartitionLintTest, CleanCategorizationHasNoL3Findings)
+{
+    LintReport report = PartitionLinter().lint(input());
+    EXPECT_EQ(report.countByDefect(LintDefect::MiscategorizedApi),
+              0u);
+}
+
+// ---- L4: registry inconsistencies -----------------------------------
+
+TEST_F(PartitionLintTest, DetectsPlantedRegistryDrift)
+{
+    LintInput in = input();
+    plantRegistryInconsistency(in);
+    LintReport report = PartitionLinter().lint(in);
+    const LintFinding *stale =
+        report.findByKey("L4:stale:cv2.removedInRefactor");
+    ASSERT_NE(stale, nullptr);
+    EXPECT_EQ(stale->repair.kind, LintRepairKind::DropStaleEntry);
+    // One registry API lost its categorization entry.
+    size_t uncategorized = 0;
+    for (const LintFinding &finding : report.findings)
+        if (finding.key.rfind("L4:uncategorized:", 0) == 0)
+            ++uncategorized;
+    EXPECT_GE(uncategorized, 1u);
+}
+
+TEST_F(PartitionLintTest, UnreachableApisReportedAsInfo)
+{
+    // With only 6 of 23 apps replayed, some implemented APIs must be
+    // unreachable; they are advice-level, never gate-level.
+    LintReport report = PartitionLinter().lint(input());
+    bool any = false;
+    for (const LintFinding &finding : report.findings) {
+        if (finding.key.rfind("L4:unreachable:", 0) != 0)
+            continue;
+        any = true;
+        EXPECT_EQ(finding.severity, LintSeverity::Info);
+        EXPECT_FALSE(finding.repairable());
+    }
+    EXPECT_TRUE(any);
+}
+
+// ---- Repairs / --fix round trip -------------------------------------
+
+TEST_F(PartitionLintTest, FixConvergesOnAllPlantedDefects)
+{
+    LintInput in = input();
+    plantAllDefects(in);
+    PartitionLinter linter;
+    ASSERT_GE(linter.lint(in).repairableCount(), 4u);
+
+    size_t rounds = 0;
+    LintReport fixedpoint = linter.fixToConvergence(in, 8, &rounds);
+    EXPECT_GE(rounds, 1u);
+    // Fixed point: nothing left that a repair could change...
+    EXPECT_EQ(fixedpoint.repairableCount(), 0u);
+    // ...and every planted gate-level defect is gone (only
+    // advice-level unreachable/unrepairable findings may remain).
+    EXPECT_EQ(fixedpoint.countAtLeast(LintSeverity::Warning), 0u);
+    // Re-linting the repaired input is stable.
+    LintReport again = linter.lint(in);
+    EXPECT_EQ(again.findings.size(), fixedpoint.findings.size());
+}
+
+TEST_F(PartitionLintTest, ApplyRepairsNarrowsTheAllowlist)
+{
+    LintInput in = input();
+    plantWideAllowlist(in);
+    PartitionLinter linter;
+    LintReport report = linter.lint(in);
+    EXPECT_GT(linter.applyRepairs(in, report), 0u);
+    EXPECT_FALSE(
+        in.agents[0].allowlist.count(osim::Syscall::Send));
+    // Everything observed survives the narrowing.
+    for (osim::Syscall call : in.agents[0].observed)
+        EXPECT_TRUE(in.agents[0].allowlist.count(call));
+}
+
+// ---- Serialization / baseline ---------------------------------------
+
+TEST_F(PartitionLintTest, JsonIsDeterministicAcrossRuns)
+{
+    LintInput a = input();
+    LintInput b = input();
+    plantAllDefects(a);
+    plantAllDefects(b);
+    PartitionLinter linter;
+    LintReport ra = linter.lint(a);
+    LintReport rb = linter.lint(b);
+    EXPECT_EQ(reportToJson(ra, a), reportToJson(rb, b));
+    EXPECT_EQ(baselineToJson(ra), baselineToJson(rb));
+}
+
+TEST_F(PartitionLintTest, BaselineRoundTripSuppressesOldFindings)
+{
+    LintInput in = input();
+    plantAllDefects(in);
+    LintReport report = PartitionLinter().lint(in);
+    ASSERT_FALSE(report.findings.empty());
+    LintBaseline baseline = parseBaseline(baselineToJson(report));
+    EXPECT_EQ(baseline.acceptedKeys.size(), report.findings.size());
+    EXPECT_TRUE(newFindings(report, baseline).empty());
+
+    std::string json = reportToJson(report, in, &baseline);
+    EXPECT_NE(json.find("\"new\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"baselined\": true"), std::string::npos);
+    EXPECT_EQ(json.find("\"baselined\": false"), std::string::npos);
+}
+
+TEST_F(PartitionLintTest, EmptyBaselineGatesEverything)
+{
+    LintInput in = input();
+    plantAllDefects(in);
+    LintReport report = PartitionLinter().lint(in);
+    LintBaseline empty;
+    EXPECT_EQ(newFindings(report, empty).size(),
+              report.findings.size());
+}
+
+TEST(PartitionLintNames, EnumTablesAreTotal)
+{
+    EXPECT_STREQ(lintDefectCode(LintDefect::ByValueCrossing), "L1");
+    EXPECT_STREQ(lintDefectCode(LintDefect::RegistryInconsistency),
+                 "L4");
+    EXPECT_STREQ(lintDefectName(LintDefect::WideAllowlist),
+                 "wide-allowlist");
+    EXPECT_EQ(lintSeverityFromName("error"), LintSeverity::Error);
+    EXPECT_THROW(lintSeverityFromName("nope"), util::FatalError);
+    EXPECT_STREQ(lintRepairKindName(LintRepairKind::ForceLdcRef),
+                 "force-ldc-ref");
+}
+
+TEST(PartitionLintConfig, DefaultSlackIsTheInfraSet)
+{
+    std::set<osim::Syscall> slack =
+        LintConfig::defaultAllowlistSlack();
+    EXPECT_TRUE(slack.count(osim::Syscall::Futex));
+    EXPECT_TRUE(slack.count(osim::Syscall::ShmOpen));
+    // The dangerous set never hides inside the default slack.
+    for (osim::Syscall call : slack)
+        EXPECT_FALSE(isDangerousSurplusSyscall(call))
+            << osim::syscallName(call);
+}
+
+} // namespace

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * freepart_lint: CI gate over the partition-boundary linter
+ * (DESIGN.md §12). Replays the 23 Table 6 app models against fresh
+ * FreePart runtimes, runs the four L1-L4 detectors, diffs the
+ * findings against a checked-in baseline, and exits nonzero when a
+ * *new* finding at or above the severity threshold appears.
+ *
+ * Exit codes:
+ *   0  clean — no new findings at/above --threshold
+ *   1  usage or I/O error
+ *   2  new findings at/above --threshold (or --fix failed to converge)
+ *
+ * Modes:
+ *   freepart_lint --baseline LINT_baseline.json --json report.json
+ *       the CI gate: lint real inputs, fail only on new findings
+ *   freepart_lint --write-baseline LINT_baseline.json
+ *       accept the current findings as the baseline
+ *   freepart_lint --plant all --fix
+ *       self-check: plant all four defect classes, repair to a fixed
+ *       point, fail unless the planted defects all converge away
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "analysis/partition_lint.hh"
+#include "util/logging.hh"
+
+using namespace freepart;
+using namespace freepart::analysis;
+
+namespace {
+
+struct Options {
+    std::string jsonPath;          //!< write the report here ("" = no)
+    std::string baselinePath;      //!< accepted-findings file
+    std::string writeBaselinePath; //!< write findings as baseline
+    std::string plant;             //!< "", "all", "l1".."l4"
+    bool fix = false;
+    size_t maxApps = 0; //!< 0 = all 23 models
+    LintSeverity threshold = LintSeverity::Warning;
+    std::set<osim::Syscall> slack; //!< extra --slack names
+};
+
+void
+usage(std::ostream &out)
+{
+    out << "usage: freepart_lint [options]\n"
+           "  --json PATH            write the JSON report to PATH\n"
+           "  --baseline PATH        accepted findings; only NEW "
+           "findings gate\n"
+           "  --write-baseline PATH  record current findings as the "
+           "baseline\n"
+           "  --fix                  apply repairs and re-lint to a "
+           "fixed point\n"
+           "  --plant all|l1..l4     inject synthetic defects "
+           "(self-check)\n"
+           "  --apps N               replay only the first N app "
+           "models\n"
+           "  --threshold SEV        gate severity: info|warning|"
+           "error (default warning)\n"
+           "  --slack NAME[,NAME]    extra syscalls tolerated in "
+           "allowlists\n"
+           "  --help                 this text\n"
+           "\n"
+           "Defect classes: L1 by-value-crossing, L2 wide-allowlist,\n"
+           "L3 miscategorized-api, L4 registry-inconsistency.\n";
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opts)
+{
+    auto need = [&](int &i, const char *flag) -> const char * {
+        if (i + 1 >= argc) {
+            std::cerr << "freepart_lint: " << flag
+                      << " needs a value\n";
+            return nullptr;
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const char *val = nullptr;
+        if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
+            usage(std::cout);
+            std::exit(0);
+        } else if (!std::strcmp(arg, "--json")) {
+            if (!(val = need(i, arg)))
+                return false;
+            opts.jsonPath = val;
+        } else if (!std::strcmp(arg, "--baseline")) {
+            if (!(val = need(i, arg)))
+                return false;
+            opts.baselinePath = val;
+        } else if (!std::strcmp(arg, "--write-baseline")) {
+            if (!(val = need(i, arg)))
+                return false;
+            opts.writeBaselinePath = val;
+        } else if (!std::strcmp(arg, "--fix")) {
+            opts.fix = true;
+        } else if (!std::strcmp(arg, "--plant")) {
+            if (!(val = need(i, arg)))
+                return false;
+            opts.plant = val;
+            if (opts.plant != "all" && opts.plant != "l1" &&
+                opts.plant != "l2" && opts.plant != "l3" &&
+                opts.plant != "l4") {
+                std::cerr << "freepart_lint: bad --plant value '"
+                          << opts.plant << "'\n";
+                return false;
+            }
+        } else if (!std::strcmp(arg, "--apps")) {
+            if (!(val = need(i, arg)))
+                return false;
+            opts.maxApps = static_cast<size_t>(std::atol(val));
+        } else if (!std::strcmp(arg, "--threshold")) {
+            if (!(val = need(i, arg)))
+                return false;
+            try {
+                opts.threshold = lintSeverityFromName(val);
+            } catch (const util::FatalError &err) {
+                std::cerr << "freepart_lint: " << err.what() << "\n";
+                return false;
+            }
+        } else if (!std::strcmp(arg, "--slack")) {
+            if (!(val = need(i, arg)))
+                return false;
+            std::stringstream names(val);
+            std::string name;
+            while (std::getline(names, name, ',')) {
+                try {
+                    opts.slack.insert(osim::syscallFromName(name));
+                } catch (const util::FatalError &) {
+                    std::cerr << "freepart_lint: unknown syscall '"
+                              << name << "' in --slack\n";
+                    return false;
+                }
+            }
+        } else {
+            std::cerr << "freepart_lint: unknown option '" << arg
+                      << "'\n";
+            usage(std::cerr);
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return true;
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << content;
+    return out.good();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    if (!parseArgs(argc, argv, opts))
+        return 1;
+
+    fw::ApiRegistry registry = fw::buildFullRegistry();
+    HybridCategorizer categorizer(registry);
+    Categorization cats = categorizer.categorizeAll();
+
+    CollectOptions collect;
+    collect.maxApps = opts.maxApps;
+    std::cerr << "freepart_lint: replaying "
+              << (opts.maxApps ? std::to_string(opts.maxApps)
+                               : std::string("all"))
+              << " Table 6 app models...\n";
+    LintInput input = collectLintInput(registry, cats, collect);
+
+    if (opts.plant == "all")
+        plantAllDefects(input);
+    else if (opts.plant == "l1")
+        plantByValueCrossing(input);
+    else if (opts.plant == "l2")
+        plantWideAllowlist(input);
+    else if (opts.plant == "l3")
+        plantMiscategorization(input);
+    else if (opts.plant == "l4")
+        plantRegistryInconsistency(input);
+
+    LintConfig config;
+    for (osim::Syscall call : opts.slack)
+        config.allowlistSlack.insert(call);
+    PartitionLinter linter(config);
+
+    bool converged = true;
+    size_t repairRounds = 0;
+    LintReport report;
+    if (opts.fix) {
+        report = linter.fixToConvergence(input, 8, &repairRounds);
+        converged = report.repairableCount() == 0;
+        std::cerr << "freepart_lint: --fix ran " << repairRounds
+                  << " repair round(s); "
+                  << report.findings.size()
+                  << " finding(s) remain (" << report.repairableCount()
+                  << " repairable)\n";
+    } else {
+        report = linter.lint(input);
+    }
+
+    LintBaseline baseline;
+    bool haveBaseline = false;
+    if (!opts.baselinePath.empty()) {
+        std::string text;
+        if (!readFile(opts.baselinePath, text)) {
+            std::cerr << "freepart_lint: cannot read baseline "
+                      << opts.baselinePath << "\n";
+            return 1;
+        }
+        baseline = parseBaseline(text);
+        haveBaseline = true;
+    }
+
+    if (!opts.jsonPath.empty()) {
+        std::string json = reportToJson(
+            report, input, haveBaseline ? &baseline : nullptr);
+        if (!writeFile(opts.jsonPath, json)) {
+            std::cerr << "freepart_lint: cannot write "
+                      << opts.jsonPath << "\n";
+            return 1;
+        }
+    }
+
+    if (!opts.writeBaselinePath.empty()) {
+        if (!writeFile(opts.writeBaselinePath,
+                       baselineToJson(report))) {
+            std::cerr << "freepart_lint: cannot write "
+                      << opts.writeBaselinePath << "\n";
+            return 1;
+        }
+        std::cerr << "freepart_lint: wrote "
+                  << report.findings.size() << " accepted finding(s) "
+                  << "to " << opts.writeBaselinePath << "\n";
+        return 0;
+    }
+
+    // Human summary on stderr, one line per gating finding.
+    size_t gating = 0;
+    for (const LintFinding &finding : report.findings) {
+        bool fresh = !haveBaseline ||
+                     !baseline.acceptedKeys.count(finding.key);
+        bool above = finding.severity >= opts.threshold;
+        std::cerr << "  [" << lintDefectCode(finding.defect) << "/"
+                  << lintSeverityName(finding.severity) << "] "
+                  << (fresh ? "" : "(baselined) ") << finding.subject
+                  << ": " << finding.message << "\n";
+        if (finding.repairable())
+            std::cerr << "      repair: " << finding.repair.describe()
+                      << "\n";
+        if (fresh && above)
+            ++gating;
+    }
+    std::cerr << "freepart_lint: " << report.findings.size()
+              << " finding(s), " << gating << " new at/above "
+              << lintSeverityName(opts.threshold) << "\n";
+
+    if (opts.fix && !converged) {
+        std::cerr << "freepart_lint: --fix did not reach a fixed "
+                     "point\n";
+        return 2;
+    }
+    return gating ? 2 : 0;
+}
