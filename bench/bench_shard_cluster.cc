@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench/bench_common.hh"
+#include "bench/placement_workload.hh"
 #include "core/runtime.hh"
 #include "shard/shard_router.hh"
 #include "util/stats.hh"
@@ -62,13 +63,17 @@ struct ClusterOutcome {
  */
 ClusterOutcome
 runCluster(uint32_t shard_count, bool skewed, bool kill_one,
-           bool async = false)
+           bool async = false,
+           shard::PlacementPolicy policy = shard::PlacementPolicy::Hash)
 {
     shard::ShardRouterConfig config;
     config.shardCount = shard_count;
     config.runtime.ringBytes = 2 << 20;
     config.runtime.pipelineParallel = async;
     config.dedupEntries = 4096; // hold every token of this run
+    config.placementPolicy = policy;
+    if (policy == shard::PlacementPolicy::Optimized)
+        config.repartitionEveryCalls = 192; // ~8 epochs over the run
     shard::ShardRouter router(
         bench::registry(), bench::categorization(),
         core::PartitionPlan::freePartDefault(), std::move(config),
@@ -207,6 +212,19 @@ main(int argc, char **argv)
                   util::fmtDouble(skew.stats.imbalance(), 2),
                   std::to_string(skew.stats.migrations),
                   std::to_string(skew.stats.replicaRestores)});
+
+    // Same skewed trace with the load-aware placement optimizer: the
+    // 8 hot keys are re-spread 2-2-2-2 by the first re-partition
+    // epochs, so cumulative imbalance converges toward 1.0.
+    ClusterOutcome skewOpt = runCluster(
+        4, true, false, false, shard::PlacementPolicy::Optimized);
+    table.addRow({"4", "skewed+opt",
+                  std::to_string(skewOpt.ackedCalls),
+                  util::fmtDouble(skewOpt.stats.makespan / 1e6, 2),
+                  util::fmtDouble(skewOpt.throughput, 0),
+                  util::fmtDouble(skewOpt.stats.imbalance(), 2),
+                  std::to_string(skewOpt.stats.migrations),
+                  std::to_string(skewOpt.stats.replicaRestores)});
     std::printf("%s", table.render().c_str());
 
     double speedup4 = uniformTp[1] > 0.0
@@ -231,6 +249,55 @@ main(int argc, char **argv)
                 asyncRun.throughput, asyncSpeedup,
                 static_cast<unsigned long long>(
                     asyncRun.stats.shardTotals.asyncCalls));
+    std::printf("skewed keys with optimized placement: imbalance "
+                "%.2f (%llu epochs, %llu placement moves, epoch peak "
+                "%llu bytes)\n",
+                skewOpt.stats.imbalance(),
+                static_cast<unsigned long long>(
+                    skewOpt.stats.repartitions),
+                static_cast<unsigned long long>(
+                    skewOpt.stats.placementMoves),
+                static_cast<unsigned long long>(
+                    skewOpt.stats.placementEpochBytesPeak));
+
+    // ---- Zipf-skewed placement comparison (hash vs optimized) --------
+    // Community-structured Zipf traffic (shared workload driver, see
+    // placement_workload.hh): slot popularity follows a Zipf law and
+    // every third op blends with a same-community partner, so hash
+    // placement pays a cross-shard migration for most blends while
+    // the optimizer co-places communities.
+    util::TextTable zipfTable({"shards", "policy", "imbalance*",
+                               "cross rate*", "calls/s", "epochs",
+                               "moved KiB", "deferrals"});
+    struct ZipfRun {
+        uint32_t shards;
+        shard::PlacementPolicy policy;
+        bench::ZipfOutcome out;
+    };
+    std::vector<ZipfRun> zipfRuns;
+    for (uint32_t shards : {4u, 8u}) {
+        for (auto policy : {shard::PlacementPolicy::Hash,
+                            shard::PlacementPolicy::Optimized}) {
+            bench::ZipfWorkloadConfig wl;
+            wl.shards = shards;
+            wl.policy = policy;
+            bench::ZipfOutcome run = bench::runZipfWorkload(wl);
+            zipfTable.addRow(
+                {std::to_string(shards),
+                 policy == shard::PlacementPolicy::Hash ? "hash"
+                                                        : "optimized",
+                 util::fmtDouble(run.imbalanceSteady, 2),
+                 util::fmtDouble(run.crossRateSteady, 3),
+                 util::fmtDouble(run.throughput, 0),
+                 std::to_string(run.stats.repartitions),
+                 std::to_string(run.stats.placementMovedBytes / 1024),
+                 std::to_string(run.stats.placementDeferrals)});
+            zipfRuns.push_back({shards, policy, std::move(run)});
+        }
+    }
+    std::printf("\nZipf-skewed placement (exponent 1.0, 48 keys, "
+                "community blends; * = steady-state second half):\n%s",
+                zipfTable.render().c_str());
 
     // ---- Kill-one-shard recovery drill -------------------------------
     ClusterOutcome kill = runCluster(4, false, true);
@@ -260,8 +327,31 @@ main(int argc, char **argv)
     std::printf("deterministic replay: %s\n",
                 identical ? "yes" : "NO (bug)");
 
+    auto zipfOf = [&](uint32_t shards, shard::PlacementPolicy policy)
+        -> const bench::ZipfOutcome & {
+        for (const auto &run : zipfRuns)
+            if (run.shards == shards && run.policy == policy)
+                return run.out;
+        return zipfRuns.front().out; // unreachable
+    };
+    const bench::ZipfOutcome &zh4 =
+        zipfOf(4, shard::PlacementPolicy::Hash);
+    const bench::ZipfOutcome &zo4 =
+        zipfOf(4, shard::PlacementPolicy::Optimized);
+    const bench::ZipfOutcome &zh8 =
+        zipfOf(8, shard::PlacementPolicy::Hash);
+    const bench::ZipfOutcome &zo8 =
+        zipfOf(8, shard::PlacementPolicy::Optimized);
+    bool budgetOk =
+        skewOpt.stats.placementEpochBytesPeak <= (4u << 20) &&
+        zo4.stats.placementEpochBytesPeak <= (4u << 20) &&
+        zo8.stats.placementEpochBytesPeak <= (4u << 20);
+
     bool pass = speedup4 >= 2.5 && kill.lostAcks == 0 &&
-                kill.remapFraction <= 0.35 && identical;
+                kill.remapFraction <= 0.35 && identical &&
+                skewOpt.stats.imbalance() <= 1.2 &&
+                zo4.crossRateSteady < zh4.crossRateSteady &&
+                zo8.crossRateSteady < zh8.crossRateSteady && budgetOk;
 
     json.metric("speedup_uniform_4shards", speedup4);
     json.metric("speedup_uniform_8shards", speedup8);
@@ -276,6 +366,30 @@ main(int argc, char **argv)
     json.metric("kill_acked_calls", kill.ackedCalls);
     json.metric("kill_migrations", kill.stats.migrations);
     json.metric("deterministic_replay", identical ? 1 : 0);
+    json.metric("imbalance_skewed_opt_4shards",
+                skewOpt.stats.imbalance());
+    json.metric("skewed_opt_repartitions", skewOpt.stats.repartitions);
+    json.metric("skewed_opt_epoch_peak_bytes",
+                skewOpt.stats.placementEpochBytesPeak);
+    json.metric("cross_shard_calls_skewed_4shards",
+                skew.stats.crossShardCalls);
+    json.metric("cross_shard_calls_skewed_opt_4shards",
+                skewOpt.stats.crossShardCalls);
+    json.metric("proxied_bytes_skewed_4shards",
+                skew.stats.proxiedBytes);
+    json.metric("migrated_bytes_skewed_4shards",
+                skew.stats.migratedBytes);
+    json.metric("imbalance_zipf_hash_4shards", zh4.imbalanceSteady);
+    json.metric("imbalance_zipf_opt_4shards", zo4.imbalanceSteady);
+    json.metric("imbalance_zipf_hash_8shards", zh8.imbalanceSteady);
+    json.metric("imbalance_zipf_opt_8shards", zo8.imbalanceSteady);
+    json.metric("cross_rate_zipf_hash_4shards", zh4.crossRateSteady);
+    json.metric("cross_rate_zipf_opt_4shards", zo4.crossRateSteady);
+    json.metric("cross_rate_zipf_hash_8shards", zh8.crossRateSteady);
+    json.metric("cross_rate_zipf_opt_8shards", zo8.crossRateSteady);
+    json.metric("throughput_zipf_hash_4shards", zh4.throughput);
+    json.metric("throughput_zipf_opt_4shards", zo4.throughput);
+    json.metric("placement_budget_respected", budgetOk ? 1 : 0);
     json.metric("acceptance_pass", pass ? 1 : 0);
     json.flush();
 

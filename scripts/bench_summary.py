@@ -33,6 +33,7 @@ DEFAULT_BENCHES = [
     "bench_fault_recovery",
     "bench_shard_cluster",
     "bench_chaos_cluster",
+    "bench_placement",
     "bench_pipeline_parallel",
     "bench_ldc_ablation",
     "bench_table12_ldc_stats",
@@ -102,6 +103,10 @@ MARKDOWN_ROWS = [
     ("Cluster throughput, 4 shards", "shard_cluster",
      "throughput_uniform_4shards", "{:,.0f} calls/s",
      "n/a (this substrate)"),
+    ("Zipf imbalance, optimized placement (vs hash)", "placement",
+     "imbalance_zipf_opt_4shards", "{:.2f}", "n/a (this substrate)"),
+    ("Zipf cross-shard rate, optimized (vs hash)", "placement",
+     "cross_rate_zipf_opt_4shards", "{:.3f}", "n/a (this substrate)"),
     ("Mean MTTR under fault injection", "fault_recovery",
      "mean_mttr_us", "{:,.0f} us", "n/a (this substrate)"),
     ("Cluster availability under 10% chaos", "chaos_cluster",

@@ -26,6 +26,13 @@ Three gates:
     Fails below the absolute 95% availability floor, if any acked
     call is lost (either run), if the shed rate exceeds 10%, or if
     the chaos run does not replay deterministically.
+  * bench_placement (--current-placement, optional): load-aware
+    placement vs consistent hashing under the Zipf workload. Fails
+    if the optimized 4-shard imbalance exceeds the absolute 1.2
+    floor, if the optimized cross-shard call rate is not strictly
+    below hash at 4 and 8 shards, if any re-partition epoch moved
+    more than its migrationMaxBytes budget, or if the optimize-and-
+    migrate loop does not replay deterministically.
 
 The whole run is deterministic simulated time, so any drift is a real
 code change, not machine noise; the tolerance only absorbs intentional
@@ -70,13 +77,18 @@ the gate set (all deterministic simulated time):
                     async replay byte-identical to sync
   chaos             availability >= 95%, shed rate <= 10%, zero lost
                     acks, deterministic replay
+  placement         optimized imbalance <= 1.2 absolute, optimized
+                    cross-shard rate strictly below hash at 4 and 8
+                    shards, per-epoch moved bytes within budget,
+                    deterministic replay
 
 after an intentional perf change, refresh the checked-in baseline
 with the same bench outputs instead of hand-editing it:
 
   scripts/check_perf_regression.py --current table9.json \\
       --current-cluster cluster.json --current-pipeline pipeline.json \\
-      --current-chaos chaos.json --write-baseline
+      --current-chaos chaos.json --current-placement placement.json \\
+      --write-baseline
 
 the partition-boundary lint gate (freepart_lint + LINT_baseline.json)
 runs as its own CI job; see DESIGN.md §12.
@@ -92,7 +104,8 @@ def write_baseline(args):
     sections = [("table9_overhead", args.current),
                 ("shard_cluster", args.current_cluster),
                 ("pipeline_parallel", args.current_pipeline),
-                ("chaos_cluster", args.current_chaos)]
+                ("chaos_cluster", args.current_chaos),
+                ("placement", args.current_placement)]
     for section, path in sections:
         if not path:
             continue
@@ -122,6 +135,8 @@ def main():
     parser.add_argument("--current-chaos",
                         help="JSON written by bench_chaos_cluster "
                              "--json")
+    parser.add_argument("--current-placement",
+                        help="JSON written by bench_placement --json")
     parser.add_argument("--baseline", default="BENCH_freepart.json")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed relative drift (0.20 = 20%%)")
@@ -211,6 +226,46 @@ def main():
             print("FAIL: chaos run did not replay deterministically",
                   file=sys.stderr)
             ok = False
+
+    if args.current_placement:
+        place_base = baseline_doc.get("placement", {})
+        with open(args.current_placement) as handle:
+            place = json.load(handle)["metrics"]
+        imbalance = place["imbalance_zipf_opt_4shards"]
+        print(f"placement optimized 4-shard imbalance: "
+              f"{imbalance:.3f}, ceiling 1.20")
+        if imbalance > 1.2:
+            print("FAIL: optimized placement imbalance above the "
+                  "1.2 ceiling", file=sys.stderr)
+            ok = False
+        for shards in (4, 8):
+            hash_rate = place[f"cross_rate_zipf_hash_{shards}shards"]
+            opt_rate = place[f"cross_rate_zipf_opt_{shards}shards"]
+            print(f"placement cross-shard rate at {shards} shards: "
+                  f"hash {hash_rate:.4f}, optimized {opt_rate:.4f}")
+            if opt_rate >= hash_rate:
+                print(f"FAIL: optimized cross-shard rate not below "
+                      f"hash at {shards} shards", file=sys.stderr)
+                ok = False
+        if place["budget_respected"] != 1:
+            print("FAIL: a re-partition epoch exceeded its "
+                  "migrationMaxBytes budget", file=sys.stderr)
+            ok = False
+        if place["deterministic_replay"] != 1:
+            print("FAIL: placement run did not replay "
+                  "deterministically", file=sys.stderr)
+            ok = False
+        if place_base:
+            # Relative drift guards against quiet optimizer decay once
+            # a baseline section exists.
+            ok &= check_max(
+                "placement optimized 4-shard cross rate vs baseline",
+                place_base["cross_rate_zipf_opt_4shards"],
+                place["cross_rate_zipf_opt_4shards"], args.tolerance)
+            ok &= check_min(
+                "placement optimized 4-shard throughput vs baseline",
+                place_base["throughput_zipf_opt_4shards"],
+                place["throughput_zipf_opt_4shards"], args.tolerance)
 
     if not ok:
         return 1

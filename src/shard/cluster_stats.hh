@@ -26,8 +26,12 @@ struct ClusterStats {
     uint64_t dedupHits = 0;     //!< duplicate tokens served from cache
     uint64_t localInputs = 0;   //!< ref inputs already on the target shard
     uint64_t migrations = 0;    //!< objects moved between shards
-    uint64_t migrationBytes = 0; //!< payload bytes moved by migrations
+    uint64_t migratedBytes = 0; //!< payload bytes moved by migrations
     uint64_t proxiedCalls = 0;  //!< calls executed on the input's owner
+    uint64_t proxiedBytes = 0;  //!< input bytes served in place by proxying
+    uint64_t crossShardCalls = 0; //!< calls that touched another shard
+                                  //!< (migrated/restored inputs, proxy,
+                                  //!< hedged or degraded execution)
     uint64_t replicaSaves = 0;  //!< result replicas captured
     uint64_t replicaBytes = 0;  //!< bytes held by the replica store
     uint64_t replicaRestores = 0; //!< objects rebuilt from a replica
@@ -56,6 +60,18 @@ struct ClusterStats {
     uint64_t messagesCorrupted = 0; //!< injected cross-shard corruptions
     uint64_t replicaStaleReads = 0; //!< hedge/degraded replica stagings
     uint64_t queueDepthPeak = 0; //!< max admission queue depth seen
+
+    // ---- Placement-era counters (optimized object placement) ----
+    uint64_t repartitions = 0;  //!< placement epochs computed + applied
+    uint64_t placementMoves = 0; //!< objects moved by placement epochs
+    uint64_t placementMovedBytes = 0; //!< payload bytes of those moves
+    /** Max bytes any single epoch moved — the bounded-migration
+     *  witness benches and tests assert stays <= migrationMaxBytes. */
+    uint64_t placementEpochBytesPeak = 0;
+    uint64_t placementDeferrals = 0; //!< group moves deferred by budget
+    uint64_t placementOverrides = 0; //!< override entries resolving live
+    uint64_t placementCut = 0;  //!< last solution: weighted hyperedge cut
+    double placementImbalance = 0.0; //!< last solution: weight imbalance
     /** Summed time from last good contact to dead classification —
      *  divide by deadTransitions for mean failover detection time. */
     osim::SimTime detectionTime = 0;

@@ -97,7 +97,8 @@ ShardRouter::ShardRouter(const fw::ApiRegistry &registry,
     : registry(registry), cats(std::move(categorization)),
       plan_(std::move(plan)), config(std::move(config_in)),
       ring_(config.vnodesPerShard), dedup_(config.dedupEntries),
-      seed_(std::move(seed)), monitor_(config.health, 0)
+      trace_(config.trace), seed_(std::move(seed)),
+      monitor_(config.health, 0)
 {
     // Reject configurations whose only possible behavior is silent
     // data loss, a guaranteed stall, or a div-by-zero downstream.
@@ -131,6 +132,14 @@ ShardRouter::ShardRouter(const fw::ApiRegistry &registry,
     if (config.health.suspectLatencyFactor < 1.0)
         util::fatal("ShardRouterConfig: health.suspectLatencyFactor "
                     "must be >= 1");
+    if (config.placementBalanceEpsilon < 0.0)
+        util::fatal("ShardRouterConfig: placementBalanceEpsilon must "
+                    "be >= 0");
+    if (config.repartitionEveryCalls > 0 &&
+        config.placementPolicy != PlacementPolicy::Optimized)
+        util::fatal("ShardRouterConfig: repartitionEveryCalls needs "
+                    "placementPolicy Optimized (the Hash policy never "
+                    "re-partitions)");
 
     if (config.shardCount == 0)
         config.shardCount = 1;
@@ -184,9 +193,26 @@ ShardRouter::shardLive(uint32_t shard) const
 }
 
 uint32_t
+ShardRouter::placeKey(uint64_t routing_key) const
+{
+    auto it = override_.find(routing_key);
+    if (it != override_.end()) {
+        uint32_t shard = it->second;
+        // An override whose target is dead or drained is bypassed
+        // (ring fallback) but kept: it re-applies when the shard
+        // rejoins, and reviveShard's proactive push restores the
+        // group's objects there.
+        if (shard < shards_.size() && shards_[shard].live &&
+            ring_.contains(shard))
+            return shard;
+    }
+    return ring_.ownerOf(routing_key);
+}
+
+uint32_t
 ShardRouter::ownerShardOf(uint64_t routing_key) const
 {
-    return ring_.ownerOf(routing_key);
+    return placeKey(routing_key);
 }
 
 core::FreePartRuntime &
@@ -294,7 +320,7 @@ ShardRouter::migrateObject(uint32_t from, uint32_t to,
     srcRt.evictObject(object_id);
     objectShard_[object_id] = to;
     ++stats_.migrations;
-    stats_.migrationBytes += bytes.size();
+    stats_.migratedBytes += bytes.size();
 }
 
 bool
@@ -427,7 +453,7 @@ ShardRouter::createMat(uint64_t routing_key, uint32_t rows,
                        uint32_t cols, uint32_t ch, uint64_t seed,
                        const std::string &label)
 {
-    uint32_t owner = ring_.ownerOf(routing_key);
+    uint32_t owner = placeKey(routing_key);
     if (owner == kInvalidShard)
         util::panic("createMat: no live shards in the ring");
     Shard &shard = shards_.at(owner);
@@ -459,7 +485,7 @@ ShardRouter::proactivePush(uint32_t target)
     std::vector<std::pair<uint64_t, uint64_t>> snapshot(
         objectKey_.begin(), objectKey_.end());
     for (const auto &[object_id, routing_key] : snapshot) {
-        if (ring_.ownerOf(routing_key) != target)
+        if (placeKey(routing_key) != target)
             continue;
         uint32_t owner = lookupShard(object_id);
         if (owner == kInvalidShard || owner == target)
@@ -660,11 +686,202 @@ ShardRouter::healthTick(osim::SimTime now)
     }
 }
 
+// ---- Load-aware placement (DESIGN.md §13) ----------------------------
+
+uint64_t
+ShardRouter::objectBytesOf(uint64_t object_id) const
+{
+    uint32_t owner = lookupShard(object_id);
+    if (owner != kInvalidShard) {
+        const Shard &shard = shards_.at(owner);
+        if (shard.live && shard.runtime->hasObject(object_id)) {
+            core::FreePartRuntime &rt = *shard.runtime;
+            fw::ObjectStore &store = rt.storeOf(rt.homeOf(object_id));
+            if (store.has(object_id))
+                return store.get(object_id).byteLen;
+        }
+    }
+    auto it = replicas_.find(object_id);
+    return it != replicas_.end() ? it->second.bytes.size() : 0;
+}
+
+void
+ShardRouter::notePlacementCall(uint64_t routing_key,
+                               const ipc::ValueList &args)
+{
+    if (config.placementPolicy != PlacementPolicy::Optimized)
+        return;
+    // Host-side bookkeeping only: recording advances no kernel and
+    // consumes no randomness, so Hash-policy runs (which skip it
+    // entirely) and Optimized runs share identical simulated costs
+    // until a re-partition actually moves data.
+    std::vector<placement::ObjectAccess> inputs;
+    for (const ipc::Value &value : args) {
+        if (value.kind() != ipc::Value::Kind::Ref)
+            continue;
+        placement::ObjectAccess access;
+        access.objectId = value.asRef().objectId;
+        auto it = objectKey_.find(access.objectId);
+        access.group =
+            it != objectKey_.end() ? it->second : routing_key;
+        access.bytes = objectBytesOf(access.objectId);
+        inputs.push_back(access);
+    }
+    trace_.recordCall(routing_key, inputs);
+    if (config.repartitionEveryCalls > 0 &&
+        ++callsSinceRepartition_ >= config.repartitionEveryCalls) {
+        callsSinceRepartition_ = 0;
+        repartitionNow();
+    }
+}
+
+void
+ShardRouter::repartitionNow()
+{
+    if (config.placementPolicy != PlacementPolicy::Optimized ||
+        trace_.empty())
+        return;
+    std::vector<uint32_t> live;
+    for (const Shard &shard : shards_)
+        if (shard.live && ring_.contains(shard.id))
+            live.push_back(shard.id);
+    if (live.size() < 2) {
+        trace_.reset(); // nothing to balance against
+        return;
+    }
+    placement::GroupHypergraph hypergraph = trace_.contractByGroup();
+    if (hypergraph.vertices.empty()) {
+        trace_.reset();
+        return;
+    }
+
+    placement::PartitionConfig pc;
+    pc.parts = static_cast<uint32_t>(live.size());
+    pc.balanceEpsilon = config.placementBalanceEpsilon;
+    pc.seed = config.placementSeed;
+    placement::PartitionResult solution =
+        placement::partitionGroups(hypergraph, pc);
+
+    // Map solution parts onto shard slots so the labels line up with
+    // where the mass already sits: greedy maximum-overlap matching,
+    // which keeps a near-no-op solution a near-no-op application.
+    const size_t k = live.size();
+    std::map<uint64_t, uint64_t> groupWeight;
+    for (const auto &vertex : hypergraph.vertices)
+        groupWeight[vertex.group] = std::max<uint64_t>(vertex.weight, 1);
+    std::vector<std::vector<uint64_t>> overlap(
+        k, std::vector<uint64_t>(k, 0));
+    for (const auto &[group, part] : solution.groupPart) {
+        uint32_t current = placeKey(group);
+        for (size_t slot = 0; slot < k; ++slot)
+            if (live[slot] == current) {
+                overlap[part][slot] += groupWeight[group];
+                break;
+            }
+    }
+    std::vector<uint32_t> partShard(k, kInvalidShard);
+    std::vector<uint8_t> partDone(k, 0), slotDone(k, 0);
+    for (size_t round = 0; round < k; ++round) {
+        size_t bestPart = k, bestSlot = k;
+        uint64_t bestOverlap = 0;
+        for (size_t part = 0; part < k; ++part) {
+            if (partDone[part])
+                continue;
+            for (size_t slot = 0; slot < k; ++slot) {
+                if (slotDone[slot])
+                    continue;
+                if (bestPart == k || overlap[part][slot] > bestOverlap) {
+                    bestPart = part;
+                    bestSlot = slot;
+                    bestOverlap = overlap[part][slot];
+                }
+            }
+        }
+        partShard[bestPart] = live[bestSlot];
+        partDone[bestPart] = 1;
+        slotDone[bestSlot] = 1;
+    }
+
+    ++stats_.repartitions;
+    stats_.placementCut = solution.cut;
+    stats_.placementImbalance = solution.imbalance;
+    applyPlacement(solution, partShard);
+    trace_.reset(); // next epoch sees a fresh window
+}
+
+void
+ShardRouter::applyPlacement(const placement::PartitionResult &solution,
+                            const std::vector<uint32_t> &targets)
+{
+    struct GroupMove {
+        uint64_t bytes = 0;
+        uint64_t group = 0;
+        uint32_t to = 0;
+        std::vector<std::pair<uint32_t, uint64_t>> objects; // from, id
+    };
+    std::vector<GroupMove> moves;
+    for (const auto &[group, part] : solution.groupPart) {
+        uint32_t to = targets.at(part);
+        if (placeKey(group) == to) {
+            // Already in place: pin it against ring churn for free.
+            override_[group] = to;
+            continue;
+        }
+        GroupMove move;
+        move.group = group;
+        move.to = to;
+        for (uint64_t id : trace_.objectsOf(group)) {
+            uint32_t owner = lookupShard(id);
+            if (owner == kInvalidShard || owner == to ||
+                !shards_.at(owner).live)
+                continue;
+            uint64_t bytes = objectBytesOf(id);
+            if (bytes == 0 || bytes > config.migrationMaxBytes)
+                continue; // oversized: stays put, the proxy path owns it
+            move.objects.emplace_back(owner, id);
+            move.bytes += bytes;
+        }
+        moves.push_back(std::move(move));
+    }
+
+    // Cheapest groups first, so the epoch budget relocates as many
+    // keys as possible; groups that do not fit are deferred — the
+    // next epoch recomputes from a fresh trace and retries.
+    std::sort(moves.begin(), moves.end(),
+              [](const GroupMove &a, const GroupMove &b) {
+                  if (a.bytes != b.bytes)
+                      return a.bytes < b.bytes;
+                  return a.group < b.group;
+              });
+    uint64_t moved = 0;
+    for (const GroupMove &move : moves) {
+        if (moved + move.bytes > config.migrationMaxBytes) {
+            ++stats_.placementDeferrals;
+            continue;
+        }
+        override_[move.group] = move.to;
+        for (const auto &[from, id] : move.objects) {
+            migrateObject(from, move.to, id);
+            ++stats_.placementMoves;
+        }
+        moved += move.bytes;
+    }
+    stats_.placementMovedBytes += moved;
+    stats_.placementEpochBytesPeak =
+        std::max(stats_.placementEpochBytesPeak, moved);
+    if (moved > 0)
+        util::inform("cluster: placement epoch moved %llu bytes "
+                     "(%llu overrides active)",
+                     static_cast<unsigned long long>(moved),
+                     static_cast<unsigned long long>(override_.size()));
+}
+
 RoutedCall
 ShardRouter::invoke(uint64_t routing_key, const std::string &api_name,
                     ipc::ValueList args, uint64_t dedup_token)
 {
     ++stats_.routedCalls;
+    notePlacementCall(routing_key, args);
     RoutedCall out;
 
     // At-least-once dedup: a token already acknowledged is answered
@@ -676,7 +893,7 @@ ShardRouter::invoke(uint64_t routing_key, const std::string &api_name,
             out.result.ok = true;
             out.result.values = *hit;
             out.deduped = true;
-            out.shard = ring_.ownerOf(routing_key);
+            out.shard = placeKey(routing_key);
             return out;
         }
     }
@@ -686,7 +903,7 @@ ShardRouter::invoke(uint64_t routing_key, const std::string &api_name,
     // the keys already remapped to the survivors.
     for (uint32_t attempt = 0; attempt <= config.shardCount;
          ++attempt) {
-        uint32_t target = ring_.ownerOf(routing_key);
+        uint32_t target = placeKey(routing_key);
         if (target == kInvalidShard) {
             out.result.error = "cluster: no live shards in the ring";
             out.errorKind = RouteError::NoLiveShards;
@@ -722,6 +939,7 @@ ShardRouter::invoke(uint64_t routing_key, const std::string &api_name,
         // Stage inputs onto the executing shard: local refs stay put,
         // remote ones migrate, dead owners fall back to replicas.
         bool lost = false;
+        bool cross = proxied;
         for (const ipc::Value &value : args) {
             if (value.kind() != ipc::Value::Kind::Ref)
                 continue;
@@ -729,14 +947,19 @@ ShardRouter::invoke(uint64_t routing_key, const std::string &api_name,
             uint32_t owner = lookupShard(id);
             if (owner == exec) {
                 ++stats_.localInputs;
+                if (proxied)
+                    stats_.proxiedBytes += objectBytesOf(id);
                 continue;
             }
             if (owner != kInvalidShard && shards_.at(owner).live) {
                 migrateObject(owner, exec, id);
+                cross = true;
                 continue;
             }
-            if (restoreReplica(exec, id))
+            if (restoreReplica(exec, id)) {
+                cross = true;
                 continue;
+            }
             out.result = core::ApiResult();
             out.result.error =
                 "cluster: object " + std::to_string(id) +
@@ -781,6 +1004,8 @@ ShardRouter::invoke(uint64_t routing_key, const std::string &api_name,
             ++stats_.callsOk;
             if (proxied)
                 ++stats_.proxiedCalls;
+            if (cross)
+                ++stats_.crossShardCalls;
             out.result = std::move(result);
             out.shard = exec;
             out.proxied = proxied;
@@ -815,6 +1040,7 @@ ShardRouter::invokeAt(uint64_t routing_key, const std::string &api_name,
                       ipc::ValueList args, const CallOptions &opts)
 {
     ++stats_.routedCalls;
+    notePlacementCall(routing_key, args);
     ++openLoopCalls_;
     applyChaosEvents();
 
@@ -831,7 +1057,7 @@ ShardRouter::invokeAt(uint64_t routing_key, const std::string &api_name,
             out.result.ok = true;
             out.result.values = *hit;
             out.deduped = true;
-            out.shard = ring_.ownerOf(routing_key);
+            out.shard = placeKey(routing_key);
             return out;
         }
     }
@@ -844,7 +1070,7 @@ ShardRouter::invokeAt(uint64_t routing_key, const std::string &api_name,
     for (uint32_t attempt = 0; attempt < budget; ++attempt) {
         if (attempt > 0)
             ++stats_.retriesSpent;
-        uint32_t target = ring_.ownerOf(routing_key);
+        uint32_t target = placeKey(routing_key);
         if (target == kInvalidShard) {
             out.result.error = "cluster: no live shards in the ring";
             out.errorKind = RouteError::NoLiveShards;
@@ -981,6 +1207,7 @@ ShardRouter::invokeAt(uint64_t routing_key, const std::string &api_name,
         Shard &shard = shards_.at(exec);
         osim::SimTime before = shard.kernel->now();
         bool staged = true;
+        bool cross = proxied || hedged || degraded;
         for (const ipc::Value &value : args) {
             if (value.kind() != ipc::Value::Kind::Ref)
                 continue;
@@ -992,14 +1219,19 @@ ShardRouter::invokeAt(uint64_t routing_key, const std::string &api_name,
                 uint32_t owner = lookupShard(id);
                 if (owner == exec) {
                     ++stats_.localInputs;
+                    if (proxied)
+                        stats_.proxiedBytes += objectBytesOf(id);
                     continue;
                 }
                 if (owner != kInvalidShard && shards_.at(owner).live) {
                     migrateObject(owner, exec, id);
+                    cross = true;
                     continue;
                 }
-                if (restoreReplica(exec, id))
+                if (restoreReplica(exec, id)) {
+                    cross = true;
                     continue;
+                }
             }
             out.result = core::ApiResult();
             out.result.error =
@@ -1051,6 +1283,8 @@ ShardRouter::invokeAt(uint64_t routing_key, const std::string &api_name,
             ++stats_.callsOk;
             if (proxied)
                 ++stats_.proxiedCalls;
+            if (cross)
+                ++stats_.crossShardCalls;
             if (hedged)
                 ++stats_.hedgedCalls;
             if (degraded)
@@ -1102,6 +1336,11 @@ ShardRouter::stats()
     }
     stats_.shardTotals = totals;
     stats_.makespan = makespan;
+    stats_.placementOverrides = 0;
+    for (const auto &[group, target] : override_)
+        if (target < shards_.size() && shards_[target].live &&
+            ring_.contains(target))
+            ++stats_.placementOverrides;
     return stats_;
 }
 

@@ -43,8 +43,20 @@
 #include "shard/cluster_stats.hh"
 #include "shard/hash_ring.hh"
 #include "shard/health_monitor.hh"
+#include "shard/placement.hh"
 
 namespace freepart::shard {
+
+/** How routing keys are placed on shards. */
+enum class PlacementPolicy : uint8_t {
+    /** Pure consistent hashing (the pre-placement behavior; runs are
+     *  byte-identical to a router built before this policy existed). */
+    Hash,
+    /** Hash placement plus a load-aware override table computed by
+     *  hypergraph partitioning over the observed call trace, applied
+     *  incrementally under the migrationMaxBytes epoch budget. */
+    Optimized,
+};
 
 /** Cluster knobs. */
 struct ShardRouterConfig {
@@ -99,6 +111,24 @@ struct ShardRouterConfig {
     /** On overload/infeasible deadline, serve from the least-loaded
      *  healthy shard via stale replica reads instead of shedding. */
     bool degradedReads = true;
+
+    // ---- Load-aware placement (DESIGN.md §13) ----
+
+    PlacementPolicy placementPolicy = PlacementPolicy::Hash;
+
+    /** Re-partition period in accepted calls (Optimized only; 0 =
+     *  re-partition only on explicit repartitionNow() calls). */
+    uint64_t repartitionEveryCalls = 0;
+
+    /** Balance constraint of the optimizer: max shard load factor
+     *  over the ideal average the solution may plan for. */
+    double placementBalanceEpsilon = 0.10;
+
+    /** Seed of the (deterministic) partitioner. */
+    uint64_t placementSeed = 1;
+
+    /** Memory bounds of the online trace collector. */
+    placement::TraceConfig trace;
 
     /** Per-shard runtime feature switches. The router overrides
      *  RuntimeConfig::shardId per shard (namespace s+1). */
@@ -263,11 +293,39 @@ class ShardRouter
         return chaos_.get();
     }
 
+    // ---- Load-aware placement ----------------------------------------
+
+    /**
+     * Compute and apply a placement epoch now (Optimized policy):
+     * contract the current trace window into a group hypergraph,
+     * partition it across the live ring shards, install overrides for
+     * the groups whose move set fits the remaining migrationMaxBytes
+     * epoch budget (migrating their recently-accessed objects), and
+     * reset the trace window. Groups that do not fit are deferred to
+     * a later epoch. No-op under the Hash policy, with fewer than two
+     * live shards, or on an empty trace window.
+     */
+    void repartitionNow();
+
+    /** Active placement-override table (routing key -> shard). */
+    const std::map<uint64_t, uint32_t> &placementOverrides() const
+    {
+        return override_;
+    }
+
+    /** The online trace collector (read-only introspection). */
+    const placement::TraceCollector &traceCollector() const
+    {
+        return trace_;
+    }
+
     // ---- Introspection -----------------------------------------------
 
     const HashRing &ring() const { return ring_; }
 
-    /** Ring owner of a routing key right now. */
+    /** Effective owner of a routing key right now: the placement
+     *  override when one points at a live in-ring shard, else the
+     *  consistent-hash ring (always the ring under the Hash policy). */
     uint32_t ownerShardOf(uint64_t routing_key) const;
 
     /** Shard currently holding an object (directory + lazy scan);
@@ -312,6 +370,25 @@ class ShardRouter
 
     /** Directory lookup with lazy adoption of unknown ids. */
     uint32_t lookupShard(uint64_t object_id) const;
+
+    /** Override-aware placement of a routing key (falls back to the
+     *  ring when the override target is dead or out of the ring). */
+    uint32_t placeKey(uint64_t routing_key) const;
+
+    /** Record one call into the trace window (Optimized policy) and
+     *  fire the periodic re-partition when the epoch fills. */
+    void notePlacementCall(uint64_t routing_key,
+                           const ipc::ValueList &args);
+
+    /** Serialized size of an object wherever it currently lives
+     *  (authoritative store, else replica; 0 when unresolvable). */
+    uint64_t objectBytesOf(uint64_t object_id) const;
+
+    /** Install the solution's overrides and migrate the moved groups'
+     *  recent objects, bounded by migrationMaxBytes for this epoch.
+     *  `targets` maps part index -> live shard id. */
+    void applyPlacement(const placement::PartitionResult &solution,
+                        const std::vector<uint32_t> &targets);
 
     /** Move an object's data between two live shards' runtimes. */
     void migrateObject(uint32_t from, uint32_t to, uint64_t object_id);
@@ -380,6 +457,13 @@ class ShardRouter
     std::map<uint64_t, Replica> replicas_;
     core::DedupCache dedup_;
     ClusterStats stats_;
+
+    /** Placement-override table layered over the ring: routing key ->
+     *  shard. Entries survive the target's death (bypassed while it
+     *  is out of the ring, effective again after reviveShard). */
+    std::map<uint64_t, uint32_t> override_;
+    placement::TraceCollector trace_;
+    uint64_t callsSinceRepartition_ = 0;
 
     SeedFn seed_; //!< kept for reviveShard's fresh incarnations
     HealthMonitor monitor_;

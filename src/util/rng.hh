@@ -78,6 +78,90 @@ class Rng
     uint64_t state;
 };
 
+/**
+ * Zipf-distributed sampler over [0, n): P(k) proportional to
+ * 1 / (k+1)^exponent. Built on a precomputed inverse CDF so draws
+ * cost one binary search and consume exactly one Rng value — workload
+ * generators can interleave it with other draws without perturbing
+ * replay. exponent = 0 degenerates to uniform; the Table 6 skewed
+ * workloads use exponents around 0.8-1.2.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(size_t n, double exponent) : cdf_(n)
+    {
+        double sum = 0.0;
+        for (size_t k = 0; k < n; ++k) {
+            sum += 1.0 / pow_(static_cast<double>(k + 1), exponent);
+            cdf_[k] = sum;
+        }
+        for (size_t k = 0; k < n; ++k)
+            cdf_[k] /= sum;
+    }
+
+    /** Draw one rank; rank 0 is the hottest. */
+    size_t
+    draw(Rng &rng) const
+    {
+        double u = rng.uniform();
+        size_t lo = 0, hi = cdf_.size() - 1;
+        while (lo < hi) {
+            size_t mid = lo + (hi - lo) / 2;
+            if (cdf_[mid] < u)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+  private:
+    /** pow via exp/log would drag in libm idiosyncrasies; a simple
+     *  repeated-squaring over the binary expansion of the exponent's
+     *  fixed-point form keeps draws bit-stable across platforms. */
+    static double
+    pow_(double base, double exponent)
+    {
+        // exponent >= 0, resolution 2^-20 is far below any effect a
+        // workload could observe.
+        double result = 1.0;
+        double factor = base;
+        auto fixed = static_cast<uint64_t>(exponent * (1ull << 20));
+        // Integer part first (bits >= 2^20), then the fraction via
+        // successive square roots of the base.
+        uint64_t ipart = fixed >> 20;
+        while (ipart > 0) {
+            if (ipart & 1)
+                result *= factor;
+            factor *= factor;
+            ipart >>= 1;
+        }
+        double root = base;
+        uint64_t fpart = fixed & ((1ull << 20) - 1);
+        for (int bit = 19; bit >= 0; --bit) {
+            root = sqrt_(root);
+            if (fpart & (1ull << bit))
+                result *= root;
+        }
+        return result;
+    }
+
+    /** Newton square root — deterministic everywhere, unlike sqrtl. */
+    static double
+    sqrt_(double x)
+    {
+        if (x <= 0.0)
+            return 0.0;
+        double guess = x > 1.0 ? x / 2.0 : x;
+        for (int i = 0; i < 32; ++i)
+            guess = 0.5 * (guess + x / guess);
+        return guess;
+    }
+
+    std::vector<double> cdf_;
+};
+
 } // namespace freepart::util
 
 #endif // FREEPART_UTIL_RNG_HH

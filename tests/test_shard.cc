@@ -269,7 +269,7 @@ TEST(ShardRouter, MigratesSmallCrossShardInput)
 
     const ClusterStats &stats = router->stats();
     EXPECT_EQ(stats.migrations, 1u);
-    EXPECT_GT(stats.migrationBytes, 0u);
+    EXPECT_GT(stats.migratedBytes, 0u);
     // The source runtime evicted its copy: exactly one authority.
     EXPECT_FALSE(router->runtime(0).hasObject(id));
     EXPECT_TRUE(router->runtime(1).hasObject(id));
