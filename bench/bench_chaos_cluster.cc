@@ -50,11 +50,13 @@ struct SessionCall {
 
 /** Per-app session: routing key + its call list. */
 struct Session {
+    uint32_t id = 0;                //!< app model id (tenant label)
     uint64_t key = 0;
     std::vector<SessionCall> calls;
     size_t next = 0;                //!< next call to issue
     ipc::Value chain;               //!< last result ref
     bool haveChain = false;
+    std::vector<double> latenciesUs; //!< per-tenant breakdown
 };
 
 /**
@@ -69,6 +71,7 @@ buildSession(const apps::WorkloadGenerator &generator,
              const apps::AppModel &model)
 {
     Session session;
+    session.id = model.id;
     session.key = kKeyBase + static_cast<uint64_t>(model.id) * 97;
     size_t op = static_cast<size_t>(model.id); // de-phase op cycles
     for (const apps::WorkloadCall &call : generator.trace(model)) {
@@ -89,6 +92,11 @@ struct ChaosOutcome {
     double availability = 0.0;
     double p50Us = 0.0;
     double p99Us = 0.0;
+    double p999Us = 0.0;
+    /** Worst per-app-session (per-tenant) p99 — the breakdown a
+     *  multi-tenant operator reads next to the aggregate tail. */
+    double worstAppP99Us = 0.0;
+    uint32_t worstAppId = 0;
     double shedRate = 0.0;
     double meanFailoverUs = 0.0;
 };
@@ -189,8 +197,9 @@ runChaos(double chaos_rate, osim::SimTime interarrival,
             }
             ++out.acked;
             acked.emplace_back(opts.dedupToken, session.key);
-            latenciesUs.push_back(
-                static_cast<double>(routed.latency) / 1000.0);
+            double us = static_cast<double>(routed.latency) / 1000.0;
+            latenciesUs.push_back(us);
+            session.latenciesUs.push_back(us);
             if (!routed.result.values.empty() &&
                 routed.result.values[0].kind() ==
                     ipc::Value::Kind::Ref) {
@@ -222,6 +231,16 @@ runChaos(double chaos_rate, osim::SimTime interarrival,
     std::sort(latenciesUs.begin(), latenciesUs.end());
     out.p50Us = percentile(latenciesUs, 0.50);
     out.p99Us = percentile(latenciesUs, 0.99);
+    out.p999Us = percentile(latenciesUs, 0.999);
+    for (Session &session : sessions) {
+        std::sort(session.latenciesUs.begin(),
+                  session.latenciesUs.end());
+        double p99 = percentile(session.latenciesUs, 0.99);
+        if (p99 > out.worstAppP99Us) {
+            out.worstAppP99Us = p99;
+            out.worstAppId = session.id;
+        }
+    }
     if (out.stats.deadTransitions)
         out.meanFailoverUs =
             static_cast<double>(out.stats.detectionTime) / 1000.0 /
@@ -299,14 +318,15 @@ main(int argc, char **argv)
     ChaosOutcome chaos = runChaos(kChaosRate, interarrival, deadline);
 
     util::TextTable table({"run", "issued", "acked", "avail %",
-                           "p50 us", "p99 us", "shed %", "hedged",
-                           "degraded", "rejoins"});
+                           "p50 us", "p99 us", "p999 us", "shed %",
+                           "hedged", "degraded", "rejoins"});
     auto addRow = [&table](const char *name, const ChaosOutcome &o) {
         table.addRow({name, std::to_string(o.issued),
                       std::to_string(o.acked),
                       util::fmtDouble(o.availability * 100.0, 2),
                       util::fmtDouble(o.p50Us, 1),
                       util::fmtDouble(o.p99Us, 1),
+                      util::fmtDouble(o.p999Us, 1),
                       util::fmtDouble(o.shedRate * 100.0, 2),
                       std::to_string(o.stats.hedgedCalls),
                       std::to_string(o.stats.degradedCalls),
@@ -342,6 +362,10 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         chaos.stats.deadTransitions),
                     chaos.meanFailoverUs);
+    std::printf("per-tenant tail: worst app-session p99 %.1f us "
+                "(app %u clean), %.1f us (app %u chaos)\n",
+                clean.worstAppP99Us, clean.worstAppId,
+                chaos.worstAppP99Us, chaos.worstAppId);
     std::printf("at-least-once audit: %llu acked lost (clean), "
                 "%llu acked lost (chaos)\n",
                 static_cast<unsigned long long>(clean.lostAcks),
@@ -358,7 +382,8 @@ main(int argc, char **argv)
         replay.stats.shedCalls == chaos.stats.shedCalls &&
         replay.stats.hedgedCalls == chaos.stats.hedgedCalls &&
         replay.stats.shardsRejoined == chaos.stats.shardsRejoined &&
-        replay.p99Us == chaos.p99Us;
+        replay.p99Us == chaos.p99Us &&
+        replay.p999Us == chaos.p999Us;
     std::printf("deterministic replay: %s\n",
                 identical ? "yes" : "NO (bug)");
 
@@ -371,8 +396,12 @@ main(int argc, char **argv)
     json.metric("availability_at_10pct", chaos.availability);
     json.metric("p50_us_at_0pct", clean.p50Us);
     json.metric("p99_us_at_0pct", clean.p99Us);
+    json.metric("p999_us_at_0pct", clean.p999Us);
     json.metric("p50_us_at_10pct", chaos.p50Us);
     json.metric("p99_us_at_10pct", chaos.p99Us);
+    json.metric("p999_us_at_10pct", chaos.p999Us);
+    json.metric("worst_app_p99_us_at_0pct", clean.worstAppP99Us);
+    json.metric("worst_app_p99_us_at_10pct", chaos.worstAppP99Us);
     json.metric("shed_rate_at_10pct", chaos.shedRate);
     json.metric("hedged_calls_at_10pct", chaos.stats.hedgedCalls);
     json.metric("degraded_calls_at_10pct", chaos.stats.degradedCalls);

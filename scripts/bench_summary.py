@@ -33,6 +33,7 @@ DEFAULT_BENCHES = [
     "bench_fault_recovery",
     "bench_shard_cluster",
     "bench_chaos_cluster",
+    "bench_serve_autoscale",
     "bench_placement",
     "bench_pipeline_parallel",
     "bench_ldc_ablation",
@@ -113,6 +114,16 @@ MARKDOWN_ROWS = [
      "availability_at_10pct", "{:.1%}", "n/a (this substrate)"),
     ("Cluster p99 latency under 10% chaos", "chaos_cluster",
      "p99_us_at_10pct", "{:,.0f} us", "n/a (this substrate)"),
+    ("Cluster p999 latency under 10% chaos", "chaos_cluster",
+     "p999_us_at_10pct", "{:,.0f} us", "n/a (this substrate)"),
+    ("Serving SLO attainment, autoscaled Zipf ramp", "serve_autoscale",
+     "slo_attainment_autoscaled", "{:.1%}", "n/a (this substrate)"),
+    ("Serving p99 latency, autoscaled", "serve_autoscale",
+     "p99_us_autoscaled", "{:,.0f} us", "n/a (this substrate)"),
+    ("Shard-seconds saved vs static max cluster", "serve_autoscale",
+     "shard_seconds_saved_pct", "{:.1f}%", "n/a (this substrate)"),
+    ("Warm vs cold session start speedup", "serve_autoscale",
+     "warm_vs_cold_speedup", "{:.1f}x", "n/a (this substrate)"),
     ("Attacks mitigated", "table5_attack_matrix",
      "attacks_mitigated", "{:.0f}", "all (Table 5)"),
 ]

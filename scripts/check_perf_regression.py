@@ -26,6 +26,14 @@ Three gates:
     Fails below the absolute 95% availability floor, if any acked
     call is lost (either run), if the shed rate exceeds 10%, or if
     the chaos run does not replay deterministically.
+  * bench_serve_autoscale (--current-serving, optional): the multi-
+    tenant Zipf ramp through the SLO-driven autoscaler. Fails below
+    the absolute 95% SLO-attainment floor, if any acked call is lost
+    in any of the three runs, if the autoscaler does not strictly
+    undercut the static max cluster's shard-seconds, if warm agent
+    checkout is not cheaper than cold spawn, if the policy never
+    scaled in both directions, or if the run does not replay
+    deterministically.
   * bench_placement (--current-placement, optional): load-aware
     placement vs consistent hashing under the Zipf workload. Fails
     if the optimized 4-shard imbalance exceeds the absolute 1.2
@@ -81,6 +89,10 @@ the gate set (all deterministic simulated time):
                     cross-shard rate strictly below hash at 4 and 8
                     shards, per-epoch moved bytes within budget,
                     deterministic replay
+  serving           SLO attainment >= 95%, zero lost acks, autoscaled
+                    shard-seconds strictly below static max, warm
+                    checkout strictly below cold, >= 1 scale-up and
+                    >= 1 scale-down, deterministic replay
 
 after an intentional perf change, refresh the checked-in baseline
 with the same bench outputs instead of hand-editing it:
@@ -88,7 +100,7 @@ with the same bench outputs instead of hand-editing it:
   scripts/check_perf_regression.py --current table9.json \\
       --current-cluster cluster.json --current-pipeline pipeline.json \\
       --current-chaos chaos.json --current-placement placement.json \\
-      --write-baseline
+      --current-serving serving.json --write-baseline
 
 the partition-boundary lint gate (freepart_lint + LINT_baseline.json)
 runs as its own CI job; see DESIGN.md §12.
@@ -105,7 +117,8 @@ def write_baseline(args):
                 ("shard_cluster", args.current_cluster),
                 ("pipeline_parallel", args.current_pipeline),
                 ("chaos_cluster", args.current_chaos),
-                ("placement", args.current_placement)]
+                ("placement", args.current_placement),
+                ("serve_autoscale", args.current_serving)]
     for section, path in sections:
         if not path:
             continue
@@ -137,6 +150,9 @@ def main():
                              "--json")
     parser.add_argument("--current-placement",
                         help="JSON written by bench_placement --json")
+    parser.add_argument("--current-serving",
+                        help="JSON written by bench_serve_autoscale "
+                             "--json")
     parser.add_argument("--baseline", default="BENCH_freepart.json")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed relative drift (0.20 = 20%%)")
@@ -266,6 +282,65 @@ def main():
                 "placement optimized 4-shard throughput vs baseline",
                 place_base["throughput_zipf_opt_4shards"],
                 place["throughput_zipf_opt_4shards"], args.tolerance)
+
+    if args.current_serving:
+        serve_base = baseline_doc.get("serve_autoscale", {})
+        with open(args.current_serving) as handle:
+            serve = json.load(handle)["metrics"]
+        slo = serve["slo_attainment_autoscaled"]
+        print(f"serving SLO attainment (autoscaled): {slo:.4f}, "
+              f"floor 0.95")
+        if slo < 0.95:
+            print("FAIL: autoscaled SLO attainment below the 95% "
+                  "floor", file=sys.stderr)
+            ok = False
+        lost = (serve["lost_acks_autoscaled"] +
+                serve["lost_acks_static"] +
+                serve["lost_acks_coldstart"])
+        print(f"serving lost acks (auto + static + cold): {lost}")
+        if lost != 0:
+            print("FAIL: acknowledged calls lost in a serving run",
+                  file=sys.stderr)
+            ok = False
+        auto_ss = serve["shard_seconds_autoscaled"]
+        static_ss = serve["shard_seconds_static"]
+        print(f"serving shard-seconds: autoscaled {auto_ss:.4f}, "
+              f"static max {static_ss:.4f}")
+        if auto_ss >= static_ss:
+            print("FAIL: autoscaler did not undercut the static max "
+                  "cluster's shard-seconds", file=sys.stderr)
+            ok = False
+        warm = serve["warm_checkout_mean_us"]
+        cold = serve["cold_checkout_mean_us"]
+        print(f"serving session start: warm {warm:.1f} us, "
+              f"cold {cold:.1f} us")
+        if warm >= cold:
+            print("FAIL: warm agent checkout not cheaper than cold "
+                  "spawn", file=sys.stderr)
+            ok = False
+        ups = serve["scale_up_events"]
+        downs = serve["scale_down_events"]
+        print(f"serving scale events: {ups} up, {downs} down")
+        if ups < 1 or downs < 1:
+            print("FAIL: autoscaler never scaled in both directions "
+                  "over the ramp", file=sys.stderr)
+            ok = False
+        if serve["deterministic_replay"] != 1:
+            print("FAIL: serving run did not replay "
+                  "deterministically", file=sys.stderr)
+            ok = False
+        if serve_base:
+            # Drift guards once a baseline section exists: tail
+            # latency must not quietly balloon, nor the capacity
+            # savings quietly erode.
+            ok &= check_max(
+                "serving autoscaled p99 vs baseline",
+                serve_base["p99_us_autoscaled"],
+                serve["p99_us_autoscaled"], args.tolerance)
+            ok &= check_min(
+                "serving shard-seconds saved pct vs baseline",
+                serve_base["shard_seconds_saved_pct"],
+                serve["shard_seconds_saved_pct"], args.tolerance)
 
     if not ok:
         return 1

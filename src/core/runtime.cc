@@ -1167,6 +1167,54 @@ FreePartRuntime::evictObject(uint64_t object_id)
     }
 }
 
+size_t
+FreePartRuntime::evictObjects(const std::vector<uint64_t> &object_ids)
+{
+    size_t dropped = 0;
+    for (uint64_t id : object_ids) {
+        if (hasObject(id))
+            ++dropped;
+        syncObjectReady(id);
+        objectReadyAt_.erase(id);
+        hostStore_->erase(id);
+        objectHome.erase(id);
+        for (Agent &agent : agents) {
+            agent.store->erase(id);
+            for (CheckpointGen &gen : agent.checkpoints) {
+                gen.objects.erase(id);
+                gen.liveIds.erase(std::remove(gen.liveIds.begin(),
+                                              gen.liveIds.end(), id),
+                                  gen.liveIds.end());
+            }
+        }
+    }
+    // One dedup-cache sweep per agent covers every erased id; the
+    // per-object evictObject path pays this per call.
+    for (Agent &agent : agents)
+        pruneSeqCache(agent);
+    return dropped;
+}
+
+osim::SimTime
+FreePartRuntime::sessionColdStartCost() const
+{
+    return kernel_.costs().processSpawn *
+           static_cast<osim::SimTime>(1 + agents.size());
+}
+
+osim::SimTime
+FreePartRuntime::sessionWarmHandoffCost() const
+{
+    return kernel_.costs().processPromote;
+}
+
+osim::SimTime
+FreePartRuntime::sessionEpochResetCost() const
+{
+    return kernel_.costs().agentEpochReset *
+           static_cast<osim::SimTime>(agents.size());
+}
+
 FreePartRuntime::Attempt
 FreePartRuntime::attemptOnAgent(uint32_t partition,
                                 const fw::ApiDescriptor &desc,

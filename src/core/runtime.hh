@@ -355,6 +355,32 @@ class FreePartRuntime
      */
     void evictObject(uint64_t object_id);
 
+    /**
+     * Bulk evictObject for tenant-session teardown: erases every
+     * listed object, then prunes each agent's dedup cache once at the
+     * end instead of once per object. Returns how many of the ids
+     * still resolved here (store, host, or checkpoint chain).
+     */
+    size_t evictObjects(const std::vector<uint64_t> &object_ids);
+
+    // ---- Serving-layer pool accounting ----------------------------
+
+    /** Simulated cost of cold-starting a tenant session's agent set:
+     *  one fork + runtime init per partition agent plus the host-side
+     *  wiring, charged as one extra spawn. This is what every session
+     *  pays when the warm pool is disabled or empty. */
+    osim::SimTime sessionColdStartCost() const;
+
+    /** Cost of handing a warm clean-epoch agent set to a session:
+     *  channel remap + policy install + role handoff — the same
+     *  promote cost the warm-standby path pays, no fork involved. */
+    osim::SimTime sessionWarmHandoffCost() const;
+
+    /** Background cost of restoring a released agent set to a clean
+     *  epoch (per-agent baseline checkpoint re-install). Bounds warm
+     *  pool turnaround, not per-call latency. */
+    osim::SimTime sessionEpochResetCost() const;
+
   private:
     /** One checksummed serialized object inside a checkpoint. */
     struct CheckpointEntry {

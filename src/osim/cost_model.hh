@@ -71,6 +71,14 @@ struct CostModel {
      *  paid in the background while the old incarnation serves. */
     SimTime processPromote = 500000;
 
+    /** Cost of restoring one pooled agent to a clean epoch between
+     *  tenant sessions: discard the tenant's dirty pages, re-install
+     *  the partition's baseline checkpoint generation, and re-arm the
+     *  syscall policy. Paid off the critical path (the warm pool
+     *  resets released agent sets in the background), so it bounds
+     *  pool turnaround rather than per-call latency. */
+    SimTime agentEpochReset = 150000;
+
     /** Per-element cost of compute kernels (framework APIs), used by
      *  MiniCV/MiniDNN bodies to charge simulated compute time.
      *  2.5 ns/element reproduces the paper's regime of ~4.4 ms of

@@ -1,0 +1,178 @@
+#include "serve/agent_pool.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace freepart::serve {
+
+WarmAgentPool::WarmAgentPool(AgentPoolConfig config)
+    : config_(config)
+{
+    if (config_.maxSize == 0)
+        util::fatal("WarmAgentPool: maxSize must be >= 1");
+    if (config_.initialSize > config_.maxSize)
+        util::fatal("WarmAgentPool: initialSize %u exceeds maxSize %u",
+                    config_.initialSize, config_.maxSize);
+}
+
+void
+WarmAgentPool::ensureShards(size_t count)
+{
+    while (pools_.size() < count) {
+        ShardPool pool;
+        pool.target = config_.initialSize;
+        if (config_.enabled)
+            pool.readyAt.assign(config_.initialSize, 0);
+        pools_.push_back(std::move(pool));
+    }
+}
+
+WarmAgentPool::ShardPool &
+WarmAgentPool::poolFor(uint32_t shard)
+{
+    ensureShards(static_cast<size_t>(shard) + 1);
+    return pools_[shard];
+}
+
+PoolCheckout
+WarmAgentPool::checkout(uint32_t shard, osim::SimTime now)
+{
+    ShardPool &pool = poolFor(shard);
+    PoolCheckout out;
+    // Earliest-clean set wins; index order breaks ties so the scan
+    // is deterministic.
+    size_t best = pool.readyAt.size();
+    for (size_t i = 0; i < pool.readyAt.size(); ++i)
+        if (best == pool.readyAt.size() ||
+            pool.readyAt[i] < pool.readyAt[best])
+            best = i;
+    // A set whose readiness is further out than one epoch reset is
+    // still mid background-spawn — waiting for it is no better than
+    // spawning fresh on the critical path, so leave it to mature.
+    if (config_.enabled && best < pool.readyAt.size() &&
+        pool.readyAt[best] <= now + config_.epochReset) {
+        osim::SimTime ready = pool.readyAt[best];
+        pool.readyAt.erase(pool.readyAt.begin() +
+                           static_cast<ptrdiff_t>(best));
+        out.warm = true;
+        out.cost = config_.warmHandoff;
+        if (ready > now) {
+            // The set is still mid-reset: the session waits out the
+            // remainder, which is still far cheaper than a spawn.
+            out.waited = ready - now;
+            out.cost += out.waited;
+            ++stats_.resetWaits;
+            stats_.waitedTotal += out.waited;
+        }
+        ++stats_.warmCheckouts;
+    } else {
+        out.cost = config_.coldSpawn;
+        ++stats_.coldFallbacks;
+    }
+    ++pool.leases;
+    pool.leasePeak = std::max(pool.leasePeak, pool.leases);
+    stats_.leasesPeak = std::max(stats_.leasesPeak, pool.leases);
+    stats_.costTotal += out.cost;
+    return out;
+}
+
+void
+WarmAgentPool::release(uint32_t shard, osim::SimTime now)
+{
+    ShardPool &pool = poolFor(shard);
+    if (pool.leases == 0)
+        util::fatal("WarmAgentPool: release without a lease on "
+                    "shard %u",
+                    shard);
+    --pool.leases;
+    ++stats_.releases;
+    if (!config_.enabled)
+        return;
+    // The released set re-enters the inventory once its background
+    // clean-epoch reset finishes — unless the shard already holds its
+    // target (then the set is torn down instead of hoarding memory).
+    uint32_t holding =
+        pool.leases + static_cast<uint32_t>(pool.readyAt.size());
+    if (holding < pool.target && pool.readyAt.size() <
+                                     static_cast<size_t>(
+                                         config_.maxSize)) {
+        pool.readyAt.push_back(now + config_.epochReset);
+        ++stats_.setsRecycled;
+    } else {
+        ++stats_.setsDropped;
+    }
+}
+
+void
+WarmAgentPool::setTarget(uint32_t shard, uint32_t target,
+                         osim::SimTime now)
+{
+    ShardPool &pool = poolFor(shard);
+    target = std::min(target, config_.maxSize);
+    if (target == pool.target || !config_.enabled) {
+        pool.target = target;
+        return;
+    }
+    if (target > pool.target) {
+        // Grow: spawn fresh sets in the background; they join the
+        // inventory once their (off-critical-path) spawn completes.
+        uint32_t holding =
+            pool.leases + static_cast<uint32_t>(pool.readyAt.size());
+        for (uint32_t i = holding; i < target; ++i)
+            pool.readyAt.push_back(now + config_.coldSpawn);
+        ++stats_.targetGrows;
+    } else {
+        // Shrink: drop the latest-ready idle sets first (they are the
+        // coldest investment); leased sets drain via release().
+        ++stats_.targetShrinks;
+        while (!pool.readyAt.empty() &&
+               pool.leases + pool.readyAt.size() >
+                   static_cast<size_t>(target)) {
+            size_t worst = 0;
+            for (size_t i = 1; i < pool.readyAt.size(); ++i)
+                if (pool.readyAt[i] > pool.readyAt[worst])
+                    worst = i;
+            pool.readyAt.erase(pool.readyAt.begin() +
+                               static_cast<ptrdiff_t>(worst));
+            ++stats_.setsDropped;
+        }
+    }
+    pool.target = target;
+}
+
+uint32_t
+WarmAgentPool::leases(uint32_t shard) const
+{
+    return shard < pools_.size() ? pools_[shard].leases : 0;
+}
+
+uint32_t
+WarmAgentPool::idleReady(uint32_t shard, osim::SimTime now) const
+{
+    if (shard >= pools_.size())
+        return 0;
+    uint32_t ready = 0;
+    for (osim::SimTime at : pools_[shard].readyAt)
+        if (at <= now)
+            ++ready;
+    return ready;
+}
+
+uint32_t
+WarmAgentPool::target(uint32_t shard) const
+{
+    return shard < pools_.size() ? pools_[shard].target
+                                 : config_.initialSize;
+}
+
+uint32_t
+WarmAgentPool::drainLeasePeak(uint32_t shard)
+{
+    ShardPool &pool = poolFor(shard);
+    uint32_t peak = pool.leasePeak;
+    pool.leasePeak = pool.leases;
+    return peak;
+}
+
+} // namespace freepart::serve

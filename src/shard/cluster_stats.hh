@@ -76,6 +76,20 @@ struct ClusterStats {
      *  divide by deadTransitions for mean failover detection time. */
     osim::SimTime detectionTime = 0;
 
+    // ---- Serving-era counters (multi-tenant sessions + autoscale) ----
+    uint64_t sessionsStarted = 0; //!< tenant sessions opened
+    uint64_t sessionsEnded = 0;   //!< tenant sessions torn down
+    uint64_t warmCheckouts = 0;   //!< sessions served by a warm agent set
+    uint64_t coldStarts = 0;      //!< sessions that cold-started agents
+    /** Summed simulated agent-start cost charged to shards by
+     *  sessions (warm handoffs + cold spawns + pool waits). */
+    osim::SimTime sessionStartCost = 0;
+    uint64_t sessionObjectsScrubbed = 0; //!< objects evicted at session end
+    uint64_t shardsRetired = 0; //!< shards permanently scaled down
+    uint64_t retireEvacuations = 0; //!< objects evacuated by retirements
+    uint64_t overridesScrubbed = 0; //!< override entries dropped at retire
+    uint64_t dedupScrubbed = 0; //!< dangling dedup entries pruned at retire
+
     /** Calls landed per shard (indexed by shard slot). */
     std::vector<uint64_t> callsPerShard;
 

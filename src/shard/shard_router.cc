@@ -1,6 +1,7 @@
 #include "shard/shard_router.hh"
 
 #include <algorithm>
+#include <set>
 #include <utility>
 
 #include "util/logging.hh"
@@ -575,6 +576,7 @@ ShardRouter::reviveShard(uint32_t shard_id)
     }
     // A drained shard keeps its runtime (and its objects); either way
     // the slot re-enters the ring with a clean health history.
+    shard.retired = false;
     if (!ring_.contains(shard_id))
         ring_.addShard(shard_id);
     stalledUntil_[shard_id] = 0;
@@ -584,6 +586,183 @@ ShardRouter::reviveShard(uint32_t shard_id)
     proactivePush(shard_id);
     util::inform("cluster: shard %u rejoined; %zu shards in ring",
                  shard_id, ring_.shardCount());
+}
+
+bool
+ShardRouter::retireShard(uint32_t shard_id)
+{
+    Shard &shard = shards_.at(shard_id);
+    if (!shard.live || !ring_.contains(shard_id))
+        return false;
+    if (ring_.shardCount() <= 1)
+        return false; // never retire the last serving shard
+
+    // Leave the ring first so placeKey resolves the evacuation
+    // targets among the survivors.
+    ring_.removeShard(shard_id);
+
+    // Scrub overrides before evacuating: an overridden group must
+    // evacuate to its ring fallback, and the override table must not
+    // steer keys back here if the slot is later revived for scale-up
+    // (contrast killShard, whose overrides deliberately survive so a
+    // rebuilt host picks its load back up).
+    for (auto it = override_.begin(); it != override_.end();) {
+        if (it->second == shard_id) {
+            it = override_.erase(it);
+            ++stats_.overridesScrubbed;
+        } else {
+            ++it;
+        }
+    }
+
+    // Evacuate every object this shard still owns so no acknowledged
+    // result is lost: serializable copies migrate (authority moves,
+    // source evicts), checkpoint-only stragglers restore from their
+    // replica on the new owner, anything else just drops out of the
+    // directory.
+    std::vector<uint64_t> owned;
+    for (const auto &[object_id, owner] : objectShard_)
+        if (owner == shard_id)
+            owned.push_back(object_id);
+    core::FreePartRuntime &rt = *shard.runtime;
+    std::set<uint64_t> lostIds;
+    for (uint64_t id : owned) {
+        auto keyIt = objectKey_.find(id);
+        uint64_t key = keyIt != objectKey_.end() ? keyIt->second : id;
+        uint32_t dest = placeKey(key);
+        if (dest == kInvalidShard || dest == shard_id) {
+            objectShard_.erase(id);
+            lostIds.insert(id);
+            continue;
+        }
+        if (rt.hasObject(id) &&
+            rt.storeOf(rt.homeOf(id)).has(id)) {
+            migrateObject(shard_id, dest, id);
+            ++stats_.retireEvacuations;
+            continue;
+        }
+        objectShard_.erase(id);
+        if (restoreReplica(dest, id))
+            ++stats_.retireEvacuations;
+        else
+            lostIds.insert(id);
+    }
+
+    // Dedup scrub, scoped to this retirement's casualties: a cached
+    // response referencing an object the retirement could not
+    // evacuate must not answer a late duplicate with a dangling ref —
+    // prune it so the duplicate re-executes. Entries whose objects
+    // were scrubbed *deliberately* (endSession) stay: those must keep
+    // answering `deduped`, and dedup hits never dereference refs.
+    if (!lostIds.empty()) {
+        uint64_t pruned = 0;
+        dedup_.pruneIf([&lostIds,
+                        &pruned](const ipc::ValueList &values) {
+            for (const ipc::Value &value : values) {
+                if (value.kind() == ipc::Value::Kind::Ref &&
+                    lostIds.count(value.asRef().objectId) != 0) {
+                    ++pruned;
+                    return true;
+                }
+            }
+            return false;
+        });
+        stats_.dedupScrubbed += pruned;
+    }
+
+    // The slot keeps its (now empty) runtime frozen — stats() still
+    // rolls it up, and reviveShard can bring a fresh incarnation back
+    // for scale-up.
+    shard.live = false;
+    shard.retired = true;
+    stalledUntil_[shard_id] = 0;
+    monitorDrained_[shard_id] = 0;
+    ++stats_.shardsRetired;
+    util::inform("cluster: shard %u retired; %zu shards remain in "
+                 "ring, %llu objects evacuated",
+                 shard_id, ring_.shardCount(),
+                 static_cast<unsigned long long>(
+                     stats_.retireEvacuations));
+    return true;
+}
+
+bool
+ShardRouter::shardRetired(uint32_t shard) const
+{
+    return shard < shards_.size() && shards_[shard].retired;
+}
+
+void
+ShardRouter::chargeSessionStart(uint64_t routing_key,
+                                osim::SimTime arrival,
+                                osim::SimTime cost, bool warm)
+{
+    uint32_t owner = placeKey(routing_key);
+    ++stats_.sessionsStarted;
+    if (warm)
+        ++stats_.warmCheckouts;
+    else
+        ++stats_.coldStarts;
+    stats_.sessionStartCost += cost;
+    if (owner == kInvalidShard)
+        return;
+    // The session's first call queues behind its own agent
+    // acquisition, exactly as it would behind real process spawns.
+    busyUntil_[owner] = std::max(busyUntil_[owner], arrival) + cost;
+    shards_.at(owner).kernel->advance(cost);
+}
+
+size_t
+ShardRouter::endSession(uint64_t routing_key)
+{
+    // Collect the session's objects per owning shard so each runtime
+    // gets one bulk eviction pass.
+    std::map<uint32_t, std::vector<uint64_t>> perShard;
+    std::vector<uint64_t> ids;
+    for (const auto &[object_id, key] : objectKey_) {
+        if (key != routing_key)
+            continue;
+        ids.push_back(object_id);
+        auto it = objectShard_.find(object_id);
+        if (it != objectShard_.end() && it->second < shards_.size() &&
+            shards_[it->second].live)
+            perShard[it->second].push_back(object_id);
+    }
+    for (const auto &[shard_id, objects] : perShard)
+        shards_[shard_id].runtime->evictObjects(objects);
+    for (uint64_t id : ids) {
+        objectShard_.erase(id);
+        objectKey_.erase(id);
+        auto it = replicas_.find(id);
+        if (it != replicas_.end()) {
+            stats_.replicaBytes -= it->second.bytes.size();
+            replicas_.erase(it);
+        }
+    }
+    // Cluster-dedup entries for the session's tokens are deliberately
+    // NOT pruned: a late duplicate must answer `deduped` rather than
+    // re-execute against freed state. Dedup hits never dereference
+    // the cached refs, so they stay safe after the scrub.
+    ++stats_.sessionsEnded;
+    stats_.sessionObjectsScrubbed += ids.size();
+    return ids.size();
+}
+
+double
+ShardRouter::queueDepthAt(uint32_t shard, osim::SimTime now) const
+{
+    if (shard >= shards_.size() || !shards_[shard].live ||
+        !ring_.contains(shard))
+        return 0.0;
+    osim::SimTime busy =
+        std::max(busyUntil_[shard], stalledUntil_[shard]);
+    if (busy <= now)
+        return 0.0;
+    osim::SimTime serviceEst =
+        std::max(monitor_.latencyEwma(shard),
+                 config.health.latencyBaselineFloor);
+    return static_cast<double>(busy - now) /
+           static_cast<double>(std::max<osim::SimTime>(serviceEst, 1));
 }
 
 void

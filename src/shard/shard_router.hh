@@ -279,6 +279,61 @@ class ShardRouter
     void reviveShard(uint32_t shard);
 
     /**
+     * Permanently retire a live shard — planned scale-down, distinct
+     * from killShard (host loss) and drainShard (quarantine): the
+     * slot's vnodes leave the ring, every object it still owns is
+     * evacuated to its surviving ring owner (so zero acknowledged
+     * results are lost), placement overrides pointing at the slot are
+     * scrubbed (kill deliberately keeps them for the revive path),
+     * and cluster-dedup entries whose cached result objects no longer
+     * resolve anywhere are pruned. The slot keeps its runtime frozen
+     * and can rejoin later via reviveShard (the autoscaler's
+     * scale-up fast path). Returns false — and does nothing — when
+     * the shard is not a live ring member or is the last one.
+     */
+    bool retireShard(uint32_t shard);
+
+    /** Was this slot removed by retireShard (and not yet revived)? */
+    bool shardRetired(uint32_t shard) const;
+
+    // ---- Tenant sessions (serving layer) -----------------------------
+
+    /**
+     * Charge a session's agent-acquisition cost to the routing key's
+     * owner shard on the open-loop axis: the shard's busy horizon and
+     * kernel clock advance by `cost`, so calls arriving behind a cold
+     * start queue exactly as they would behind real process spawns.
+     * `warm` only selects which counter the charge lands in.
+     */
+    void chargeSessionStart(uint64_t routing_key,
+                            osim::SimTime arrival, osim::SimTime cost,
+                            bool warm);
+
+    /**
+     * Tear down a tenant session: evict every object created under
+     * the routing key from the runtimes still holding one, drop the
+     * directory and replica entries, and return how many objects were
+     * scrubbed. Cluster-dedup entries for the session's tokens are
+     * deliberately retained — a late duplicate submission must still
+     * answer `deduped` rather than re-execute against freed state.
+     */
+    size_t endSession(uint64_t routing_key);
+
+    // ---- Autoscaler signals ------------------------------------------
+
+    /**
+     * Queue-depth estimate of a shard at `now` on the open-loop axis,
+     * in units of its service-time EWMA — the same quantity admission
+     * control sheds on. 0 for idle or out-of-ring shards.
+     */
+    double queueDepthAt(uint32_t shard, osim::SimTime now) const;
+
+    /** Router counters without the per-shard RunStats roll-up: the
+     *  autoscaler polls this every tick, and stats() walks every
+     *  runtime. Per-shard totals/makespan in here are stale. */
+    const ClusterStats &quickStats() const { return stats_; }
+
+    /**
      * Arm a chaos plan: the specs go to a router-owned FaultInjector
      * consulted at ShardAdmission / ClusterTransfer, the membership
      * events fire as invokeAt accepts calls. Replaces any previous
@@ -358,7 +413,8 @@ class ShardRouter
         std::unique_ptr<osim::Kernel> kernel;
         std::unique_ptr<core::FreePartRuntime> runtime;
         bool live = true;
-        uint64_t calls = 0; //!< calls executed here
+        bool retired = false; //!< removed by retireShard, revivable
+        uint64_t calls = 0;   //!< calls executed here
     };
 
     /** Serialized copy of an object for cross-shard failover. */

@@ -10,9 +10,47 @@
 #define FREEPART_UTIL_RNG_HH
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 namespace freepart::util {
+
+/**
+ * Deterministic natural logarithm for x > 0. libm's log() is not
+ * bit-identical across platforms/compilers; serving-layer Poisson
+ * arrivals must be, or open-loop replays drift. Decomposes x into
+ * mantissa * 2^e via the IEEE-754 bit pattern, then evaluates
+ * ln(mantissa) with the atanh series ln(m) = 2(z + z^3/3 + z^5/5 +
+ * ...) where z = (m-1)/(m+1); with m in [1,2), |z| <= 1/3 and twelve
+ * terms reach full double precision.
+ */
+inline double
+detLog(double x)
+{
+    if (x <= 0.0)
+        return 0.0; // callers guard; keep the function total
+    uint64_t bits;
+    std::memcpy(&bits, &x, sizeof bits);
+    int exponent = static_cast<int>((bits >> 52) & 0x7ffull) - 1023;
+    if (exponent == -1023) {
+        // Subnormal: normalize by scaling up 2^64 and retry.
+        return detLog(x * 0x1.0p64) - 64.0 * 0.6931471805599453;
+    }
+    uint64_t mantissaBits =
+        (bits & 0xfffffffffffffull) | (1023ull << 52);
+    double m;
+    std::memcpy(&m, &mantissaBits, sizeof m);
+    double z = (m - 1.0) / (m + 1.0);
+    double z2 = z * z;
+    double term = z;
+    double sum = 0.0;
+    for (int k = 0; k < 12; ++k) {
+        sum += term / static_cast<double>(2 * k + 1);
+        term *= z2;
+    }
+    return 2.0 * sum +
+           static_cast<double>(exponent) * 0.6931471805599453;
+}
 
 /**
  * SplitMix64-based deterministic RNG. Small, fast, and stable across
@@ -61,6 +99,17 @@ class Rng
     chance(double p)
     {
         return uniform() < p;
+    }
+
+    /** Exponentially distributed draw with the given mean, via
+     *  inverse-CDF over detLog so open-loop Poisson arrival processes
+     *  replay bit-identically. Consumes exactly one raw value. */
+    double
+    exponential(double mean)
+    {
+        // uniform() is in [0, 1); 1-u is in (0, 1], so detLog's
+        // argument is never zero.
+        return -mean * detLog(1.0 - uniform());
     }
 
     /** Fisher-Yates shuffle of a vector. */

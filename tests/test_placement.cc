@@ -343,6 +343,59 @@ TEST(PlacementRouter, OverridesSurviveKillAndReviveFreshIncarnation)
     EXPECT_EQ(back.shard, target);
 }
 
+TEST(PlacementRouter, RetireScrubsOverridesWhereKillKeepsThem)
+{
+    auto router = env().makeRouter(optimizedConfig(4));
+    std::vector<uint64_t> keys = {721, 722, 723, 724, 725, 726};
+    driveChains(*router, keys, 4);
+    router->repartitionNow();
+    ASSERT_FALSE(router->placementOverrides().empty());
+
+    // Pick a pin that genuinely *moved* its group off the ring owner
+    // (a held-in-place pin would legitimately re-land on the revived
+    // slot via the ring, blurring the final assertion).
+    uint64_t group = 0;
+    uint32_t target = kInvalidShard;
+    for (const auto &[key, shard] : router->placementOverrides()) {
+        if (shard != router->ring().ownerOf(key)) {
+            group = key;
+            target = shard;
+            break;
+        }
+    }
+    ASSERT_NE(target, kInvalidShard) << "no moved pin in the epoch";
+    ASSERT_EQ(router->ownerShardOf(group), target);
+    size_t pinnedToTarget = 0;
+    for (const auto &[key, shard] : router->placementOverrides())
+        if (shard == target)
+            ++pinnedToTarget;
+
+    // Retirement is permanent scale-down, not host loss: the slot's
+    // override entries are scrubbed (contrast killShard above, which
+    // keeps them for the rebuilt host), and the group settles on its
+    // ring fallback for good.
+    ASSERT_TRUE(router->retireShard(target));
+    EXPECT_EQ(router->placementOverrides().count(group), 0u);
+    for (const auto &[key, shard] : router->placementOverrides())
+        EXPECT_NE(shard, target);
+    EXPECT_EQ(router->stats().overridesScrubbed, pinnedToTarget);
+
+    uint32_t fallback = router->ownerShardOf(group);
+    EXPECT_NE(fallback, target);
+    RoutedCall call = router->invoke(
+        group, "cv2.imread",
+        {ipc::Value(std::string("/data/test.fpim"))});
+    ASSERT_TRUE(call.result.ok) << call.result.error;
+    EXPECT_EQ(call.shard, fallback);
+
+    // A scale-up revive of the same slot must NOT resurrect the old
+    // placement — the group stays where the retirement put it until
+    // the next repartition epoch decides otherwise.
+    router->reviveShard(target);
+    EXPECT_EQ(router->ownerShardOf(group), fallback);
+    EXPECT_EQ(router->placementOverrides().count(group), 0u);
+}
+
 TEST(PlacementRouter, RepartitionDeterministicForFixedSeedAndTrace)
 {
     ShardRouterConfig ca = optimizedConfig(4);

@@ -1,10 +1,15 @@
 /**
  * @file
  * Unit tests for the util module: logging levels/errors, the
- * deterministic RNG, table rendering, and running statistics.
+ * deterministic RNG (including the deterministic logarithm, the
+ * exponential draw behind Poisson arrivals, and the Zipf popularity
+ * sampler), table rendering, and running statistics.
  */
 
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
 
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -102,6 +107,121 @@ TEST(Rng, ShuffleIsPermutation)
     rng.shuffle(v);
     std::sort(v.begin(), v.end());
     EXPECT_EQ(v, orig);
+}
+
+TEST(DetLog, MatchesLibmAcrossTheDynamicRange)
+{
+    // Spot values plus a sweep over many binades: the atanh-series
+    // decomposition must agree with libm to near machine precision
+    // (it only has to be *deterministic*, but it should also be
+    // *right*).
+    EXPECT_NEAR(detLog(1.0), 0.0, 1e-15);
+    EXPECT_NEAR(detLog(2.0), 0.6931471805599453, 1e-15);
+    EXPECT_NEAR(detLog(10.0), std::log(10.0), 1e-14);
+    for (double x : {1e-300, 1e-9, 0.1, 0.5, 1.5, 3.0, 1e9, 1e300})
+        EXPECT_NEAR(detLog(x), std::log(x), std::abs(std::log(x)) * 1e-14 + 1e-14)
+            << "x=" << x;
+    // Subnormals take the rescale branch and stay finite.
+    double subnormal = 5e-324;
+    EXPECT_NEAR(detLog(subnormal), std::log(subnormal), 1e-10);
+    // Total on the guarded domain.
+    EXPECT_EQ(detLog(0.0), 0.0);
+    EXPECT_EQ(detLog(-3.0), 0.0);
+}
+
+TEST(Rng, ExponentialHasTheRequestedMean)
+{
+    Rng rng(77);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double draw = rng.exponential(250.0);
+        ASSERT_GE(draw, 0.0);
+        sum += draw;
+    }
+    EXPECT_NEAR(sum / n, 250.0, 250.0 * 0.05);
+
+    // Bit-identical replay: same seed, same stream.
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.exponential(1.0), b.exponential(1.0));
+}
+
+TEST(ZipfSampler, ExponentZeroIsUniform)
+{
+    const size_t n = 8;
+    ZipfSampler zipf(n, 0.0);
+    Rng rng(31);
+    std::vector<size_t> counts(n, 0);
+    const size_t draws = 16000;
+    for (size_t i = 0; i < draws; ++i) {
+        size_t rank = zipf.draw(rng);
+        ASSERT_LT(rank, n);
+        ++counts[rank];
+    }
+    double expected = static_cast<double>(draws) / n;
+    double chi2 = 0.0;
+    for (size_t count : counts) {
+        double diff = static_cast<double>(count) - expected;
+        chi2 += diff * diff / expected;
+    }
+    // df=7; uniform lands well under 30, a Zipf-skewed sampler
+    // masquerading as uniform scores in the hundreds.
+    EXPECT_LT(chi2, 30.0) << "chi2=" << chi2;
+}
+
+TEST(ZipfSampler, LargeExponentConcentratesOnRankZero)
+{
+    ZipfSampler zipf(1000, 4.0);
+    Rng rng(19);
+    size_t zeros = 0;
+    const size_t draws = 4000;
+    for (size_t i = 0; i < draws; ++i)
+        if (zipf.draw(rng) == 0)
+            ++zeros;
+    // P(0) = 1/zeta(4) ~ 0.924; anything below 0.85 means the CDF is
+    // inverted or the hottest rank is not rank 0.
+    EXPECT_GT(static_cast<double>(zeros) / draws, 0.85);
+}
+
+TEST(ZipfSampler, ModerateSkewOrdersRanksByPopularity)
+{
+    const size_t n = 50;
+    ZipfSampler zipf(n, 1.1);
+    Rng rng(57);
+    std::vector<size_t> counts(n, 0);
+    for (size_t i = 0; i < 30000; ++i)
+        ++counts[zipf.draw(rng)];
+    // Head dominates tail and the long tail is still reachable.
+    EXPECT_GT(counts[0], counts[9]);
+    EXPECT_GT(counts[0], 10 * counts[n - 1]);
+    size_t touched = 0;
+    for (size_t count : counts)
+        if (count > 0)
+            ++touched;
+    EXPECT_EQ(touched, n);
+}
+
+TEST(ZipfSampler, SingleElementDomainAlwaysDrawsZero)
+{
+    ZipfSampler zipf(1, 1.2);
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(zipf.draw(rng), 0u);
+}
+
+TEST(ZipfSampler, DrawsAreDeterministicAndConsumeOneValue)
+{
+    ZipfSampler zipf(64, 0.9);
+    Rng a(5), b(5);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(zipf.draw(a), zipf.draw(b));
+    // Exactly one raw value per draw: the streams stay in lockstep
+    // with a raw next() consumer.
+    Rng c(5);
+    for (int i = 0; i < 200; ++i)
+        c.next();
+    EXPECT_EQ(a.next(), c.next());
 }
 
 TEST(Table, RendersHeadersAndRows)
