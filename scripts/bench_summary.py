@@ -97,8 +97,12 @@ MARKDOWN_ROWS = [
      "lazy_share", "{:.3f}", "~0.95 (Table 12)"),
     ("Pipeline-parallel speedup (async vs sync)", "pipeline_parallel",
      "pipeline_speedup", "{:.2f}x", "n/a (this substrate)"),
-    ("Pipeline overlap fraction", "pipeline_parallel",
+    ("Pipeline overlap fraction (flip speculation)", "pipeline_parallel",
      "mean_overlap_fraction", "{:.1%}", "n/a (this substrate)"),
+    ("Pipeline overlap fraction (barrier mode)", "pipeline_parallel",
+     "nospec_mean_overlap_fraction", "{:.1%}", "n/a (this substrate)"),
+    ("Speculation rollback rate, Table 6 replay", "pipeline_parallel",
+     "rollback_rate", "{:.1%}", "n/a (this substrate)"),
     ("Cluster speedup, 4 shards uniform keys", "shard_cluster",
      "speedup_uniform_4shards", "{:.2f}x", "n/a (this substrate)"),
     ("Cluster throughput, 4 shards", "shard_cluster",

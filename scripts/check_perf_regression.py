@@ -17,10 +17,14 @@ Three gates:
     >20% relative decrease of either fails, as does any acked call
     lost in the kill-one-shard drill.
   * bench_pipeline_parallel (--current-pipeline, optional): mean
-    async-vs-sync speedup over the pipeline-shaped Table 6 apps.
-    Fails below the absolute 1.2x floor, on a >tolerance relative
-    drop from the baseline, or if async replay is not byte-identical
-    to sync.
+    async-vs-sync speedup over the pipeline-shaped Table 6 apps,
+    with flip speculation on (DESIGN.md §15). Fails below the
+    absolute 1.2x speedup floor or 0.5 overlap-fraction floor, on a
+    >tolerance relative drop from the baseline (including the
+    speculation-off numbers, which must keep reproducing the
+    pre-speculation behaviour), if the rollback rate exceeds 20% on
+    the Table 6 replay, or if any replay (speculative, adversarial,
+    or repeated) is not byte-identical and deterministic.
   * bench_chaos_cluster (--current-chaos, optional): availability of
     the 23-app open-loop replay under the seeded 10% chaos plan.
     Fails below the absolute 95% availability floor, if any acked
@@ -81,8 +85,9 @@ the gate set (all deterministic simulated time):
   table9 overhead   freepart_overhead_pct must not rise > tolerance
   shard cluster     4-shard throughput + speedup must not drop >
                     tolerance; zero acked calls lost in the kill drill
-  pipeline          speedup >= 1.2x absolute, no > tolerance drop,
-                    async replay byte-identical to sync
+  pipeline          speedup >= 1.2x absolute, overlap >= 0.5,
+                    rollback rate <= 20%, no > tolerance drop (spec
+                    on or off), replays byte-identical + deterministic
   chaos             availability >= 95%, shed rate <= 10%, zero lost
                     acks, deterministic replay
   placement         optimized imbalance <= 1.2 absolute, optimized
@@ -216,6 +221,40 @@ def main():
             print("FAIL: async replay not byte-identical to sync",
                   file=sys.stderr)
             ok = False
+        overlap = pipe["pipeline_overlap_fraction"]
+        print(f"pipeline overlap fraction (speculative, shaped "
+              f"subset): {overlap:.3f}, floor 0.50")
+        if overlap < 0.50:
+            print("FAIL: speculative overlap fraction below the "
+                  "0.5 floor", file=sys.stderr)
+            ok = False
+        rollback = pipe["rollback_rate"]
+        print(f"pipeline speculation rollback rate: {rollback:.3f}, "
+              f"ceiling 0.20")
+        if rollback > 0.20:
+            print("FAIL: speculation rollback rate above the 20% "
+                  "ceiling on the Table 6 replay", file=sys.stderr)
+            ok = False
+        if pipe["deterministic_replay"] != 1:
+            print("FAIL: speculative replay not deterministic across "
+                  "repeated runs", file=sys.stderr)
+            ok = False
+        if pipe["adv_byte_identical"] != 1:
+            print("FAIL: misprediction-heavy adversarial replay not "
+                  "byte-identical to sync", file=sys.stderr)
+            ok = False
+        if "nospec_pipeline_speedup" in pipe_base:
+            # The gate-off path must keep reproducing the pre-
+            # speculation numbers: drift here means the disabled
+            # configuration changed behaviour.
+            ok &= check_min(
+                "barrier-mode (speculation off) speedup vs baseline",
+                pipe_base["nospec_pipeline_speedup"],
+                pipe["nospec_pipeline_speedup"], args.tolerance)
+            ok &= check_min(
+                "barrier-mode (speculation off) overlap vs baseline",
+                pipe_base["nospec_mean_overlap_fraction"],
+                pipe["nospec_mean_overlap_fraction"], args.tolerance)
 
     if args.current_chaos:
         with open(args.current_chaos) as handle:

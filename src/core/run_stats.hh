@@ -67,6 +67,17 @@ struct RunStats {
     uint64_t checkpointSourcedRestores = 0; //!< objects lazily rebuilt
                                             //!< from checkpoint chains
 
+    // Speculative execution past protection flips
+    // (RuntimeConfig::speculativeFlips, DESIGN.md §15).
+    uint64_t speculationStarts = 0;   //!< calls launched under an epoch
+    uint64_t speculationCommits = 0;  //!< speculative calls promoted
+    uint64_t speculationRollbacks = 0; //!< conflicting calls squashed
+    uint64_t squashedWriteBytes = 0;  //!< bytes restored by squashes
+    uint64_t speculativeFetches = 0;  //!< host fetches run off-clock on
+                                      //!< the producer's timeline
+    osim::SimTime recoveredBarrierTime = 0; //!< host-clock waits the
+                                            //!< speculation avoided
+
     /** Bracketed execution time per partition (index = partition). */
     std::vector<osim::SimTime> partitionBusyTime;
 

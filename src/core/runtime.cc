@@ -575,6 +575,60 @@ FreePartRuntime::registerResultHomes(uint32_t partition,
 void
 FreePartRuntime::fetchToHost(const ipc::ObjectRef &ref)
 {
+    maybeRetireSpeculation();
+    // Speculative fetch (speculativeFlips, DESIGN.md §15): when the
+    // producer is still running on its virtual timeline, run the
+    // dereference — copy and round trip — on the *host process's*
+    // virtual timeline instead of stalling the host clock until the
+    // producer's tail: the trusted runtime copies the settled object
+    // out of shared memory itself (the LDC data path), so the
+    // producer keeps computing. The copy is a snapshot, not a
+    // migration — the object stays homed at the producer, so the
+    // next consumer on that partition passes it by reference instead
+    // of bouncing it back through the host. The host program pays
+    // only the issue cost; the fetched copy settles (and the temporal
+    // flip of the "fetched:" var is modeled as landing) at the copy's
+    // completion, which extends the speculation window so calls
+    // issued before then are checkpointed and squashable.
+    if (config.pipelineParallel && config.speculativeFlips &&
+        !kernel_.taskActive()) {
+        auto ready = objectReadyAt_.find(ref.objectId);
+        uint32_t home = homeOf(ref.objectId);
+        if (ready != objectReadyAt_.end() &&
+            ready->second > kernel_.now() && home != kHostPartition) {
+            if (!storeOf(home).has(ref.objectId))
+                restoreFromCheckpoint(home, ref.objectId);
+            fw::ObjectStore &src = storeOf(home);
+            osim::SimTime start =
+                std::max({ready->second,
+                          kernel_.timelineOf(hostPid_),
+                          kernel_.now()});
+            kernel_.beginTask(hostPid_, start);
+            std::vector<uint8_t> bytes =
+                src.serialize(ref.objectId);
+            hostStore_->materialize(ref.objectId,
+                                    src.get(ref.objectId).kind,
+                                    bytes,
+                                    src.get(ref.objectId).label);
+            kernel_.advance(kernel_.costs().copyCost(bytes.size()));
+            kernel_.advance(kernel_.costs().ipcRoundTrip);
+            stats_.bytesTransferred += bytes.size();
+            stats_.ipcMessages += 2;
+            ++stats_.eagerCopies;
+            coolRpcWindow();
+            osim::SimTime done = kernel_.endTask();
+            if (home < stats_.partitionBusyTime.size())
+                stats_.partitionBusyTime[home] += done - start;
+            kernel_.advance(kernel_.costs().ipcPerMessage);
+            const fw::StoredObject &obj =
+                hostStore_->get(ref.objectId);
+            vars.push_back({"fetched:" + obj.label, hostPid_,
+                            obj.addr, obj.byteLen, state_, false});
+            ++stats_.speculativeFetches;
+            extendSpeculation(done);
+            return;
+        }
+    }
     // Pipeline mode: dereferencing a result is a per-object
     // synchronization point — the host clock catches up with the
     // call that produces it (but not with unrelated timelines).
@@ -690,6 +744,7 @@ FreePartRuntime::dispatchPipelined(uint64_t ticket_id,
 {
     out.issuedAt = kernel_.now();
     out.readyAt = kernel_.now();
+    maybeRetireSpeculation();
 
     const fw::ApiDescriptor *desc = registry.byName(api_name);
     if (!desc) {
@@ -724,12 +779,18 @@ FreePartRuntime::dispatchPipelined(uint64_t ticket_id,
         if (next != state_ && pendingProtectionFlips(state_)) {
             // The transition will mprotect data inside an agent
             // address space. In-flight tasks on the virtual timelines
-            // may still be writing it — drain everything before the
-            // flip lands (the conservative reading of §4.4.3 under
-            // overlap). Host-resident flips need no barrier: the
-            // dispatcher itself applies them, synchronously with
-            // issuing.
-            pipelineBarrier();
+            // may still be writing it. Conservative reading of §4.4.3
+            // under overlap: drain everything before the flip lands.
+            // Speculative reading (§15): defer the flip's commit to
+            // the quiesce horizon of just the affected timelines and
+            // keep dispatching — calls issued before that horizon run
+            // checkpointed and are squashed on conflict. Host-resident
+            // flips need no barrier either way: the dispatcher itself
+            // applies them, synchronously with issuing.
+            if (config.speculativeFlips)
+                openSpeculation(state_);
+            else
+                pipelineBarrier();
         }
         enterState(next);
     }
@@ -785,6 +846,21 @@ FreePartRuntime::dispatchPipelined(uint64_t ticket_id,
             start = std::max(start, ready->second);
     }
 
+    // Speculative launch (§15): the call's bracket starts before a
+    // deferred protection flip commits, so the data it touches may be
+    // flipped read-only "underneath" it. Checkpoint the argument
+    // objects (the call's read set — also its only reachable write
+    // set, since in-place mutators return their inputs) so that a
+    // conflicting write can be squashed byte-exactly.
+    bool speculative = speculation_.active &&
+                       start < speculation_.commitAt;
+    std::vector<SpecCheckpoint> saved;
+    uint64_t preId = idCounter;
+    if (speculative) {
+        ++stats_.speculationStarts;
+        saved = checkpointSpecArgs(args);
+    }
+
     // Execute eagerly (program order) inside a task bracket: every
     // nanosecond the exchange charges — marshalling, ring transfer,
     // agent compute, retries, even a restart — lands on the agent's
@@ -793,11 +869,46 @@ FreePartRuntime::dispatchPipelined(uint64_t ticket_id,
     out.result = executeOnAgent(partition, *desc, args);
     lastPartition = partition;
     osim::SimTime done = kernel_.endTask();
+    osim::SimTime busy = done - start;
+
+    if (speculative) {
+        if (out.result.ok && specConflict(out.result.values, saved)) {
+            // Misprediction: the call wrote an object the deferred
+            // flip covers. Restore the checkpointed bytes, discard
+            // everything the ticket minted, and re-issue the call
+            // after the flip commits. The squashed bracket's time
+            // stays on the agent timeline — that work really burned —
+            // and the deterministic re-execution recreates identical
+            // ids and bytes, keeping replay byte-identical to the
+            // synchronous schedule.
+            squashSpeculativeCall(saved, preId, partition);
+            osim::SimTime restart = std::max(
+                {speculation_.commitAt,
+                 kernel_.timelineOf(agent.pid), kernel_.now()});
+            for (const ipc::Value &value : args) {
+                if (value.kind() != ipc::Value::Kind::Ref)
+                    continue;
+                auto ready =
+                    objectReadyAt_.find(value.asRef().objectId);
+                if (ready != objectReadyAt_.end())
+                    restart = std::max(restart, ready->second);
+            }
+            kernel_.beginTask(agent.pid, restart);
+            out.result = executeOnAgent(partition, *desc, args);
+            done = kernel_.endTask();
+            busy += done - restart;
+            // Re-encoding the request costs the host another message.
+            kernel_.advance(kernel_.costs().ipcPerMessage);
+            ++stats_.speculationRollbacks;
+        } else {
+            ++stats_.speculationCommits;
+        }
+    }
 
     out.partition = partition;
     out.readyAt = done;
     if (partition < stats_.partitionBusyTime.size())
-        stats_.partitionBusyTime[partition] += done - start;
+        stats_.partitionBusyTime[partition] += busy;
 
     // Conservative read/write sets: argument objects may have been
     // migrated (LDC rehoming) and results were produced — both settle
@@ -852,6 +963,7 @@ FreePartRuntime::drainAll()
     pendingAsync_.clear();
     for (Agent &agent : agents)
         agent.channel->clearInFlight();
+    maybeRetireSpeculation();
 }
 
 bool
@@ -876,6 +988,168 @@ FreePartRuntime::pipelineBarrier()
     for (Agent &agent : agents)
         agent.channel->reapCompleted(kernel_.now());
     ++stats_.pipelineBarriers;
+    maybeRetireSpeculation();
+}
+
+void
+FreePartRuntime::openSpeculation(FrameworkState previous)
+{
+    // Quiesce horizon: the flip only touches the address spaces that
+    // hold unprotected vars of the outgoing state, so it can land as
+    // soon as *those* timelines drain — unrelated partitions keep
+    // running past it. That horizon becomes (or extends) the
+    // speculation window's commit point.
+    std::vector<osim::Pid> pids;
+    for (const ProtectedVar &var : vars)
+        if (!var.isProtected && var.definedIn == previous &&
+            var.pid != hostPid_)
+            pids.push_back(var.pid);
+    extendSpeculation(kernel_.maxTimelineOf(pids));
+}
+
+void
+FreePartRuntime::extendSpeculation(osim::SimTime commit_at)
+{
+    if (commit_at <= kernel_.now())
+        return; // already quiesced — the flip lands immediately
+    if (!speculation_.active) {
+        speculation_.active = true;
+        speculation_.commitAt = commit_at;
+        speculation_.bornBefore = idCounter;
+        stats_.recoveredBarrierTime += commit_at - kernel_.now();
+        return;
+    }
+    // Nested pending flips extend the window monotonically, and each
+    // one widens the protected set to every object minted before it:
+    // the newest pending flip covers data that may have been created
+    // since the window opened. Widening is conservative — a squash is
+    // always safe, it only costs the re-execution.
+    speculation_.bornBefore =
+        std::max(speculation_.bornBefore, idCounter);
+    if (commit_at > speculation_.commitAt) {
+        stats_.recoveredBarrierTime +=
+            commit_at - std::max(speculation_.commitAt, kernel_.now());
+        speculation_.commitAt = commit_at;
+    }
+}
+
+void
+FreePartRuntime::maybeRetireSpeculation()
+{
+    if (speculation_.active && kernel_.now() >= speculation_.commitAt)
+        speculation_ = SpeculationEpoch();
+}
+
+std::vector<FreePartRuntime::SpecCheckpoint>
+FreePartRuntime::checkpointSpecArgs(const ipc::ValueList &args)
+{
+    std::vector<SpecCheckpoint> saved;
+    for (const ipc::Value &value : args) {
+        if (value.kind() != ipc::Value::Kind::Ref)
+            continue;
+        uint64_t id = value.asRef().objectId;
+        bool seen = false;
+        for (const SpecCheckpoint &cp : saved)
+            if (cp.id == id)
+                seen = true;
+        if (seen)
+            continue;
+        auto it = objectHome.find(id);
+        if (it == objectHome.end())
+            continue;
+        uint32_t home = it->second.first;
+        fw::ObjectStore &store = storeOf(home);
+        if (!store.has(id) && (home == kHostPartition ||
+                               !restoreFromCheckpoint(home, id)))
+            continue; // unresolvable: nothing to checkpoint
+        const fw::StoredObject &obj = store.get(id);
+        SpecCheckpoint cp;
+        cp.id = id;
+        cp.home = home;
+        cp.kind = obj.kind;
+        cp.label = obj.label;
+        cp.bytes = store.serialize(id);
+        saved.push_back(std::move(cp));
+    }
+    return saved;
+}
+
+bool
+FreePartRuntime::specConflict(const ipc::ValueList &results,
+                              const std::vector<SpecCheckpoint> &saved)
+{
+    // Write set = result refs (in-place mutators return their input).
+    // A conflict is a write to an object that predates the epoch —
+    // exactly the data a deferred flip could cover — confirmed
+    // byte-for-byte so an API that returns its input unchanged does
+    // not count as a write. (Dirty epochs alone over-report: LDC
+    // materialization marks cross-partition reads dirty.)
+    for (const ipc::Value &value : results) {
+        if (value.kind() != ipc::Value::Kind::Ref)
+            continue;
+        uint64_t id = value.asRef().objectId;
+        if (id > speculation_.bornBefore)
+            continue; // minted under the epoch: no flip covers it
+        for (const SpecCheckpoint &cp : saved) {
+            if (cp.id != id)
+                continue;
+            auto it = objectHome.find(id);
+            if (it == objectHome.end())
+                break;
+            fw::ObjectStore &store = storeOf(it->second.first);
+            if (store.has(id) && store.serialize(id) != cp.bytes)
+                return true;
+            break;
+        }
+    }
+    return false;
+}
+
+void
+FreePartRuntime::squashSpeculativeCall(
+    const std::vector<SpecCheckpoint> &saved, uint64_t pre_id,
+    uint32_t partition)
+{
+    // Restore every checkpointed argument whose bytes moved: the
+    // squash must leave exactly the pre-speculation state. Objects
+    // restore into their *current* home — an agent restart may have
+    // rehomed or dropped them since the checkpoint was cut.
+    for (const SpecCheckpoint &cp : saved) {
+        auto it = objectHome.find(cp.id);
+        if (it == objectHome.end())
+            continue; // lost meanwhile: gone in both schedules
+        fw::ObjectStore &store = storeOf(it->second.first);
+        if (store.has(cp.id) && store.serialize(cp.id) == cp.bytes)
+            continue;
+        store.materialize(cp.id, cp.kind, cp.bytes, cp.label);
+        stats_.squashedWriteBytes += cp.bytes.size();
+    }
+    // Discard the ticket's effects: objects the squashed execution
+    // minted stop resolving, and the id counter rewinds so the
+    // re-issue mints identical ids (single-threaded eager execution
+    // makes the rewind safe and keeps replay byte-identical).
+    for (uint64_t id = pre_id + 1; id <= idCounter; ++id) {
+        hostStore_->erase(id);
+        objectHome.erase(id);
+        objectReadyAt_.erase(id);
+        for (Agent &agent : agents) {
+            agent.store->erase(id);
+            // A checkpoint cut mid-speculation may hold the minted
+            // object; scrub it so a post-crash restore cannot
+            // resurrect a squashed copy under a re-minted id.
+            for (CheckpointGen &gen : agent.checkpoints) {
+                gen.objects.erase(id);
+                gen.liveIds.erase(std::remove(gen.liveIds.begin(),
+                                              gen.liveIds.end(), id),
+                                  gen.liveIds.end());
+            }
+        }
+    }
+    idCounter = pre_id;
+    // The squashed exchange may have cached a response referencing
+    // the discarded ids; prune it so a duplicate delivery cannot hand
+    // out dangling refs before the re-issue re-mints them.
+    pruneSeqCache(agents.at(partition));
 }
 
 void

@@ -113,6 +113,22 @@ struct RuntimeConfig {
     /** Max issued-but-unwaited async calls per partition before the
      *  dispatcher stalls on the oldest completion. */
     uint32_t maxInFlightPerPartition = 4;
+    /**
+     * Speculate past pending protection flips instead of draining
+     * every timeline (DESIGN.md §15). A transition whose flip touches
+     * agent address spaces opens a SpeculationEpoch: the flip is
+     * modeled as landing at the flipped pids' quiesce horizon, calls
+     * issued before that horizon run speculatively (argument objects
+     * checkpointed via the dirty-epoch serialize path), and a
+     * speculative call that writes pre-epoch data is squashed — its
+     * checkpoints restored byte-exact, its minted ids discarded, the
+     * call re-issued after the horizon. Host fetches of still-running
+     * producers likewise run off-clock on the producer's timeline
+     * instead of syncing the host. Off (the default) keeps the hard
+     * pipeline barriers and the classic fetch synchronization.
+     * Meaningful only with pipelineParallel.
+     */
+    bool speculativeFlips = false;
     SupervisionPolicy supervision;  //!< recovery policy (§4.4.2 +)
 };
 
@@ -270,6 +286,11 @@ class FreePartRuntime
 
     /** Current adaptive batching-depth (1 = binary heuristic). */
     uint32_t hotWindowDepth() const { return hotDepth_; }
+
+    /** Whether a speculation window is currently open (a deferred
+     *  protection flip / speculative fetch has not reached its commit
+     *  horizon yet). Always false with speculativeFlips off. */
+    bool speculationActive() const { return speculation_.active; }
     const analysis::Categorization &categorization() const
     {
         return cats;
@@ -445,6 +466,33 @@ class FreePartRuntime
         uint32_t partition = kHostPartition;
     };
 
+    /** Pre-execution snapshot of one argument object of a speculative
+     *  call: enough to restore the exact bytes (and home binding) if
+     *  the call is squashed. Serialized through the same path the
+     *  dirty-epoch checkpoints use (§8.2). */
+    struct SpecCheckpoint {
+        uint64_t id = 0;
+        uint32_t home = kHostPartition;
+        fw::ObjKind kind = fw::ObjKind::Bytes;
+        std::vector<uint8_t> bytes;
+        std::string label;
+    };
+
+    /**
+     * An open speculation window (speculativeFlips, DESIGN.md §15).
+     * Deferred protection flips / speculative fetches are modeled as
+     * landing at `commitAt`; calls whose task bracket starts earlier
+     * run speculatively. Objects with id <= `bornBefore` (the counter
+     * value when the window opened) predate the window — writing one under speculation is the conflict that
+     * squashes a call. Nested pending flips extend `commitAt`
+     * monotonically instead of opening a second window.
+     */
+    struct SpeculationEpoch {
+        bool active = false;
+        osim::SimTime commitAt = 0;
+        uint64_t bornBefore = 0;
+    };
+
     /** Outcome of one RPC delivery attempt. */
     enum class Attempt {
         Ok,          //!< API executed (or deduplicated) successfully
@@ -521,6 +569,34 @@ class FreePartRuntime
     /** Drain every timeline before a protection flip lands under
      *  still-running agent tasks. */
     void pipelineBarrier();
+    /** Open (or extend) the speculation window for a transition out
+     *  of `previous` whose flip touches agent address spaces: the
+     *  flip is modeled as landing at the flipped pids' quiesce
+     *  horizon instead of draining every timeline. */
+    void openSpeculation(FrameworkState previous);
+    /** Fold a deferred completion horizon (a speculative fetch, a
+     *  nested flip) into the window, opening it if needed. */
+    void extendSpeculation(osim::SimTime commit_at);
+    /** Close the window once the host clock has passed its commit
+     *  horizon (every speculative call already committed or was
+     *  squashed at dispatch time). */
+    void maybeRetireSpeculation();
+    /** Serialize the argument objects of a speculative call for a
+     *  possible squash (the §8.2 checkpoint path, per call). */
+    std::vector<SpecCheckpoint>
+    checkpointSpecArgs(const ipc::ValueList &args);
+    /** Did the speculative call write pre-epoch data? The dispatcher
+     *  already observes the write set (result refs); a result that
+     *  names an object minted before the window opened — with bytes
+     *  that actually changed — conflicts with the deferred flip. */
+    bool specConflict(const ipc::ValueList &results,
+                      const std::vector<SpecCheckpoint> &saved);
+    /** Squash a conflicting speculative call: restore checkpointed
+     *  argument bytes, discard objects the call minted, rewind the id
+     *  counter so the re-issue mints identical ids. */
+    void squashSpeculativeCall(
+        const std::vector<SpecCheckpoint> &saved, uint64_t pre_id,
+        uint32_t partition);
     /** Advance the host clock to an object's readiness time. */
     void syncObjectReady(uint64_t object_id);
     /** Mark refs in `values` as produced/settled at `ready`. */
@@ -572,6 +648,7 @@ class FreePartRuntime
      *  (peekResult hands out pointers into it). */
     std::map<uint64_t, PendingCall> pendingAsync_;
     uint64_t nextTicket_ = 1;
+    SpeculationEpoch speculation_;
     BoundaryObserver boundaryObserver_;
     RunStats stats_;
 };

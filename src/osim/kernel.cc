@@ -535,6 +535,15 @@ Kernel::maxTimeline() const
     return t;
 }
 
+SimTime
+Kernel::maxTimelineOf(const std::vector<Pid> &pids) const
+{
+    SimTime t = clock;
+    for (Pid pid : pids)
+        t = std::max(t, timelineOf(pid));
+    return t;
+}
+
 void
 Kernel::syncToTimelines()
 {

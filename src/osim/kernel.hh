@@ -159,6 +159,15 @@ class Kernel
     /** Max over the global clock and every process timeline. */
     SimTime maxTimeline() const;
 
+    /**
+     * Quiesce horizon of a pid subset: max over the global clock and
+     * the listed processes' timelines. This is when a protection flip
+     * touching only those address spaces can safely land — unrelated
+     * timelines keep running past it (the speculative-flip commit
+     * point, as opposed to the full syncToTimelines barrier).
+     */
+    SimTime maxTimelineOf(const std::vector<Pid> &pids) const;
+
     /** Advance the global clock to maxTimeline() (full barrier). */
     void syncToTimelines();
 

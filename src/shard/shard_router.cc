@@ -59,6 +59,12 @@ accumulate(core::RunStats &into, const core::RunStats &s)
     into.inFlightStalls += s.inFlightStalls;
     into.inFlightPeak = std::max(into.inFlightPeak, s.inFlightPeak);
     into.checkpointSourcedRestores += s.checkpointSourcedRestores;
+    into.speculationStarts += s.speculationStarts;
+    into.speculationCommits += s.speculationCommits;
+    into.speculationRollbacks += s.speculationRollbacks;
+    into.squashedWriteBytes += s.squashedWriteBytes;
+    into.speculativeFetches += s.speculativeFetches;
+    into.recoveredBarrierTime += s.recoveredBarrierTime;
     if (into.partitionBusyTime.size() < s.partitionBusyTime.size())
         into.partitionBusyTime.resize(s.partitionBusyTime.size(), 0);
     for (size_t p = 0; p < s.partitionBusyTime.size(); ++p)
